@@ -1,0 +1,295 @@
+// Benchmarks: one testing.B benchmark per reproduction table (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
+// results). Each benchmark runs its experiment's core measurement at a
+// benchmark-sized population and reports the normalized quantity the
+// paper's claim is about (interactions divided by the claimed asymptotic
+// bound) via b.ReportMetric, so regressions in either wall-clock speed
+// or protocol efficiency are visible. The full parameter sweeps that
+// regenerate the EXPERIMENTS.md tables are run by cmd/popbench, which
+// shares the same internal/exp harness.
+package popcount_test
+
+import (
+	"math"
+	"testing"
+
+	"popcount"
+	"popcount/internal/backup"
+	"popcount/internal/balance"
+	"popcount/internal/baseline"
+	"popcount/internal/clock"
+	"popcount/internal/core"
+	"popcount/internal/epidemic"
+	"popcount/internal/exp"
+	"popcount/internal/junta"
+	"popcount/internal/leader"
+	"popcount/internal/sim"
+)
+
+// runNorm runs factory-built protocols b.N times and reports the mean of
+// interactions/denom as metric.
+func runNorm(b *testing.B, factory func(i int) sim.Protocol, cfg sim.Config, denom float64, metric string) {
+	b.Helper()
+	var total float64
+	conv := 0
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		res, err := sim.Run(factory(i), c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Converged {
+			conv++
+			total += float64(res.Interactions) / denom
+		}
+	}
+	if conv > 0 {
+		b.ReportMetric(total/float64(conv), metric)
+	}
+	b.ReportMetric(float64(conv)/float64(b.N), "convergence-rate")
+}
+
+func nLnN(n int) float64  { return float64(n) * math.Log(float64(n)) }
+func nLn2N(n int) float64 { l := math.Log(float64(n)); return float64(n) * l * l }
+
+// BenchmarkE1Broadcast — Lemma 3: T_bc = O(n log n).
+func BenchmarkE1Broadcast(b *testing.B) {
+	const n = 4096
+	runNorm(b, func(int) sim.Protocol { return epidemic.NewSingleSource(n, true) },
+		sim.Config{Seed: 1, CheckEvery: n / 4}, nLnN(n), "T/(n·ln·n)")
+}
+
+// BenchmarkE2Junta — Lemma 4: junta settles in O(n log n).
+func BenchmarkE2Junta(b *testing.B) {
+	const n = 4096
+	runNorm(b, func(int) sim.Protocol { return junta.New(n) },
+		sim.Config{Seed: 2}, nLnN(n), "settle/(n·ln·n)")
+}
+
+// BenchmarkE3PhaseClock — Lemma 5: phases of Θ(n log n) interactions.
+func BenchmarkE3PhaseClock(b *testing.B) {
+	const n = 2048
+	var total float64
+	count := 0
+	for i := 0; i < b.N; i++ {
+		p := clock.NewProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n), 4)
+		if _, err := sim.Run(p, sim.Config{Seed: uint64(3 + i), MaxInteractions: n * 20000}); err != nil {
+			b.Fatal(err)
+		}
+		if ds, de, ok := p.PhaseInterval(2); ok {
+			total += float64(de-ds) / nLnN(n)
+			count++
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(total/float64(count), "D/(n·ln·n)")
+	}
+}
+
+// BenchmarkE4LeaderElect — Lemma 6: unique leader in O(n log² n).
+func BenchmarkE4LeaderElect(b *testing.B) {
+	const n = 2048
+	runNorm(b, func(int) sim.Protocol {
+		return leader.NewProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n))
+	}, sim.Config{Seed: 4}, nLn2N(n), "T/(n·ln²·n)")
+}
+
+// BenchmarkE5FastLeader — Lemma 7: unique leader in O(n log n).
+func BenchmarkE5FastLeader(b *testing.B) {
+	const n = 2048
+	runNorm(b, func(int) sim.Protocol {
+		return leader.NewFastProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n), leader.DefaultFastRounds)
+	}, sim.Config{Seed: 5}, nLnN(n), "T/(n·ln·n)")
+}
+
+// BenchmarkE6PowerOfTwo — Lemma 8: balancing completes in ≤ 16·n·log n.
+func BenchmarkE6PowerOfTwo(b *testing.B) {
+	const n = 4096
+	kappa := sim.Log2Floor(3 * n / 4)
+	limit := int64(16 * float64(n) * math.Log2(float64(n)))
+	runNorm(b, func(int) sim.Protocol { return balance.NewPowers(n, kappa, true) },
+		sim.Config{Seed: 6, MaxInteractions: limit}, nLnN(n), "T/(n·ln·n)")
+}
+
+// BenchmarkE7Search — Lemma 9: the Search Protocol's result window
+// (measured through protocol Approximate).
+func BenchmarkE7Search(b *testing.B) {
+	const n = 1000
+	okWindow := 0
+	for i := 0; i < b.N; i++ {
+		p := core.NewApproximate(core.Config{N: n})
+		res, err := sim.Run(p, sim.Config{Seed: uint64(7 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Converged {
+			est := float64(p.Estimate(0))
+			if est > 0.75*n && est <= math.Pow(2, float64(sim.Log2Ceil(n))) {
+				okWindow++
+			}
+		}
+	}
+	b.ReportMetric(float64(okWindow)/float64(b.N), "window-ok-rate")
+}
+
+// BenchmarkE8Approximate — Theorem 1.1: convergence in O(n log² n).
+func BenchmarkE8Approximate(b *testing.B) {
+	const n = 1024
+	runNorm(b, func(int) sim.Protocol { return core.NewApproximate(core.Config{N: n}) },
+		sim.Config{Seed: 8}, nLn2N(n), "T/(n·ln²·n)")
+}
+
+// BenchmarkE9StableApprox — Theorem 1.2: the stable hybrid's clean path.
+func BenchmarkE9StableApprox(b *testing.B) {
+	const n = 512
+	runNorm(b, func(int) sim.Protocol { return core.NewStableApproximate(core.Config{N: n}) },
+		sim.Config{Seed: 9}, nLn2N(n), "T/(n·ln²·n)")
+}
+
+// BenchmarkE10ApproxStage — Lemma 10: k = log n ± 3.
+func BenchmarkE10ApproxStage(b *testing.B) {
+	const n = 1024
+	ok := 0
+	for i := 0; i < b.N; i++ {
+		p := core.NewCountExact(core.Config{N: n})
+		if _, err := sim.Run(p, sim.Config{Seed: uint64(10 + i)}); err != nil {
+			b.Fatal(err)
+		}
+		if d := math.Abs(float64(p.Metrics().MaxK) - math.Log2(n)); d <= 3 {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N), "k-within-3-rate")
+}
+
+// BenchmarkE11Refine — Lemma 11: all agents output exactly n.
+func BenchmarkE11Refine(b *testing.B) {
+	const n = 1024
+	exact := 0
+	for i := 0; i < b.N; i++ {
+		p := core.NewCountExact(core.Config{N: n})
+		res, err := sim.Run(p, sim.Config{Seed: uint64(11 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Converged && sim.AllOutputsEqual(p, n) {
+			exact++
+		}
+	}
+	b.ReportMetric(float64(exact)/float64(b.N), "exact-rate")
+}
+
+// BenchmarkE12CountExact — Theorem 2: stabilization in O(n log n).
+func BenchmarkE12CountExact(b *testing.B) {
+	const n = 1024
+	runNorm(b, func(int) sim.Protocol { return core.NewCountExact(core.Config{N: n}) },
+		sim.Config{Seed: 12}, nLnN(n), "T/(n·ln·n)")
+}
+
+// BenchmarkE13BackupApprox — Lemma 12: backup in O(n² log² n).
+func BenchmarkE13BackupApprox(b *testing.B) {
+	const n = 64
+	runNorm(b, func(int) sim.Protocol { return backup.NewApprox(n) },
+		sim.Config{Seed: 13, MaxInteractions: n * n * 2000},
+		float64(n)*float64(n)*math.Log(n), "T/(n²·ln·n)")
+}
+
+// BenchmarkE14BackupExact — Lemma 13: backup in O(n² log n).
+func BenchmarkE14BackupExact(b *testing.B) {
+	const n = 128
+	runNorm(b, func(int) sim.Protocol { return backup.NewExact(n) },
+		sim.Config{Seed: 14, MaxInteractions: n * n * 1000},
+		float64(n)*float64(n)*math.Log(n), "T/(n²·ln·n)")
+}
+
+// BenchmarkE15Baselines — Section 1: CountExact vs the Θ(n²) token-bag
+// baseline; the reported metric is the baseline/CountExact speedup.
+func BenchmarkE15Baselines(b *testing.B) {
+	const n = 2048
+	var speedups float64
+	count := 0
+	for i := 0; i < b.N; i++ {
+		bag := baseline.NewTokenBag(n)
+		bres, err := sim.Run(bag, sim.Config{Seed: uint64(15 + i), MaxInteractions: n * n * 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ce := core.NewCountExact(core.Config{N: n})
+		cres, err := sim.Run(ce, sim.Config{Seed: uint64(115 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bres.Converged && cres.Converged {
+			speedups += float64(bres.Interactions) / float64(cres.Interactions)
+			count++
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(speedups/float64(count), "bag/CountExact-speedup")
+	}
+}
+
+// BenchmarkA1ClockPeriod — ablation: protocol Approximate at half the
+// default clock constant (shorter phases).
+func BenchmarkA1ClockPeriod(b *testing.B) {
+	const n = 1024
+	runNorm(b, func(int) sim.Protocol {
+		return core.NewApproximate(core.Config{N: n, ClockM: 16})
+	}, sim.Config{Seed: 16}, nLn2N(n), "T/(n·ln²·n)")
+}
+
+// BenchmarkA2Shift — ablation: CountExact with a coarser load explosion.
+func BenchmarkA2Shift(b *testing.B) {
+	const n = 1024
+	runNorm(b, func(int) sim.Protocol {
+		return core.NewCountExact(core.Config{N: n, Shift: 1})
+	}, sim.Config{Seed: 17}, nLnN(n), "T/(n·ln·n)")
+}
+
+// BenchmarkA3FastLeaderBits — ablation: FastLeaderElection with a single
+// round (higher collision probability).
+func BenchmarkA3FastLeaderBits(b *testing.B) {
+	const n = 2048
+	unique := 0
+	for i := 0; i < b.N; i++ {
+		p := leader.NewFastProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n), 1)
+		res, err := sim.Run(p, sim.Config{Seed: uint64(18 + i), MaxInteractions: int64(nLnN(n)) * 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Converged && p.Leaders() == 1 {
+			unique++
+		}
+	}
+	b.ReportMetric(float64(unique)/float64(b.N), "unique-leader-rate")
+}
+
+// BenchmarkInteractionThroughput measures raw simulator speed: scheduler
+// plus the CountExact transition function.
+func BenchmarkInteractionThroughput(b *testing.B) {
+	const n = 1 << 16
+	p := core.NewCountExact(core.Config{N: n})
+	s, err := popcount.NewSimulation(popcount.CountExact, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = p
+	b.ResetTimer()
+	s.Step(int64(b.N))
+}
+
+// BenchmarkQuickSuite runs the whole quick experiment suite once per
+// iteration — the full reproduction in one knob (also exercised by
+// cmd/popbench).
+func BenchmarkQuickSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("quick suite is still heavy; skipped with -short")
+	}
+	for i := 0; i < b.N; i++ {
+		tables := exp.All(exp.Options{Quick: true, Parallelism: 8, Trials: 2, Seed: uint64(19 + i)})
+		if len(tables) != 20 {
+			b.Fatalf("expected 20 tables, got %d", len(tables))
+		}
+	}
+}

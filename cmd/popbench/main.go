@@ -1,0 +1,90 @@
+// Command popbench runs the reproduction experiment suite (E1–E15 and
+// ablations A1–A3 from DESIGN.md) and prints the result tables that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	popbench                 # quick suite
+//	popbench -full           # full sweeps (takes a while)
+//	popbench -exp E8,E12     # selected experiments only
+//	popbench -trials 20 -par 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"popcount/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popbench", flag.ContinueOnError)
+	var (
+		full   = fs.Bool("full", false, "run the full sweeps instead of the quick suite")
+		sel    = fs.String("exp", "", "comma-separated experiment ids (e.g. E1,E8,A2); empty = all")
+		trials = fs.Int("trials", 0, "trials per configuration (0 = default)")
+		par    = fs.Int("par", 8, "parallel trials")
+		seed   = fs.Uint64("seed", 0, "base seed (0 = default)")
+		figs   = fs.String("fig", "", "comma-separated figure ids (F1..F4) to emit as CSV instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := exp.Options{
+		Quick:       !*full,
+		Trials:      *trials,
+		Parallelism: *par,
+		Seed:        *seed,
+	}
+
+	if *figs != "" {
+		series := map[string]func(exp.Options) exp.Series{
+			"F1": exp.F1EpidemicCurve, "F2": exp.F2LeaderDecay,
+			"F3": exp.F3EstimateTrajectory, "F4": exp.F4ExactSettling,
+		}
+		for _, id := range strings.Split(*figs, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			f, ok := series[id]
+			if !ok {
+				return fmt.Errorf("unknown figure %q", id)
+			}
+			fmt.Print(f(o).CSV())
+		}
+		return nil
+	}
+
+	runners := map[string]func(exp.Options) exp.Table{
+		"E1": exp.E1Broadcast, "E2": exp.E2Junta, "E3": exp.E3PhaseClock,
+		"E4": exp.E4LeaderElect, "E5": exp.E5FastLeader, "E6": exp.E6PowerOfTwo,
+		"E7": exp.E7Search, "E8": exp.E8Approximate, "E9": exp.E9StableApproximate,
+		"E10": exp.E10ApproxStage, "E11": exp.E11Refine, "E12": exp.E12CountExact,
+		"E13": exp.E13BackupApprox, "E14": exp.E14BackupExact, "E15": exp.E15Baselines,
+		"E16": exp.E16SchedulerRobustness, "E17": exp.E17Stabilization,
+		"A1": exp.A1ClockPeriod, "A2": exp.A2Shift, "A3": exp.A3FastLeaderRounds,
+	}
+
+	if *sel == "" {
+		for _, t := range exp.All(o) {
+			fmt.Println(t.Format())
+		}
+		return nil
+	}
+	for _, id := range strings.Split(*sel, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		f, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		fmt.Println(f(o).Format())
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunSelectedExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E6", "-trials", "2", "-par", "4"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunSelectedLowercase(t *testing.T) {
+	if err := run([]string{"-exp", "e13", "-trials", "2"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	if err := run([]string{"-fig", "F1"}); err != nil {
+		t.Fatalf("figure run failed: %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "F9"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

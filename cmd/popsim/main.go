@@ -1,0 +1,76 @@
+// Command popsim runs one of the population-size counting protocols on a
+// simulated population and reports the outcome.
+//
+// Usage:
+//
+//	popsim -alg exact -n 10000 -seed 7
+//	popsim -alg approximate -n 100000
+//	popsim -alg stable-exact -n 2000 -progress
+//
+// Algorithms: approximate, exact, stable-approximate, stable-exact,
+// tokenbag, geometric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popcount"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popsim", flag.ContinueOnError)
+	var (
+		algName  = fs.String("alg", "exact", "algorithm: approximate | exact | stable-approximate | stable-exact | tokenbag | geometric")
+		n        = fs.Int("n", 1000, "population size")
+		seed     = fs.Uint64("seed", 1, "scheduler seed (runs are reproducible)")
+		maxI     = fs.Int64("max", 0, "interaction cap (0 = engine default)")
+		progress = fs.Bool("progress", false, "print progress snapshots while running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, err := popcount.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	s, err := popcount.NewSimulation(alg, *n,
+		popcount.WithSeed(*seed), popcount.WithMaxInteractions(*maxI))
+	if err != nil {
+		return err
+	}
+
+	if *progress {
+		step := int64(*n) * 10
+		for !s.Converged() {
+			s.Step(step)
+			fmt.Printf("t=%12d  agent0 output=%d\n", s.Interactions(), s.Output(0))
+			if *maxI > 0 && s.Interactions() >= *maxI {
+				break
+			}
+		}
+	}
+
+	res, err := s.RunToConvergence()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm:    %s\n", alg)
+	fmt.Printf("population:   %d agents\n", *n)
+	fmt.Printf("converged:    %v\n", res.Converged)
+	fmt.Printf("interactions: %d\n", res.Interactions)
+	fmt.Printf("output:       %d\n", res.Output)
+	fmt.Printf("estimate:     %d agents\n", res.Estimate)
+	if !res.Converged {
+		return fmt.Errorf("no convergence within the interaction cap")
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunTokenBag(t *testing.T) {
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-seed", "3"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunExactSmall(t *testing.T) {
+	if err := run([]string{"-alg", "exact", "-n", "256", "-seed", "5"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunWithProgress(t *testing.T) {
+	if err := run([]string{"-alg", "geometric", "-n", "128", "-progress"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if err := run([]string{"-alg", "nope", "-n", "64"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCapWithoutConvergenceErrors(t *testing.T) {
+	if err := run([]string{"-alg", "exact", "-n", "256", "-max", "100"}); err == nil {
+		t.Fatal("non-convergence should be reported as an error")
+	}
+}

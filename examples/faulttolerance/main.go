@@ -1,0 +1,62 @@
+// Faulttolerance: what the stable protocols buy you — a demonstration of
+// the error-detection → backup pipeline (Section 3.4, Appendices B–C).
+//
+// The w.h.p. protocols can, with small probability, settle on a wrong
+// answer (for example if leader election leaves two leaders, or a load
+// balancing phase does not finish in time). The stable variants detect
+// such inconsistencies, raise an error flag that spreads by one-way
+// epidemics, and fall back to a slow protocol that is correct with
+// probability 1. This example runs protocol Approximate's stable variant
+// with an artificially corrupted search result and watches the machinery
+// recover.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popcount/internal/core"
+	"popcount/internal/rng"
+)
+
+func main() {
+	const n = 400
+
+	p := core.NewStableApproximate(core.Config{N: n})
+	p.FaultInjection = true // corrupt the leader's k by −4 doublings
+	r := rng.New(77)
+
+	fmt.Println("running stable Approximate with a corrupted search result …")
+	var t int64
+	for !p.Converged() {
+		for i := 0; i < n; i++ {
+			u, v := r.Pair(n)
+			p.Interact(u, v, r)
+		}
+		t += int64(n)
+		if t%(int64(n)*5000) == 0 {
+			fmt.Printf("t=%10d  error detected: %v  agent#0 output: %d\n",
+				t, p.Errored(), p.Output(0))
+		}
+		if t > int64(n)*int64(n)*2000 {
+			log.Fatal("did not stabilize")
+		}
+	}
+
+	if !p.Errored() {
+		log.Fatal("the corrupted run was not detected — this should never happen")
+	}
+	want := int64(0)
+	for v := n; v > 1; v >>= 1 {
+		want++
+	}
+	fmt.Printf("\nstabilized after %d interactions\n", t)
+	fmt.Printf("error was detected and the backup protocol took over\n")
+	fmt.Printf("final output: %d (⌊log₂ %d⌋ = %d) — correct despite the fault\n",
+		p.Output(0), n, want)
+	if p.Output(0) != want {
+		log.Fatal("wrong final output")
+	}
+}

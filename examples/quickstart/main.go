@@ -1,0 +1,43 @@
+// Quickstart: count a population of anonymous agents, approximately and
+// exactly, with the two headline protocols of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popcount"
+)
+
+func main() {
+	const n = 5000
+
+	// Protocol Approximate (Theorem 1.1): every agent learns
+	// ⌊log₂ n⌋ or ⌈log₂ n⌉ within O(n log² n) interactions, w.h.p.
+	apx, err := popcount.EstimateSize(n, popcount.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Approximate: log₂ estimate %d → ≈%d agents (true n = %d), %d interactions\n",
+		apx.Output, apx.Estimate, n, apx.Interactions)
+
+	// Protocol CountExact (Theorem 2): every agent learns the exact n
+	// within the optimal O(n log n) interactions, w.h.p.
+	exact, err := popcount.ExactSize(n, popcount.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CountExact:  %d agents exactly, %d interactions\n",
+		exact.Output, exact.Interactions)
+
+	// The stable variant trades a little bookkeeping for correctness
+	// with probability 1 (Theorem 1.2 / Appendix F).
+	stable, err := popcount.Count(popcount.StableCountExact, n, popcount.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Stable:      %d agents, guaranteed correct, %d interactions\n",
+		stable.Output, stable.Interactions)
+}

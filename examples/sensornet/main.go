@@ -1,0 +1,63 @@
+// Sensornet: a network of anonymous, battery-limited sensors estimates
+// its own size to calibrate itself — the motivating scenario of the
+// population model ("distributed systems of resource-limited mobile
+// agents", Section 1).
+//
+// Sensors meet in random pairs (radio contacts). None of them knows how
+// many sensors were deployed, yet each needs the network size to pick a
+// duty cycle: with more sensors covering the field, each can sleep
+// longer. Protocol Approximate gives every sensor ⌊log₂ n⌋ or ⌈log₂ n⌉
+// using only O(log n · log log n) states — small enough for firmware.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popcount"
+)
+
+// dutyCycle maps a log₂ population estimate to a sleep fraction: each
+// doubling of the deployment lets every sensor halve its awake time,
+// bounded below at 1/64.
+func dutyCycle(logEstimate int64) float64 {
+	d := 1.0
+	for i := int64(0); i < logEstimate && d > 1.0/64; i++ {
+		d /= 2
+	}
+	return d
+}
+
+func main() {
+	const deployed = 20000 // ground truth, unknown to the sensors
+
+	s, err := popcount.NewSimulation(popcount.Approximate, deployed, popcount.WithSeed(2026))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the estimate refine as radio contacts accumulate.
+	fmt.Println("contacts      sensor#0 log-estimate")
+	for !s.Converged() {
+		s.Step(int64(deployed) * 25)
+		fmt.Printf("%9d     %d\n", s.Interactions(), s.Output(0))
+		if s.Interactions() > int64(deployed)*100000 {
+			log.Fatal("sensornet: estimation did not settle")
+		}
+	}
+
+	est := s.Output(0)
+	fmt.Printf("\nnetwork size: 2^%d ≈ %d sensors (true: %d)\n", est, int64(1)<<uint(est), deployed)
+	fmt.Printf("chosen duty cycle: %.3f (awake fraction)\n", dutyCycle(est))
+
+	// Every sensor independently arrives at the same calibration.
+	outs := s.Outputs()
+	for i, o := range outs {
+		if o != est {
+			log.Fatalf("sensor %d disagrees: %d vs %d", i, o, est)
+		}
+	}
+	fmt.Printf("all %d sensors agree on the estimate\n", len(outs))
+}

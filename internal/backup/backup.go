@@ -1,0 +1,293 @@
+// Package backup implements the slow, always-correct backup protocols of
+// Appendix C, which the hybrid (stable) protocols fall back to when their
+// error-detection mechanisms fire.
+//
+// Approximate counting (Appendix C.1, Equation (3), Lemma 12): every
+// agent starts with one token (k = 0, i.e. 2⁰ tokens). When two agents
+// hold the same number of tokens the initiator takes all of them,
+// doubling its pile (k+1); the responder becomes empty (k = −1). Agents
+// propagate the maximum pile logarithm kmax by maximum broadcast. The
+// process converges to the binary representation of n: level i holds
+// exactly n_i piles (the i-th bit of n), the maximum pile is 2^⌊log n⌋,
+// and every agent's kmax equals ⌊log n⌋. It uses at most (log n + 1)²
+// states and stabilizes w.h.p. within O(n² log² n) interactions.
+//
+// Exact counting (Appendix C.2, Equation (4), Lemma 13): every agent
+// starts uncounted with one token. When two uncounted agents meet, the
+// initiator absorbs the responder's tokens and stays uncounted; the
+// responder becomes counted. Both record the merged count; counted agents
+// spread the maximum observed count. Exactly one uncounted agent remains
+// and eventually holds all n tokens, so every agent outputs n. The
+// protocol stabilizes w.h.p. within O(n² log n) interactions.
+package backup
+
+import "popcount/internal/rng"
+
+// ApproxState is the per-agent state of the approximate backup protocol:
+// the pair (k, kmax). k = −1 encodes an empty agent.
+type ApproxState struct {
+	K    int16
+	KMax int16
+}
+
+// InitApprox returns the initial state (0, 0): one token.
+func InitApprox() ApproxState { return ApproxState{K: 0, KMax: 0} }
+
+// ApproxInteract applies Equation (3) to initiator u and responder v.
+func ApproxInteract(u, v *ApproxState) {
+	if u.K == v.K && u.K >= 0 {
+		u.K++
+		v.K = -1
+	}
+	kmax := u.KMax
+	for _, x := range []int16{v.KMax, u.K, v.K} {
+		if x > kmax {
+			kmax = x
+		}
+	}
+	u.KMax, v.KMax = kmax, kmax
+}
+
+// ApproxProtocol is a standalone simulation of the approximate backup.
+type ApproxProtocol struct {
+	states []ApproxState
+}
+
+// NewApprox returns the approximate backup over n agents.
+func NewApprox(n int) *ApproxProtocol {
+	s := make([]ApproxState, n)
+	for i := range s {
+		s[i] = InitApprox()
+	}
+	return &ApproxProtocol{states: s}
+}
+
+// N returns the population size.
+func (p *ApproxProtocol) N() int { return len(p.states) }
+
+// Interact applies one transition.
+func (p *ApproxProtocol) Interact(u, v int, _ *rng.Rand) {
+	ApproxInteract(&p.states[u], &p.states[v])
+}
+
+// Converged reports whether the configuration matches Lemma 12: the pile
+// sizes form the binary representation of n and every agent's kmax equals
+// ⌊log n⌋.
+func (p *ApproxProtocol) Converged() bool {
+	n := len(p.states)
+	var counts [64]int
+	want := int16(log2Floor(n))
+	for i := range p.states {
+		if p.states[i].KMax != want {
+			return false
+		}
+		if k := p.states[i].K; k >= 0 {
+			counts[k]++
+		}
+	}
+	for i := 0; i <= int(want); i++ {
+		if counts[i] != (n>>uint(i))&1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Output returns agent i's kmax (the estimate ⌊log n⌋ at convergence).
+func (p *ApproxProtocol) Output(i int) int64 { return int64(p.states[i].KMax) }
+
+// TotalTokens returns Σ 2^k over non-empty agents (conserved, equals n).
+func (p *ApproxProtocol) TotalTokens() int64 {
+	var s int64
+	for i := range p.states {
+		if k := p.states[i].K; k >= 0 {
+			s += int64(1) << uint(k)
+		}
+	}
+	return s
+}
+
+// PileCounts returns, for each level i, the number of agents holding 2^i
+// tokens.
+func (p *ApproxProtocol) PileCounts() []int {
+	counts := make([]int, 64)
+	maxK := 0
+	for i := range p.states {
+		if k := p.states[i].K; k >= 0 {
+			counts[k]++
+			if int(k) > maxK {
+				maxK = int(k)
+			}
+		}
+	}
+	return counts[:maxK+1]
+}
+
+// SparseApproxProtocol is the reduced-state variant of the approximate
+// backup used by Theorem 1.3 (Appendix C.1): it is sufficient that all
+// but log n agents know the approximation. Agents holding a pile (k ≥ 0)
+// do not maintain a separate kmax variable — their output is their own
+// pile exponent — so each agent needs only O(log n) states instead of
+// O(log² n). At convergence the ≤ ⌊log n⌋ + 1 pile holders may output a
+// value below ⌊log n⌋; every empty agent outputs ⌊log n⌋ exactly.
+type SparseApproxProtocol struct {
+	states []ApproxState
+}
+
+// NewSparseApprox returns the reduced-state approximate backup over n
+// agents.
+func NewSparseApprox(n int) *SparseApproxProtocol {
+	s := make([]ApproxState, n)
+	for i := range s {
+		s[i] = InitApprox()
+	}
+	return &SparseApproxProtocol{states: s}
+}
+
+// N returns the population size.
+func (p *SparseApproxProtocol) N() int { return len(p.states) }
+
+// Interact applies Equation (3) with the sparse kmax rule: pile holders
+// do not store kmax (it is pinned to their own k).
+func (p *SparseApproxProtocol) Interact(u, v int, _ *rng.Rand) {
+	a, b := &p.states[u], &p.states[v]
+	ApproxInteract(a, b)
+	if a.K >= 0 {
+		a.KMax = a.K
+	}
+	if b.K >= 0 {
+		b.KMax = b.K
+	}
+}
+
+// Output returns agent i's output: kmax for empty agents, the own pile
+// exponent for pile holders.
+func (p *SparseApproxProtocol) Output(i int) int64 { return int64(p.states[i].KMax) }
+
+// Converged reports whether the piles form the binary representation of
+// n and every empty agent outputs ⌊log n⌋ (Theorem 1.3 allows the
+// ≤ log n pile holders to disagree).
+func (p *SparseApproxProtocol) Converged() bool {
+	n := len(p.states)
+	var counts [64]int
+	want := int16(log2Floor(n))
+	for i := range p.states {
+		s := &p.states[i]
+		if s.K >= 0 {
+			counts[s.K]++
+		} else if s.KMax != want {
+			return false
+		}
+	}
+	for i := 0; i <= int(want); i++ {
+		if counts[i] != (n>>uint(i))&1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Wrong returns the number of agents whose output differs from ⌊log n⌋.
+// Theorem 1.3 tolerates up to log n of them.
+func (p *SparseApproxProtocol) Wrong() int {
+	want := int64(log2Floor(len(p.states)))
+	c := 0
+	for i := range p.states {
+		if p.Output(i) != want {
+			c++
+		}
+	}
+	return c
+}
+
+// ExactState is the per-agent state of the exact backup protocol: the
+// pair (counted, n).
+type ExactState struct {
+	Counted bool
+	Count   int64
+}
+
+// InitExact returns the initial state (false, 1).
+func InitExact() ExactState { return ExactState{Counted: false, Count: 1} }
+
+// ExactInteract applies Equation (4) to initiator u and responder v.
+//
+// Deviation from the paper's literal equation: in the non-merge branch,
+// only counted agents adopt max{nu, nv}. Taking the maximum on an
+// uncounted agent as well (as Equation (4) literally reads) would
+// overwrite its exact token count with a broadcast estimate and destroy
+// token conservation (e.g. n = 3 can then stabilize on the output 4).
+// Restricting the maximum rule to counted agents matches the protocol's
+// intent ("agents which have already been counted broadcast the maximum
+// value they have observed so far") and makes Lemma 13 hold.
+func ExactInteract(u, v *ExactState) {
+	if !u.Counted && !v.Counted {
+		sum := u.Count + v.Count
+		u.Count = sum
+		v.Counted = true
+		v.Count = sum
+		return
+	}
+	m := u.Count
+	if v.Count > m {
+		m = v.Count
+	}
+	if u.Counted {
+		u.Count = m
+	}
+	if v.Counted {
+		v.Count = m
+	}
+}
+
+// ExactProtocol is a standalone simulation of the exact backup.
+type ExactProtocol struct {
+	states    []ExactState
+	uncounted int
+}
+
+// NewExact returns the exact backup over n agents.
+func NewExact(n int) *ExactProtocol {
+	s := make([]ExactState, n)
+	for i := range s {
+		s[i] = InitExact()
+	}
+	return &ExactProtocol{states: s, uncounted: n}
+}
+
+// N returns the population size.
+func (p *ExactProtocol) N() int { return len(p.states) }
+
+// Interact applies one transition.
+func (p *ExactProtocol) Interact(u, v int, _ *rng.Rand) {
+	cv := p.states[v].Counted
+	ExactInteract(&p.states[u], &p.states[v])
+	if !cv && p.states[v].Counted {
+		p.uncounted--
+	}
+}
+
+// Converged reports whether every agent outputs n.
+func (p *ExactProtocol) Converged() bool {
+	n := int64(len(p.states))
+	for i := range p.states {
+		if p.states[i].Count != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Output returns agent i's count.
+func (p *ExactProtocol) Output(i int) int64 { return p.states[i].Count }
+
+// Uncounted returns the number of agents still holding unmerged tokens.
+func (p *ExactProtocol) Uncounted() int { return p.uncounted }
+
+func log2Floor(n int) int {
+	k := -1
+	for v := n; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}

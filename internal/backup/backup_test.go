@@ -1,0 +1,211 @@
+package backup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popcount/internal/sim"
+)
+
+func TestApproxInteractMerge(t *testing.T) {
+	u := ApproxState{K: 2, KMax: 2}
+	v := ApproxState{K: 2, KMax: 2}
+	ApproxInteract(&u, &v)
+	if u.K != 3 || v.K != -1 {
+		t.Fatalf("merge failed: u=%+v v=%+v", u, v)
+	}
+	if u.KMax != 3 || v.KMax != 3 {
+		t.Fatalf("kmax not updated after merge: u=%+v v=%+v", u, v)
+	}
+}
+
+func TestApproxInteractNoMergeDifferent(t *testing.T) {
+	u := ApproxState{K: 1, KMax: 1}
+	v := ApproxState{K: 3, KMax: 3}
+	ApproxInteract(&u, &v)
+	if u.K != 1 || v.K != 3 {
+		t.Fatalf("piles of different sizes merged: u=%+v v=%+v", u, v)
+	}
+	if u.KMax != 3 || v.KMax != 3 {
+		t.Fatalf("kmax not exchanged: u=%+v v=%+v", u, v)
+	}
+}
+
+func TestApproxEmptyNeverMerges(t *testing.T) {
+	u := ApproxState{K: -1, KMax: 4}
+	v := ApproxState{K: -1, KMax: 2}
+	ApproxInteract(&u, &v)
+	if u.K != -1 || v.K != -1 {
+		t.Fatalf("empty agents produced tokens: u=%+v v=%+v", u, v)
+	}
+	if u.KMax != 4 || v.KMax != 4 {
+		t.Fatalf("kmax broadcast failed: u=%+v v=%+v", u, v)
+	}
+}
+
+func TestApproxConservesTokens(t *testing.T) {
+	tokens := func(k int16) int64 {
+		if k < 0 {
+			return 0
+		}
+		return 1 << uint(k)
+	}
+	err := quick.Check(func(a, b int8) bool {
+		ku := int16(a % 30)
+		kv := int16(b % 30)
+		if ku < -1 {
+			ku = -1
+		}
+		if kv < -1 {
+			kv = -1
+		}
+		u := ApproxState{K: ku, KMax: ku}
+		v := ApproxState{K: kv, KMax: kv}
+		before := tokens(u.K) + tokens(v.K)
+		ApproxInteract(&u, &v)
+		return tokens(u.K)+tokens(v.K) == before
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxBackupConvergesToBinaryRepresentation(t *testing.T) {
+	// Lemma 12 at small n (the protocol needs Θ(n² log² n) interactions).
+	for _, n := range []int{13, 32, 100} {
+		p := NewApprox(n)
+		res, err := sim.Run(p, sim.Config{
+			Seed:            uint64(n),
+			MaxInteractions: int64(n) * int64(n) * 600,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: backup did not converge; piles=%v", n, p.PileCounts())
+		}
+		if p.TotalTokens() != int64(n) {
+			t.Fatalf("n=%d: tokens not conserved: %d", n, p.TotalTokens())
+		}
+		counts := p.PileCounts()
+		for i, c := range counts {
+			if want := (n >> uint(i)) & 1; c != want {
+				t.Errorf("n=%d: level %d holds %d piles, want %d", n, i, c, want)
+			}
+		}
+		want := int64(log2Floor(n))
+		for i := 0; i < n; i++ {
+			if p.Output(i) != want {
+				t.Fatalf("n=%d: agent %d outputs %d, want %d", n, i, p.Output(i), want)
+			}
+		}
+	}
+}
+
+func TestExactInteractMerge(t *testing.T) {
+	u := InitExact()
+	v := InitExact()
+	ExactInteract(&u, &v)
+	if u.Counted || u.Count != 2 {
+		t.Fatalf("initiator after merge: %+v", u)
+	}
+	if !v.Counted || v.Count != 2 {
+		t.Fatalf("responder after merge: %+v", v)
+	}
+}
+
+func TestExactInteractBroadcast(t *testing.T) {
+	u := ExactState{Counted: true, Count: 7}
+	v := ExactState{Counted: true, Count: 3}
+	ExactInteract(&u, &v)
+	if u.Count != 7 || v.Count != 7 {
+		t.Fatalf("max count did not spread: u=%+v v=%+v", u, v)
+	}
+}
+
+func TestExactUncountedInvariant(t *testing.T) {
+	// Property: the number of uncounted agents decreases by exactly one
+	// per merge and never below one in a real run.
+	n := 64
+	p := NewExact(n)
+	res, err := sim.Run(p, sim.Config{Seed: 1, MaxInteractions: int64(n) * int64(n) * 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Uncounted() != 1 {
+		t.Fatalf("uncounted agents: %d, want 1", p.Uncounted())
+	}
+	if !res.Converged {
+		t.Fatal("exact backup did not converge")
+	}
+}
+
+func TestExactBackupOutputsN(t *testing.T) {
+	for _, n := range []int{7, 50, 200} {
+		p := NewExact(n)
+		res, err := sim.Run(p, sim.Config{
+			Seed:            uint64(n),
+			MaxInteractions: int64(n) * int64(n) * 300,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: did not converge", n)
+		}
+		for i := 0; i < n; i++ {
+			if p.Output(i) != int64(n) {
+				t.Fatalf("n=%d: agent %d outputs %d", n, i, p.Output(i))
+			}
+		}
+	}
+}
+
+func TestSparseApproxBackup(t *testing.T) {
+	// Theorem 1.3 / Appendix C.1: the reduced-state variant converges
+	// with at most log n agents not knowing ⌊log n⌋.
+	for _, n := range []int{13, 50, 100} {
+		p := NewSparseApprox(n)
+		res, err := sim.Run(p, sim.Config{
+			Seed:            uint64(n),
+			MaxInteractions: int64(n) * int64(n) * 800,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: sparse backup did not converge", n)
+		}
+		if w := p.Wrong(); w > log2Floor(n)+1 {
+			t.Errorf("n=%d: %d agents wrong, allowed ≤ log n = %d", n, w, log2Floor(n))
+		}
+	}
+}
+
+func TestSparseApproxPileHoldersOutputOwnPile(t *testing.T) {
+	p := NewSparseApprox(32)
+	if _, err := sim.Run(p, sim.Config{Seed: 3, MaxInteractions: 32 * 32 * 800}); err != nil {
+		t.Fatal(err)
+	}
+	// n = 32 = 2^5: a single pile of 32 tokens remains; its holder
+	// outputs 5, as does everyone else (binary representation has one bit).
+	for i := 0; i < 32; i++ {
+		if p.Output(i) != 5 {
+			t.Fatalf("agent %d outputs %d, want 5", i, p.Output(i))
+		}
+	}
+}
+
+func TestExactInteractUncountedKeepsTokens(t *testing.T) {
+	// The deviation note on ExactInteract: an uncounted agent must keep
+	// its exact token count in the broadcast branch.
+	u := ExactState{Counted: false, Count: 3}
+	v := ExactState{Counted: true, Count: 5}
+	ExactInteract(&u, &v)
+	if u.Count != 3 {
+		t.Fatalf("uncounted agent's tokens corrupted: %+v", u)
+	}
+	if v.Count != 5 {
+		t.Fatalf("counted agent changed: %+v", v)
+	}
+}

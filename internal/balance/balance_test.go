@@ -1,0 +1,177 @@
+package balance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+func TestClassicalTruthTable(t *testing.T) {
+	cases := []struct{ u, v, wantU, wantV int64 }{
+		{0, 0, 0, 0},
+		{5, 0, 2, 3},
+		{0, 5, 2, 3},
+		{3, 3, 3, 3},
+		{7, 2, 4, 5},
+		{1, 0, 0, 1},
+	}
+	for _, c := range cases {
+		u, v := c.u, c.v
+		Classical(&u, &v)
+		if u != c.wantU || v != c.wantV {
+			t.Errorf("Classical(%d,%d) = (%d,%d), want (%d,%d)", c.u, c.v, u, v, c.wantU, c.wantV)
+		}
+	}
+}
+
+func TestClassicalConservesAndBalances(t *testing.T) {
+	// Properties: sum conserved, |u−v| ≤ 1 afterwards, u ≤ v (floor to
+	// the initiator, ceil to the responder).
+	err := quick.Check(func(a, b uint32) bool {
+		u, v := int64(a), int64(b)
+		sum := u + v
+		Classical(&u, &v)
+		return u+v == sum && v-u >= 0 && v-u <= 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerOfTwoTruthTable(t *testing.T) {
+	cases := []struct{ u, v, wantU, wantV int16 }{
+		{3, Empty, 2, 2},     // split
+		{Empty, 3, 2, 2},     // split, other side
+		{1, Empty, 0, 0},     // split to single tokens
+		{0, Empty, 0, Empty}, // load 1 cannot split
+		{Empty, 0, Empty, 0},
+		{Empty, Empty, Empty, Empty},
+		{2, 2, 2, 2}, // both non-empty: no action
+		{4, 0, 4, 0},
+	}
+	for _, c := range cases {
+		u, v := c.u, c.v
+		PowerOfTwo(&u, &v)
+		if u != c.wantU || v != c.wantV {
+			t.Errorf("PowerOfTwo(%d,%d) = (%d,%d), want (%d,%d)", c.u, c.v, u, v, c.wantU, c.wantV)
+		}
+	}
+}
+
+func TestPowerOfTwoConservesTokens(t *testing.T) {
+	tokens := func(k int16) int64 {
+		if k < 0 {
+			return 0
+		}
+		return 1 << uint(k)
+	}
+	err := quick.Check(func(a, b int8) bool {
+		u := int16(a % 20)
+		v := int16(b % 20)
+		if u < Empty {
+			u = Empty
+		}
+		if v < Empty {
+			v = Empty
+		}
+		before := tokens(u) + tokens(v)
+		PowerOfTwo(&u, &v)
+		return tokens(u)+tokens(v) == before
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicalProtocolConverges(t *testing.T) {
+	p := NewClassicalPointMass(512, 10_000)
+	res, err := sim.Run(p, sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("classical balancing did not converge")
+	}
+	if p.SumLoads() != 10_000 {
+		t.Fatalf("total load changed to %d", p.SumLoads())
+	}
+	if d := p.Discrepancy(); d > 2 {
+		t.Fatalf("discrepancy %d after convergence", d)
+	}
+}
+
+func TestClassicalTimeIsNLogN(t *testing.T) {
+	for _, n := range []int{512, 2048, 8192} {
+		p := NewClassicalPointMass(n, int64(4*n))
+		res, err := sim.Run(p, sim.Config{Seed: uint64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := float64(res.Interactions) / (float64(n) * math.Log(float64(n)))
+		if !res.Converged || norm > 30 {
+			t.Errorf("n=%d: classical balancing took %.1f × n ln n (converged=%v)",
+				n, norm, res.Converged)
+		}
+	}
+}
+
+func TestPowersLemma8Completes(t *testing.T) {
+	// Lemma 8: 2^κ ≤ ¾n tokens on one agent reach max load 1 within
+	// 16·n·log₂ n interactions w.h.p.
+	for _, n := range []int{512, 2048, 8192} {
+		kappa := sim.Log2Floor(3 * n / 4)
+		limit := int64(16 * float64(n) * math.Log2(float64(n)))
+		p := NewPowers(n, kappa, true)
+		want := p.TotalTokens()
+		res, err := sim.Run(p, sim.Config{Seed: uint64(n), MaxInteractions: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("n=%d κ=%d: max load still 2^%d after %d interactions",
+				n, kappa, p.MaxK(), limit)
+		}
+		if got := p.TotalTokens(); got != want {
+			t.Errorf("n=%d: token total changed from %d to %d", n, want, got)
+		}
+	}
+}
+
+func TestPowersOverloadKeepsBigAgent(t *testing.T) {
+	// With 2^κ ≥ n tokens on n−1 participating agents, some agent must
+	// keep load ≥ 2 forever (pigeonhole), so the process never converges.
+	n := 256
+	kappa := sim.Log2Ceil(n) // 2^κ ≥ n
+	p := NewPowers(n, kappa, true)
+	res, err := sim.Run(p, sim.Config{Seed: 3, MaxInteractions: int64(n) * 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || p.MaxK() < 1 {
+		t.Fatalf("overloaded system converged to max load %d", p.MaxK())
+	}
+}
+
+func TestPowersExcludedLeaderUntouched(t *testing.T) {
+	p := NewPowers(64, 5, true)
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		u, v := r.Pair(64)
+		p.Interact(u, v, r)
+	}
+	if p.K(0) != Empty {
+		t.Fatalf("excluded leader load changed to %d", p.K(0))
+	}
+}
+
+func TestNewPowersPanicsOnBadKappa(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for kappa=-1")
+		}
+	}()
+	NewPowers(8, -1, false)
+}

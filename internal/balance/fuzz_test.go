@@ -1,0 +1,51 @@
+package balance
+
+import "testing"
+
+// FuzzClassical fuzzes the classical balancing step: conservation and
+// the floor/ceil split.
+func FuzzClassical(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(7), int64(2))
+	f.Add(int64(1), int64(1<<40))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if a < 0 || b < 0 || a > 1<<60 || b > 1<<60 {
+			t.Skip()
+		}
+		u, v := a, b
+		Classical(&u, &v)
+		if u+v != a+b {
+			t.Fatalf("sum not conserved: %d+%d → %d+%d", a, b, u, v)
+		}
+		if d := v - u; d < 0 || d > 1 {
+			t.Fatalf("split not floor/ceil: %d, %d", u, v)
+		}
+	})
+}
+
+// FuzzPowerOfTwo fuzzes Equation (1): token conservation and the
+// only-split-with-empty rule.
+func FuzzPowerOfTwo(f *testing.F) {
+	f.Add(int16(-1), int16(-1))
+	f.Add(int16(5), int16(-1))
+	f.Add(int16(0), int16(0))
+	tokens := func(k int16) int64 {
+		if k < 0 {
+			return 0
+		}
+		return 1 << uint(k)
+	}
+	f.Fuzz(func(t *testing.T, a, b int16) {
+		if a < -1 || b < -1 || a > 60 || b > 60 {
+			t.Skip()
+		}
+		u, v := a, b
+		PowerOfTwo(&u, &v)
+		if tokens(u)+tokens(v) != tokens(a)+tokens(b) {
+			t.Fatalf("tokens not conserved: (%d,%d) → (%d,%d)", a, b, u, v)
+		}
+		if a >= 0 && b >= 0 && (u != a || v != b) {
+			t.Fatalf("two non-empty agents interacted: (%d,%d) → (%d,%d)", a, b, u, v)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package baseline implements the comparison protocols referenced in the
+// paper's introduction and related work, used by experiment E15.
+//
+// TokenBag is the "simple and uniform protocol for exact population
+// counting" from Section 1: every agent starts with one token, agents
+// keep combining the tokens into bags, propagating at the same time the
+// maximum size of a bag and using that maximum as their current output.
+// It completes in expected Θ(n²) interactions and uses Θ(n²) states
+// (bag × maximum), the baseline CountExact improves on by a factor of
+// ≈ n / log n.
+//
+// GeometricEstimate is a uniform O(log n)-state estimator in the spirit
+// of Alistarh et al. [1] (see Section 1.2): every agent samples a
+// geometric random value on its first interaction (via synthetic coins)
+// and the maximum spreads by one-way epidemics. The maximum of n
+// Geometric(1/2) samples is log₂ n + Θ(1) w.h.p., giving an estimate of
+// the population size within a polynomial factor in O(n log n)
+// interactions — much weaker than protocol Approximate's ⌊log n⌋/⌈log n⌉
+// guarantee, which experiment E15 quantifies.
+package baseline
+
+import "popcount/internal/rng"
+
+// TokenBag is the Θ(n²)-interaction exact counting baseline.
+type TokenBag struct {
+	bags []int64
+	best []int64
+}
+
+// NewTokenBag returns the baseline over n agents, one token each.
+func NewTokenBag(n int) *TokenBag {
+	b := &TokenBag{bags: make([]int64, n), best: make([]int64, n)}
+	for i := range b.bags {
+		b.bags[i] = 1
+		b.best[i] = 1
+	}
+	return b
+}
+
+// N returns the population size.
+func (p *TokenBag) N() int { return len(p.bags) }
+
+// Interact merges the responder's bag into the initiator's and spreads
+// the maximum bag size.
+func (p *TokenBag) Interact(u, v int, _ *rng.Rand) {
+	if p.bags[u] > 0 && p.bags[v] > 0 {
+		p.bags[u] += p.bags[v]
+		p.bags[v] = 0
+	}
+	m := p.best[u]
+	for _, x := range []int64{p.best[v], p.bags[u], p.bags[v]} {
+		if x > m {
+			m = x
+		}
+	}
+	p.best[u], p.best[v] = m, m
+}
+
+// Converged reports whether every agent outputs n.
+func (p *TokenBag) Converged() bool {
+	n := int64(len(p.bags))
+	for _, b := range p.best {
+		if b != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Output returns agent i's current output (the largest bag it knows of).
+func (p *TokenBag) Output(i int) int64 { return p.best[i] }
+
+// TotalTokens returns the conserved token total (always n).
+func (p *TokenBag) TotalTokens() int64 {
+	var s int64
+	for _, b := range p.bags {
+		s += b
+	}
+	return s
+}
+
+// GeometricEstimate is the O(log n)-state polynomial-factor estimator.
+type GeometricEstimate struct {
+	sampled []bool
+	val     []int16
+	maxCap  int16
+}
+
+// NewGeometricEstimate returns the estimator over n agents. Samples are
+// capped at 62 to bound the state space.
+func NewGeometricEstimate(n int) *GeometricEstimate {
+	return &GeometricEstimate{
+		sampled: make([]bool, n),
+		val:     make([]int16, n),
+		maxCap:  62,
+	}
+}
+
+// N returns the population size.
+func (p *GeometricEstimate) N() int { return len(p.sampled) }
+
+// Interact samples on first activation and spreads the maximum.
+func (p *GeometricEstimate) Interact(u, v int, r *rng.Rand) {
+	for _, w := range [2]int{u, v} {
+		if !p.sampled[w] {
+			p.sampled[w] = true
+			p.val[w] = int16(r.Geometric(int(p.maxCap)))
+		}
+	}
+	if p.val[u] < p.val[v] {
+		p.val[u] = p.val[v]
+	} else if p.val[v] < p.val[u] {
+		p.val[v] = p.val[u]
+	}
+}
+
+// Converged reports whether all agents have sampled and agree on the
+// maximum.
+func (p *GeometricEstimate) Converged() bool {
+	m := p.val[0]
+	for i := range p.val {
+		if !p.sampled[i] || p.val[i] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// Output returns agent i's log-estimate (max geometric value + 1,
+// approximating log₂ n).
+func (p *GeometricEstimate) Output(i int) int64 { return int64(p.val[i]) + 1 }

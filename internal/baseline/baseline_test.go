@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"testing"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+func TestTokenBagOutputsN(t *testing.T) {
+	for _, n := range []int{10, 100, 500} {
+		p := NewTokenBag(n)
+		res, err := sim.Run(p, sim.Config{Seed: uint64(n), MaxInteractions: int64(n) * int64(n) * 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: token bag did not converge", n)
+		}
+		for i := 0; i < n; i++ {
+			if p.Output(i) != int64(n) {
+				t.Fatalf("n=%d: agent %d outputs %d", n, i, p.Output(i))
+			}
+		}
+	}
+}
+
+func TestTokenBagConservesTokens(t *testing.T) {
+	n := 128
+	p := NewTokenBag(n)
+	r := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		u, v := r.Pair(n)
+		p.Interact(u, v, r)
+		if i%10000 == 0 && p.TotalTokens() != int64(n) {
+			t.Fatalf("token total %d after %d interactions", p.TotalTokens(), i)
+		}
+	}
+	if p.TotalTokens() != int64(n) {
+		t.Fatalf("final token total %d", p.TotalTokens())
+	}
+}
+
+func TestTokenBagBestMonotone(t *testing.T) {
+	n := 64
+	p := NewTokenBag(n)
+	r := rng.New(3)
+	prev := make([]int64, n)
+	for i := 0; i < 200000; i++ {
+		u, v := r.Pair(n)
+		p.Interact(u, v, r)
+		for _, w := range [2]int{u, v} {
+			if p.Output(w) < prev[w] {
+				t.Fatalf("agent %d best decreased from %d to %d", w, prev[w], p.Output(w))
+			}
+			prev[w] = p.Output(w)
+		}
+	}
+}
+
+func TestGeometricEstimateApproximatesLogN(t *testing.T) {
+	// Max of n Geometric(1/2) samples is log₂ n + Θ(1); allow a wide
+	// window of ±6 as the baseline only promises a polynomial-factor
+	// approximation.
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 15} {
+		p := NewGeometricEstimate(n)
+		res, err := sim.Run(p, sim.Config{Seed: uint64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: estimator did not converge", n)
+		}
+		logn := int64(sim.Log2Floor(n))
+		out := p.Output(0)
+		if out < logn-6 || out > logn+8 {
+			t.Errorf("n=%d: estimate %d too far from log n = %d", n, out, logn)
+		}
+	}
+}
+
+func TestGeometricEstimateAgreement(t *testing.T) {
+	n := 512
+	p := NewGeometricEstimate(n)
+	if _, err := sim.Run(p, sim.Config{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	want := p.Output(0)
+	for i := 1; i < n; i++ {
+		if p.Output(i) != want {
+			t.Fatalf("agents disagree: %d vs %d", p.Output(i), want)
+		}
+	}
+}

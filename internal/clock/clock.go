@@ -1,0 +1,241 @@
+// Package clock implements the junta-driven phase clocks from Section 2 of
+// the paper (Lemma 5, following [AAE08] and [GS18]).
+//
+// Every agent keeps a clock state ("hour") in {0, …, m−1}. On every
+// interaction both agents adopt the later hour with respect to the
+// circular order modulo m; to keep the clock running, a junta member that
+// meets an agent on the same clock state advances one additional step. An
+// agent enters a new phase when its hour crosses the boundary between m−1
+// and 0; at that interaction its FirstTick flag is set.
+//
+// The paper additionally equips each agent with a phase counter modulo a
+// constant ("phasev of constant size that counts the current phase of an
+// agent modulo some constant"). This implementation realizes that counter
+// as part of the circular clock value itself: the agent's value lives on a
+// circle of K·m positions, position = (phase mod K)·m + hour. Adopting the
+// later value w.r.t. this larger circle synchronizes the modular phase
+// counter with exactly the same epidemic mechanism that synchronizes the
+// hour, which is what the composed protocols (phase mod 5 in the Search
+// Protocol, parity in leader election, 3 phases in the Refinement Stage)
+// rely on. K = 60 is divisible by all moduli the protocols use.
+//
+// The paper states (Lemma 5) that for any constant c a suitable constant
+// m = m(c) yields phases of length between c·n·log n and
+// c·n·log n + Θ(n·log n) w.h.p. This package exposes m as a parameter;
+// experiment E3 measures the resulting phase lengths and the repository
+// default is calibrated so one phase comfortably covers one-way epidemics
+// (Lemma 3) and powers-of-two load balancing (Lemma 8).
+//
+// State also carries an absolute phase counter for instrumentation and
+// for the exact phase-count comparisons of the stable protocols.
+package clock
+
+import "popcount/internal/rng"
+
+const (
+	// DefaultM is the default number of hours on the clock face,
+	// calibrated (experiment E3) so that one phase exceeds ≈6·n·ln n
+	// interactions for juntas of the size elected by the junta process —
+	// comfortably above the ≈2.6·n·ln n that powers-of-two load
+	// balancing needs (Lemma 8) and the ≈1·n·ln n of one-way epidemics
+	// (Lemma 3).
+	DefaultM = 32
+
+	// DefaultK is the default phase-counter modulus. It is divisible by
+	// 5 (Search Protocol rounds), 4 (leader-election parity tags), 3 and
+	// 2, covering every modular phase count the protocols use.
+	DefaultK = 60
+)
+
+// State is the per-agent phase-clock state.
+type State struct {
+	// Val is the extended clock value in [0, K·m):
+	// Val = (phase mod K)·m + hour.
+	Val uint16
+	// Phase counts completed boundary crossings (absolute, monotone).
+	Phase uint32
+	// FirstTick is true exactly when the current interaction is the one
+	// in which this agent entered its current phase.
+	FirstTick bool
+}
+
+// Clock is a phase-clock configuration: m hours per phase and a phase
+// counter modulo K folded into the circular value.
+type Clock struct {
+	M uint8
+	K uint8
+}
+
+// New returns a phase clock with m hours and the default phase modulus.
+// m must be even and in [4, 128].
+func New(m int) Clock { return NewWithModulus(m, DefaultK) }
+
+// NewWithModulus returns a phase clock with m hours and phase counter
+// modulo k. m must be even and in [4, 128]; k must be in [1, 120].
+func NewWithModulus(m, k int) Clock {
+	if m < 4 || m > 128 || m%2 != 0 {
+		panic("clock: m must be even and in [4, 128]")
+	}
+	if k < 1 || k > 120 {
+		panic("clock: k must be in [1, 120]")
+	}
+	return Clock{M: uint8(m), K: uint8(k)}
+}
+
+// Init returns the initial clock state (hour 0, phase 0).
+func (Clock) Init() State { return State{} }
+
+// span returns the extended circle size K·m.
+func (c Clock) span() int { return int(c.M) * int(c.K) }
+
+// Hour returns the hour component of s in {0, …, m−1}.
+func (c Clock) Hour(s State) uint8 { return uint8(int(s.Val) % int(c.M)) }
+
+// PhaseIdx returns the synchronized phase counter modulo K.
+func (c Clock) PhaseIdx(s State) uint8 { return uint8(int(s.Val) / int(c.M)) }
+
+// PhaseMod returns the synchronized phase counter modulo mod, which must
+// divide K (this is what composed protocols use, e.g. mod 5 for the
+// Search Protocol).
+func (c Clock) PhaseMod(s State, mod int) int {
+	if int(c.K)%mod != 0 {
+		panic("clock: modulus must divide K")
+	}
+	return int(c.PhaseIdx(s)) % mod
+}
+
+// PhasesSince returns the number of phases from a recorded start index to
+// s, computed on the circle modulo K. It is exact while the true distance
+// is below K.
+func (c Clock) PhasesSince(s State, startIdx uint8) int {
+	return (int(c.PhaseIdx(s)) - int(startIdx) + int(c.K)) % int(c.K)
+}
+
+// Tick applies the phase-clock update to both endpoints at the beginning
+// of an interaction. uJunta and vJunta report whether each endpoint is a
+// junta member (drives the clock). Pre-interaction values are used on both
+// sides, matching δ: Q×Q → Q×Q.
+func (c Clock) Tick(u, v *State, uJunta, vJunta bool) {
+	cu, cv := u.Val, v.Val
+	c.tickOne(u, cv, uJunta)
+	c.tickOne(v, cu, vJunta)
+}
+
+// TickOne advances only the endpoint w given the partner's pre-interaction
+// value pv; used when the partner's clock is frozen (Error Detection,
+// Algorithm 7 stops the clock in its final phase).
+func (c Clock) TickOne(w *State, pv uint16, junta bool) { c.tickOne(w, pv, junta) }
+
+func (c Clock) tickOne(w *State, pv uint16, junta bool) {
+	span := c.span()
+	d := (int(pv) - int(w.Val) + span) % span
+	crossed := 0
+	switch {
+	case d > 0 && d <= span/2:
+		// Partner is ahead within the half-window: adopt its value.
+		crossed = (int(w.Val)%int(c.M) + d) / int(c.M)
+		w.Val = pv
+	case d == 0 && junta:
+		// Junta member on an equal clock state advances one step.
+		if int(w.Val)%int(c.M) == int(c.M)-1 {
+			crossed = 1
+		}
+		w.Val = uint16((int(w.Val) + 1) % span)
+	}
+	w.FirstTick = crossed > 0
+	w.Phase += uint32(crossed)
+}
+
+// Protocol simulates a phase clock driven by a fixed junta set, for
+// stand-alone measurement of phase lengths (experiment E3).
+type Protocol struct {
+	clock  Clock
+	states []State
+	junta  []bool
+	t      int64
+
+	// Per-phase entry bookkeeping: firstEnter[p] is the interaction at
+	// which the first agent entered phase p, lastEnter[p] the interaction
+	// at which the last agent entered it. entered[p] counts agents whose
+	// phase counter has reached p.
+	firstEnter []int64
+	lastEnter  []int64
+	entered    []int
+	maxPhase   uint32
+}
+
+// NewProtocol returns a clock simulation over n agents with m hours where
+// the first juntaSize agents form the junta. maxPhase bounds the
+// bookkeeping (the simulation may run past it).
+func NewProtocol(n, m, juntaSize int, maxPhase int) *Protocol {
+	if juntaSize < 1 || juntaSize > n {
+		panic("clock: junta size out of range")
+	}
+	c := New(m)
+	p := &Protocol{
+		clock:      c,
+		states:     make([]State, n),
+		junta:      make([]bool, n),
+		firstEnter: make([]int64, maxPhase+2),
+		lastEnter:  make([]int64, maxPhase+2),
+		entered:    make([]int, maxPhase+2),
+		maxPhase:   uint32(maxPhase),
+	}
+	for i := 0; i < juntaSize; i++ {
+		p.junta[i] = true
+	}
+	p.entered[0] = n
+	return p
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return len(p.states) }
+
+// Interact applies one transition.
+func (p *Protocol) Interact(u, v int, _ *rng.Rand) {
+	p.t++
+	pu, pv := p.states[u].Phase, p.states[v].Phase
+	p.clock.Tick(&p.states[u], &p.states[v], p.junta[u], p.junta[v])
+	p.record(pu, p.states[u].Phase)
+	p.record(pv, p.states[v].Phase)
+}
+
+func (p *Protocol) record(oldPhase, newPhase uint32) {
+	for q := oldPhase + 1; q <= newPhase && q <= p.maxPhase; q++ {
+		if p.entered[q] == 0 {
+			p.firstEnter[q] = p.t
+		}
+		p.entered[q]++
+		if p.entered[q] == len(p.states) {
+			p.lastEnter[q] = p.t
+		}
+	}
+}
+
+// Converged reports whether every agent has completed maxPhase phases.
+func (p *Protocol) Converged() bool {
+	return p.entered[p.maxPhase] == len(p.states)
+}
+
+// PhaseInterval returns the interval D_i = [Dstart, Dend] for phase i:
+// Dstart is the interaction at which the last agent entered phase i and
+// Dend+1 the interaction at which the first agent left it (entered i+1).
+// ok is false if the data is incomplete or the phases overlapped
+// improperly (some agent entered i+1 before all agents reached i).
+func (p *Protocol) PhaseInterval(i int) (dstart, dend int64, ok bool) {
+	if i < 0 || uint32(i+1) > p.maxPhase {
+		return 0, 0, false
+	}
+	if p.entered[i] < len(p.states) || p.entered[i+1] == 0 {
+		return 0, 0, false
+	}
+	dstart = p.lastEnter[i]
+	dend = p.firstEnter[i+1] - 1
+	return dstart, dend, dend >= dstart
+}
+
+// State returns a copy of agent i's clock state.
+func (p *Protocol) State(i int) State { return p.states[i] }
+
+// Clock returns the clock configuration.
+func (p *Protocol) Clock() Clock { return p.clock }

@@ -1,0 +1,218 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popcount/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []int{0, 2, 3, 5, 130, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+	if c := New(8); c.M != 8 || c.K != DefaultK {
+		t.Fatalf("New(8) = %+v", c)
+	}
+	for _, badK := range []int{0, 121, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithModulus(8, %d) did not panic", badK)
+				}
+			}()
+			NewWithModulus(8, badK)
+		}()
+	}
+}
+
+func TestHourAndPhaseIdx(t *testing.T) {
+	c := NewWithModulus(8, 4)
+	s := State{Val: 2*8 + 5} // phase index 2, hour 5
+	if c.Hour(s) != 5 {
+		t.Fatalf("Hour = %d, want 5", c.Hour(s))
+	}
+	if c.PhaseIdx(s) != 2 {
+		t.Fatalf("PhaseIdx = %d, want 2", c.PhaseIdx(s))
+	}
+	if c.PhaseMod(s, 2) != 0 {
+		t.Fatalf("PhaseMod(2) = %d, want 0", c.PhaseMod(s, 2))
+	}
+}
+
+func TestPhaseModRequiresDivisor(t *testing.T) {
+	c := NewWithModulus(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PhaseMod with non-divisor did not panic")
+		}
+	}()
+	c.PhaseMod(State{}, 3)
+}
+
+func TestPhasesSince(t *testing.T) {
+	c := NewWithModulus(8, 10)
+	s := State{Val: 3 * 8} // phase index 3
+	if got := c.PhasesSince(s, 1); got != 2 {
+		t.Fatalf("PhasesSince = %d, want 2", got)
+	}
+	if got := c.PhasesSince(s, 8); got != 5 { // wrap: 8→9→0→1→2→3
+		t.Fatalf("PhasesSince wrap = %d, want 5", got)
+	}
+}
+
+func TestTickAdoption(t *testing.T) {
+	c := NewWithModulus(8, 4)
+	u := State{Val: 1}
+	v := State{Val: 3}
+	c.Tick(&u, &v, false, false)
+	if u.Val != 3 {
+		t.Fatalf("behind agent did not adopt: val %d", u.Val)
+	}
+	if v.Val != 3 {
+		t.Fatalf("ahead agent changed: val %d", v.Val)
+	}
+	if u.FirstTick || v.FirstTick {
+		t.Fatal("no boundary crossed, but FirstTick set")
+	}
+}
+
+func TestTickCrossingSetsFirstTickAndPhaseIdx(t *testing.T) {
+	c := NewWithModulus(8, 4)
+	u := State{Val: 7} // phase index 0, hour 7
+	v := State{Val: 9} // phase index 1, hour 1
+	c.Tick(&u, &v, false, false)
+	if u.Val != 9 || !u.FirstTick || u.Phase != 1 {
+		t.Fatalf("crossing not detected: %+v", u)
+	}
+	if c.PhaseIdx(u) != 1 {
+		t.Fatalf("phase index = %d, want 1", c.PhaseIdx(u))
+	}
+}
+
+func TestJuntaAdvancesOnEqual(t *testing.T) {
+	c := NewWithModulus(8, 4)
+	u := State{Val: 5}
+	v := State{Val: 5}
+	c.Tick(&u, &v, true, false)
+	if u.Val != 6 {
+		t.Fatalf("junta member did not advance: %d", u.Val)
+	}
+	if v.Val != 5 {
+		t.Fatalf("non-junta member advanced: %d", v.Val)
+	}
+}
+
+func TestJuntaWrapAroundFullCircle(t *testing.T) {
+	// Wrapping the extended circle (K·m − 1 → 0) crosses an hour boundary
+	// and resets the phase index to 0.
+	c := NewWithModulus(8, 4)
+	u := State{Val: 31, Phase: 11}
+	v := State{Val: 31}
+	c.Tick(&u, &v, true, false)
+	if u.Val != 0 || u.Phase != 12 || !u.FirstTick {
+		t.Fatalf("full-circle wrap mishandled: %+v", u)
+	}
+	if c.PhaseIdx(u) != 0 {
+		t.Fatalf("phase index after wrap = %d", c.PhaseIdx(u))
+	}
+}
+
+func TestMultiPhaseJumpCountsCrossings(t *testing.T) {
+	// An agent far behind adopts forward across several phase boundaries;
+	// all of them must be counted.
+	c := NewWithModulus(8, 60)
+	u := State{Val: 0}
+	v := State{Val: 8 * 3} // 3 phases ahead
+	c.Tick(&u, &v, false, false)
+	if u.Phase != 3 || !u.FirstTick {
+		t.Fatalf("multi-phase jump: %+v, want Phase=3", u)
+	}
+}
+
+func TestPhaseMonotoneProperty(t *testing.T) {
+	c := NewWithModulus(16, 4)
+	span := uint16(64)
+	err := quick.Check(func(a, b uint16, ju, jv bool) bool {
+		u := State{Val: a % span, Phase: 5}
+		v := State{Val: b % span, Phase: 7}
+		pu, pv := u, v
+		c.Tick(&u, &v, ju, jv)
+		return u.Phase >= pu.Phase && v.Phase >= pv.Phase &&
+			u.Val < span && v.Val < span
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickOneLeavesPartnerUntouched(t *testing.T) {
+	c := NewWithModulus(8, 4)
+	w := State{Val: 1}
+	c.TickOne(&w, 3, false)
+	if w.Val != 3 {
+		t.Fatalf("TickOne did not advance w: %+v", w)
+	}
+}
+
+func TestProtocolPhasesAreThetaNLogN(t *testing.T) {
+	// Lemma 5: phase intervals D_i have length Θ(n log n) and the phases
+	// are properly nested (last agent enters i before first agent leaves).
+	for _, n := range []int{1 << 10, 1 << 13} {
+		j := 2 * sim.Log2Ceil(n) // junta of Θ(log n) size, as elected in practice
+		p := NewProtocol(n, DefaultM, j, 5)
+		res, err := sim.Run(p, sim.Config{Seed: uint64(n), MaxInteractions: int64(n) * 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: clock did not complete 5 phases", n)
+		}
+		for i := 1; i <= 3; i++ {
+			ds, de, ok := p.PhaseInterval(i)
+			if !ok {
+				t.Fatalf("n=%d phase %d: invalid interval (overlap violated)", n, i)
+			}
+			norm := float64(de-ds) / (float64(n) * math.Log(float64(n)))
+			if norm < 1 || norm > 30 {
+				t.Errorf("n=%d phase %d: length %.2f × n ln n outside [1, 30]", n, i, norm)
+			}
+		}
+	}
+}
+
+func TestPhaseIdxAgreesAcrossAgentsAfterRun(t *testing.T) {
+	// The synchronized modular phase counter must agree across agents
+	// whenever they are in the same phase; after a run, indices may differ
+	// by at most 1 (mod K) between lagging and leading agents.
+	n := 512
+	p := NewProtocol(n, 16, 8, 4)
+	if _, err := sim.Run(p, sim.Config{Seed: 3, MaxInteractions: int64(n) * 2000}); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clock()
+	counts := map[uint8]int{}
+	for i := 0; i < n; i++ {
+		counts[c.PhaseIdx(p.State(i))]++
+	}
+	if len(counts) > 2 {
+		t.Fatalf("agents spread over %d phase indices: %v", len(counts), counts)
+	}
+}
+
+func TestProtocolJuntaSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for junta size 0")
+		}
+	}()
+	NewProtocol(10, 8, 0, 3)
+}

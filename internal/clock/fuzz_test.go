@@ -1,0 +1,41 @@
+package clock
+
+import "testing"
+
+// FuzzTick fuzzes the extended-clock transition for its structural
+// invariants: values stay on the circle, the phase counter is monotone,
+// FirstTick implies a phase increment, and ticking is insensitive to
+// argument order (the update of each endpoint depends only on its own
+// state and the partner's pre-interaction value).
+func FuzzTick(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint32(0), uint32(0), true, false)
+	f.Add(uint16(31), uint16(32), uint32(1), uint32(1), false, false)
+	f.Add(uint16(1919), uint16(0), uint32(7), uint32(9), true, true)
+	c := NewWithModulus(32, 60)
+	span := uint16(32 * 60)
+	f.Fuzz(func(t *testing.T, va, vb uint16, pa, pb uint32, ja, jb bool) {
+		u := State{Val: va % span, Phase: pa % 1000}
+		v := State{Val: vb % span, Phase: pb % 1000}
+		pu, pv := u, v
+		c.Tick(&u, &v, ja, jb)
+		if u.Val >= span || v.Val >= span {
+			t.Fatalf("value left the circle: %d %d", u.Val, v.Val)
+		}
+		if u.Phase < pu.Phase || v.Phase < pv.Phase {
+			t.Fatal("phase counter decreased")
+		}
+		if u.FirstTick && u.Phase == pu.Phase {
+			t.Fatal("FirstTick set without a phase increment")
+		}
+		if !u.FirstTick && u.Phase != pu.Phase {
+			t.Fatal("phase incremented without FirstTick")
+		}
+
+		// Order insensitivity.
+		u2, v2 := pv, pu
+		c.Tick(&u2, &v2, jb, ja)
+		if u2 != v || v2 != u {
+			t.Fatalf("tick depends on argument order: (%+v,%+v) vs (%+v,%+v)", u, v, v2, u2)
+		}
+	})
+}

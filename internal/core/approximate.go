@@ -1,0 +1,260 @@
+package core
+
+import (
+	"popcount/internal/balance"
+	"popcount/internal/clock"
+	"popcount/internal/junta"
+	"popcount/internal/leader"
+	"popcount/internal/rng"
+)
+
+// maxSearchK caps the search variable k (load exponents never approach it
+// for physical populations; the cap only guards the representation).
+const maxSearchK = 62
+
+// approxAgent is the combined per-agent state of protocol Approximate
+// (Figure 2): junta process, phase clock, leader election and Search
+// Protocol sub-states.
+type approxAgent struct {
+	jnt        junta.State
+	clk        clock.State
+	led        leader.State
+	k          int16
+	searchDone bool
+}
+
+// Approximate is the paper's protocol Approximate (Algorithm 2,
+// Theorem 1.1): a uniform protocol after which every agent outputs
+// ⌊log₂ n⌋ or ⌈log₂ n⌉ w.h.p., converging in O(n log² n) interactions
+// with O(log n · log log n) states.
+//
+// Stage structure per agent (tracked through the flags leaderDone and
+// searchDone): Stage 1 elects a leader with the slow protocol of [GS18];
+// Stage 2 runs the Search Protocol (Algorithm 1), in which the leader
+// performs a linear search over k, injecting 2^k tokens per round and
+// using powers-of-two load balancing to test whether 2^k exceeds ¾·n;
+// Stage 3 broadcasts the leader's final k to every agent.
+type Approximate struct {
+	cfg   Config
+	clk   clock.Clock
+	elect leader.Election
+	ag    []approxAgent
+}
+
+// NewApproximate returns a fresh instance of protocol Approximate.
+func NewApproximate(cfg Config) *Approximate {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		panic("core: population must have at least 2 agents")
+	}
+	c := clock.New(cfg.ClockM)
+	p := &Approximate{
+		cfg:   cfg,
+		clk:   c,
+		elect: leader.NewElection(c, cfg.OuterM),
+		ag:    make([]approxAgent, cfg.N),
+	}
+	for i := range p.ag {
+		p.ag[i] = approxAgent{
+			jnt: junta.InitState(),
+			clk: c.Init(),
+			led: p.elect.Init(),
+			k:   -1,
+		}
+	}
+	return p
+}
+
+// N returns the population size.
+func (p *Approximate) N() int { return p.cfg.N }
+
+// Interact applies one interaction of protocol Approximate (Algorithm 2)
+// with initiator u and responder v.
+func (p *Approximate) Interact(u, v int, r *rng.Rand) {
+	a, b := &p.ag[u], &p.ag[v]
+
+	// Line 3: junta process, with re-initialization (line 1–2) of every
+	// agent whose level changed. The paper resets an agent's phase clock,
+	// leader election and Search Protocol state when it encounters a
+	// higher junta level; each junta level conceptually runs its own
+	// protocol instance, so an agent also starts from a clean state when
+	// it climbs to a new level itself ("all agents eventually run the
+	// phase clocks and the leader election process based on the junta on
+	// the highest level" — without resetting climbers, the top-level
+	// junta would carry clock state accumulated while everyone was still
+	// driving the clock, and leaderDone could fire prematurely).
+	preA, preB := a.jnt.Level, b.jnt.Level
+	junta.Interact(&a.jnt, &b.jnt)
+	if a.jnt.Level != preA {
+		p.reinit(a, b, preB)
+	}
+	if b.jnt.Level != preB {
+		p.reinit(b, a, preA)
+	}
+
+	// Line 4: phase clocks.
+	p.clk.Tick(&a.clk, &b.clk, a.jnt.Junta, b.jnt.Junta)
+
+	// Line 5–6, Stage 1: leader election while not leaderDone.
+	if !a.led.Done || !b.led.Done {
+		p.elect.Interact(&a.led, &b.led, a.clk, b.clk, a.jnt.Junta, b.jnt.Junta, r)
+	}
+
+	// Line 7–8, Stage 2: the Search Protocol.
+	p.searchStep(a, b)
+
+	// Line 9–10, Stage 3: broadcasting stage — an agent that finished the
+	// search infects its partner with (searchDone, k).
+	if a.led.Done && a.searchDone && !b.searchDone {
+		b.searchDone = true
+		b.k = a.k
+	} else if b.led.Done && b.searchDone && !a.searchDone {
+		a.searchDone = true
+		a.k = b.k
+	}
+}
+
+// reinit re-initializes agent w's phase clock, leader election and Search
+// Protocol state after w's junta level changed (Algorithm 2, line 2). If
+// the partner q was already on w's new level (srcPreLevel ≥ new level),
+// w's clock restarts synchronized to q's clock — q's level instance is
+// the authority — rather than from zero, which avoids the transient
+// desynchronization a cold reset would cause on the extended circular
+// clock (see package clock). A climbing agent (first on its new level)
+// starts from a fresh clock.
+func (p *Approximate) reinit(w, q *approxAgent, qPreLevel uint8) {
+	if qPreLevel >= w.jnt.Level {
+		w.clk = q.clk
+		w.clk.FirstTick = false
+	} else {
+		w.clk = p.clk.Init()
+	}
+	w.led = p.elect.Init()
+	w.k = -1
+	w.searchDone = false
+}
+
+// inSearch reports whether agent w currently executes the Search Protocol
+// (Stage 2).
+func (p *Approximate) inSearch(w *approxAgent) bool {
+	return w.led.Done && !w.searchDone
+}
+
+// searchStep applies one interaction of the Search Protocol (Algorithm 1)
+// with initiator a and responder b.
+func (p *Approximate) searchStep(a, b *approxAgent) {
+	p.searchBoundary(a)
+	p.searchBoundary(b)
+	p.searchLeaderActions(a, b)
+	p.searchLeaderActions(b, a)
+
+	// Follower rules (Algorithm 1, lines 9–16) apply when both agents
+	// are non-leaders; balancing and epidemics are keyed on the
+	// initiator's phase, as in the pseudo-code. Both endpoints must be
+	// in the Search Stage — in particular an agent already in the
+	// Broadcasting Stage carries the final answer in k, which must not
+	// be mistaken for load.
+	if !p.inSearch(a) || !p.inSearch(b) || a.led.IsLeader || b.led.IsLeader {
+		return
+	}
+	switch p.clk.PhaseMod(a.clk, 5) {
+	case 2: // powers-of-two load balancing
+		balance.PowerOfTwo(&a.k, &b.k)
+	case 3: // one-way epidemics of the maximum load exponent
+		if a.k < b.k {
+			a.k = b.k
+		} else if b.k < a.k {
+			b.k = a.k
+		}
+	}
+}
+
+// searchBoundary applies the Phase 0 initialization (Algorithm 1,
+// lines 10–11) at the moment a non-leader enters phase 0. Resetting once
+// at entry, rather than on every phase-0 interaction as the pseudo-code
+// literally reads, avoids a token leak during the phase transition
+// window: the leader performs its phase-1 injection at its own first
+// tick, when the recipient may still be lingering in phase 0 — a
+// per-interaction reset would then destroy the injected tokens, the
+// round would silently fail, and the search would overshoot ⌈log n⌉.
+func (p *Approximate) searchBoundary(w *approxAgent) {
+	if !p.inSearch(w) || w.led.IsLeader || !w.clk.FirstTick {
+		return
+	}
+	if p.clk.PhaseMod(w.clk, 5) == 0 {
+		w.k = -1
+	}
+}
+
+// searchLeaderActions applies the leader's Search Protocol rules
+// (Algorithm 1, lines 1–8) for endpoint w with partner q.
+func (p *Approximate) searchLeaderActions(w, q *approxAgent) {
+	if !w.led.IsLeader || !p.inSearch(w) || !w.clk.FirstTick {
+		return
+	}
+	switch p.clk.PhaseMod(w.clk, 5) {
+	case 1: // load infusion: transfer 2^k tokens to the partner
+		if !q.led.IsLeader && p.inSearch(q) {
+			q.k = w.k
+		}
+	case 4: // decision
+		if q.k <= 0 {
+			if w.k < maxSearchK {
+				w.k++
+			}
+		} else {
+			w.searchDone = true
+		}
+	}
+}
+
+// Converged reports whether every agent finished the search and all
+// agents agree on k — the desired configuration of Theorem 1.1.
+func (p *Approximate) Converged() bool {
+	k := p.ag[0].k
+	for i := range p.ag {
+		if !p.ag[i].searchDone || p.ag[i].k != k {
+			return false
+		}
+	}
+	return k >= 0
+}
+
+// Output returns agent i's current output: its estimate of log₂ n.
+func (p *Approximate) Output(i int) int64 { return int64(p.ag[i].k) }
+
+// Estimate returns agent i's population-size estimate 2^k (0 when the
+// agent is still empty).
+func (p *Approximate) Estimate(i int) int64 {
+	if p.ag[i].k < 0 {
+		return 0
+	}
+	return int64(1) << uint(p.ag[i].k)
+}
+
+// Leaders returns the number of current leader contenders.
+func (p *Approximate) Leaders() int {
+	c := 0
+	for i := range p.ag {
+		if p.ag[i].led.IsLeader {
+			c++
+		}
+	}
+	return c
+}
+
+// Metrics reports the observed variable ranges for state accounting
+// (Theorem 1.1: O(log n · log log n) states — the only non-constant
+// variables are the junta level and k; see Figure 2).
+func (p *Approximate) Metrics() StateMetrics {
+	var m StateMetrics
+	for i := range p.ag {
+		if l := int(p.ag[i].jnt.Level); l > m.MaxLevel {
+			m.MaxLevel = l
+		}
+		if k := int(p.ag[i].k); k > m.MaxK {
+			m.MaxK = k
+		}
+	}
+	return m
+}

@@ -1,0 +1,67 @@
+// Package core implements the paper's primary contributions: the uniform
+// population protocols Approximate (Section 3, Theorem 1) and CountExact
+// (Section 4, Theorem 2), their auxiliary Search, ErrorDetection,
+// ApproximationStage and RefinementStage sub-protocols, and the stable
+// hybrid variants that combine them with the backup protocols of
+// Appendix C.
+package core
+
+import "popcount/internal/clock"
+
+// Config collects the tunable constants of the combined protocols. The
+// paper treats all of these as suitable constants inside asymptotic
+// bounds; DESIGN.md documents how the defaults were calibrated.
+type Config struct {
+	// N is the population size (≥ 2).
+	N int
+	// ClockM is the number of hours of the inner phase clock
+	// (Lemma 5's constant m). Zero selects clock.DefaultM.
+	ClockM int
+	// OuterM is the number of hours of the outer phase clock used by the
+	// slow leader election (Lemma 6). Zero selects ClockM.
+	OuterM int
+	// FastRounds is the number of sample/broadcast rounds of
+	// FastLeaderElection (Lemma 7). Zero selects the package default.
+	FastRounds int
+	// Shift is the junta-level exponent shift of the Approximation
+	// Stage: the per-phase load multiplier is 2^e with
+	// e = max(1, 2^level >> Shift), i.e. ≈ n^(1/2^Shift)
+	// (the paper's constant −8 in 2^(2^level−8), rescaled so the stage
+	// is observable at laptop-scale n; see DESIGN.md). Zero selects 3.
+	Shift int
+}
+
+// DefaultShift is the default junta-level exponent shift.
+const DefaultShift = 3
+
+func (c Config) withDefaults() Config {
+	if c.ClockM == 0 {
+		c.ClockM = clock.DefaultM
+	}
+	if c.OuterM == 0 {
+		c.OuterM = c.ClockM
+	}
+	if c.FastRounds == 0 {
+		c.FastRounds = 3
+	}
+	if c.Shift == 0 {
+		c.Shift = DefaultShift
+	}
+	return c
+}
+
+// StateMetrics reports the observed ranges of the non-constant-size
+// variables, which is how the paper accounts for the protocols' state
+// usage (Section 1.1: "we are interested in bounds on the ranges of the
+// variables ... that hold w.h.p.").
+type StateMetrics struct {
+	// MaxLevel is the maximum junta level reached (O(log log n) w.h.p.).
+	MaxLevel int
+	// MaxK is the maximum value of the search/approximation variable k
+	// (O(log n) w.h.p.).
+	MaxK int
+	// MaxLoad is the maximum load variable value (CountExact only;
+	// Õ(n²)·2^O(1) tokens w.h.p., contributing the Õ(n) state factor
+	// after the paper's encoding).
+	MaxLoad int64
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"popcount/internal/balance"
+	"popcount/internal/clock"
+	"popcount/internal/junta"
+	"popcount/internal/leader"
+	"popcount/internal/rng"
+)
+
+// refC is the constant factor 2^8 with which the Refinement Stage
+// over-provisions its load injection (Algorithm 5, line 5).
+const refC = int64(1) << 8
+
+// exactAgent is the combined per-agent state of protocol CountExact
+// (Figure 3).
+type exactAgent struct {
+	jnt junta.State
+	clk clock.State
+	led leader.FastState
+
+	// Approximation Stage (Algorithm 4).
+	i       int32 // phase counter iu
+	k       int32 // log-estimate ku
+	l       int64 // load lu
+	apxDone bool
+
+	// Refinement Stage (Algorithm 5) bookkeeping.
+	refAnchor     uint8 // synchronized phase index at which the stage began
+	refEntered    bool
+	refInjected   bool // leader only: 2^8·2^k injected
+	refMultiplied bool // this agent multiplied its load by 2^k
+	overflow      bool // a load multiplication would have overflowed int64
+}
+
+// CountExact is the paper's protocol CountExact (Algorithm 3, Theorem 2):
+// a uniform protocol after which every agent outputs the exact population
+// size n, stabilizing in O(n log n) interactions with Õ(n) states.
+//
+// Stage structure: Stage 1 elects a leader with FastLeaderElection
+// (Lemma 7); Stage 2 (Approximation Stage, Algorithm 4) computes
+// k = log n ± 3 by repeated load explosion and classical load balancing;
+// Stage 3 (Refinement Stage, Algorithm 5) injects 2^8·2^k tokens,
+// balances them, multiplies all loads by 2^k and balances again, after
+// which every agent computes n exactly as ⌊2^8·2^(2k)/ℓ⌉.
+type CountExact struct {
+	cfg   Config
+	clk   clock.Clock
+	elect leader.FastElection
+	ag    []exactAgent
+}
+
+// NewCountExact returns a fresh instance of protocol CountExact.
+func NewCountExact(cfg Config) *CountExact {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		panic("core: population must have at least 2 agents")
+	}
+	c := clock.New(cfg.ClockM)
+	p := &CountExact{
+		cfg:   cfg,
+		clk:   c,
+		elect: leader.NewFastElection(c, cfg.FastRounds),
+		ag:    make([]exactAgent, cfg.N),
+	}
+	for i := range p.ag {
+		p.ag[i] = exactAgent{
+			jnt: junta.InitState(),
+			clk: c.Init(),
+			led: p.elect.Init(),
+		}
+	}
+	return p
+}
+
+// N returns the population size.
+func (p *CountExact) N() int { return p.cfg.N }
+
+// injectExp returns the per-phase load-explosion exponent e for an agent
+// on the given junta level: the phase multiplier is 2^e ≈ n^η. This is
+// the paper's 2^(level−8) rescaled by Config.Shift (see DESIGN.md).
+func (p *CountExact) injectExp(level uint8) int32 {
+	e := int32(1) << level >> uint(p.cfg.Shift)
+	if e < 1 {
+		e = 1
+	}
+	if e > 16 {
+		e = 16
+	}
+	return e
+}
+
+// Interact applies one interaction of protocol CountExact (Algorithm 3)
+// with initiator u and responder v.
+func (p *CountExact) Interact(u, v int, r *rng.Rand) {
+	a, b := &p.ag[u], &p.ag[v]
+
+	// Line 3: junta process, with re-initialization (line 1–2) of every
+	// agent whose level changed — see the corresponding comment in
+	// Approximate.Interact for why climbers reset too.
+	preA, preB := a.jnt.Level, b.jnt.Level
+	junta.Interact(&a.jnt, &b.jnt)
+	if a.jnt.Level != preA {
+		p.reinit(a, b, preB)
+	}
+	if b.jnt.Level != preB {
+		p.reinit(b, a, preA)
+	}
+
+	// Line 4: phase clocks.
+	p.clk.Tick(&a.clk, &b.clk, a.jnt.Junta, b.jnt.Junta)
+
+	// Line 5–6, Stage 1: FastLeaderElection while not leaderDone.
+	if !a.led.Done || !b.led.Done {
+		p.elect.Interact(&a.led, &b.led, a.clk, b.clk, a.jnt.Level, b.jnt.Level, r)
+	}
+
+	// Line 7–8, Stage 2: Approximation Stage.
+	p.apxStep(a, b)
+
+	// Line 9–10, Stage 3: Refinement Stage.
+	p.refineStep(a, b)
+}
+
+func (p *CountExact) reinit(w, q *exactAgent, qPreLevel uint8) {
+	if qPreLevel >= w.jnt.Level {
+		w.clk = q.clk
+		w.clk.FirstTick = false
+	} else {
+		w.clk = p.clk.Init()
+	}
+	w.led = p.elect.Init()
+	w.i, w.k, w.l = 0, 0, 0
+	w.apxDone = false
+	w.refAnchor, w.refEntered, w.refInjected, w.refMultiplied = 0, false, false, false
+}
+
+// inApx reports whether agent w currently executes the Approximation
+// Stage.
+func (p *CountExact) inApx(w *exactAgent) bool { return w.led.Done && !w.apxDone }
+
+// apxStep applies one interaction of the Approximation Stage
+// (Algorithm 4) to the pair (a, b).
+func (p *CountExact) apxStep(a, b *exactAgent) {
+	p.apxBoundary(a)
+	p.apxBoundary(b)
+
+	// Line 8: classical load balancing, between agents of the stage.
+	if p.inApx(a) && p.inApx(b) {
+		balance.Classical(&a.l, &b.l)
+	}
+
+	// Line 9: ApxDone spreads by one-way epidemics; the synchronized
+	// refinement anchor travels with it so that every agent runs the
+	// Refinement Stage on the leader's schedule.
+	if a.apxDone && p.inApx(b) {
+		p.enterRefinement(b, a.refAnchor)
+	} else if b.apxDone && p.inApx(a) {
+		p.enterRefinement(a, b.refAnchor)
+	}
+}
+
+// apxBoundary applies the Approximation Stage's first-tick rules
+// (Algorithm 4, lines 1–7) to one endpoint.
+func (p *CountExact) apxBoundary(w *exactAgent) {
+	if !p.inApx(w) || !w.clk.FirstTick {
+		return
+	}
+	e := p.injectExp(w.jnt.Level)
+	if w.led.IsLeader && w.i == 0 {
+		// Line 2–3: the leader seeds the very first phase with one token.
+		w.l = 1
+	}
+	if w.led.IsLeader && w.l >= 4 && w.i > 0 {
+		// Line 4–6: the total load reached ≥ 2n w.h.p.; conclude with
+		// k = i·e − ⌊log ℓ⌋ ( = log of total load minus log of the
+		// per-agent share, i.e. ≈ log n).
+		k := w.i*e - int32(log2Floor64(w.l))
+		if k < 0 {
+			k = 0
+		}
+		w.k = k
+		p.enterRefinement(w, p.clk.PhaseIdx(w.clk))
+		return
+	}
+	// Line 7: load explosion — every agent multiplies its load by 2^e.
+	w.i++
+	if w.l > 0 {
+		if w.l > int64(1)<<(62-uint(e)) {
+			w.overflow = true
+		} else {
+			w.l <<= uint(e)
+		}
+	}
+}
+
+// enterRefinement moves agent w into the Refinement Stage with the given
+// synchronized anchor phase (the phase in which the leader raised
+// ApxDone). The load is cleared exactly once, on entry — this realizes
+// Algorithm 5's phase-0 initialization without the token-leak hazard of
+// re-zeroing during the phase transition window.
+func (p *CountExact) enterRefinement(w *exactAgent, anchor uint8) {
+	w.apxDone = true
+	if w.refEntered {
+		return
+	}
+	w.refEntered = true
+	w.refAnchor = anchor
+	w.l = 0
+	if w.k < 0 {
+		w.k = 0
+	}
+}
+
+// inRef reports whether agent w currently executes the Refinement Stage.
+func (p *CountExact) inRef(w *exactAgent) bool { return w.led.Done && w.apxDone }
+
+// refineStep applies one interaction of the Refinement Stage
+// (Algorithm 5) to the pair (a, b).
+func (p *CountExact) refineStep(a, b *exactAgent) {
+	p.refBoundary(a)
+	p.refBoundary(b)
+	if !p.inRef(a) || !p.inRef(b) {
+		return
+	}
+
+	// Phase 0 rule (line 1–2): broadcast the leader's k. (Running the
+	// maximum broadcast throughout the stage is harmless — k only grows
+	// to the leader's value — and tolerant of phase-boundary windows.)
+	if a.k < b.k {
+		a.k = b.k
+	} else if b.k < a.k {
+		b.k = a.k
+	}
+
+	// Line 8: classical load balancing — only between agents whose loads
+	// live in the same unit ("multiplied by 2^k" or not). Mixing across
+	// the multiplication boundary would let tokens miss the
+	// multiplication and break exactness (Lemma 11 needs the total to be
+	// exactly 2^8·2^2k).
+	if a.refMultiplied == b.refMultiplied {
+		balance.Classical(&a.l, &b.l)
+	}
+}
+
+// refBoundary applies the Refinement Stage's first-tick rules
+// (Algorithm 5, lines 3–7) to one endpoint.
+func (p *CountExact) refBoundary(w *exactAgent) {
+	if !p.inRef(w) || !w.clk.FirstTick {
+		return
+	}
+	switch p.clk.PhasesSince(w.clk, w.refAnchor) {
+	case 1:
+		// Line 4–5: the leader injects 2^8 · 2^k tokens.
+		if w.led.IsLeader && !w.refInjected {
+			w.refInjected = true
+			w.l = refC << uint(w.k)
+		}
+	case 2:
+		// Line 6–7: every agent multiplies its load by 2^k.
+		if !w.refMultiplied {
+			w.refMultiplied = true
+			if w.l > 0 && w.k > 0 {
+				if w.l > int64(1)<<(62-uint(w.k)) {
+					w.overflow = true
+				} else {
+					w.l <<= uint(w.k)
+				}
+			}
+		}
+	}
+}
+
+// Output returns agent i's output ω(i) = ⌊2^8·2^(2k)/ℓ⌉, the agent's
+// estimate of the exact population size (0 while the agent has no load).
+func (p *CountExact) Output(i int) int64 {
+	w := &p.ag[i]
+	if !w.refMultiplied || w.l <= 0 {
+		return 0
+	}
+	num := refC << uint(2*w.k)
+	return (num + w.l/2) / w.l
+}
+
+// Converged reports whether every agent has completed the Refinement
+// Stage and all outputs agree — the desired configuration of Theorem 2.
+func (p *CountExact) Converged() bool {
+	if !p.ag[0].refMultiplied || p.ag[0].l <= 0 {
+		return false
+	}
+	want := p.Output(0)
+	for i := range p.ag {
+		w := &p.ag[i]
+		if !w.refMultiplied || w.l <= 0 || p.Output(i) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaders returns the number of current leader contenders.
+func (p *CountExact) Leaders() int {
+	c := 0
+	for i := range p.ag {
+		if p.ag[i].led.IsLeader {
+			c++
+		}
+	}
+	return c
+}
+
+// Overflowed reports whether any agent hit the int64 load guard (only
+// possible beyond n ≈ 7·10⁸, see DESIGN.md).
+func (p *CountExact) Overflowed() bool {
+	for i := range p.ag {
+		if p.ag[i].overflow {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics reports the observed variable ranges for state accounting
+// (Theorem 2: Õ(n) states — levels O(log log n), i O(1), k ≤ log n + 3,
+// loads O(n²·2^O(1)); see Figure 3 and the proof in Appendix F).
+func (p *CountExact) Metrics() StateMetrics {
+	var m StateMetrics
+	for i := range p.ag {
+		if l := int(p.ag[i].jnt.Level); l > m.MaxLevel {
+			m.MaxLevel = l
+		}
+		if k := int(p.ag[i].k); k > m.MaxK {
+			m.MaxK = k
+		}
+		if p.ag[i].l > m.MaxLoad {
+			m.MaxLoad = p.ag[i].l
+		}
+	}
+	return m
+}
+
+// log2Floor64 returns ⌊log₂ x⌋ for x ≥ 1.
+func log2Floor64(x int64) int {
+	k := -1
+	for ; x > 0; x >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Debug returns a one-line summary of the population for development.
+func (p *CountExact) Debug() string {
+	leaders, done, apx, ref, mult := 0, 0, 0, 0, 0
+	var maxPhase uint32
+	minLevel, maxLevel := 255, 0
+	for i := range p.ag {
+		w := &p.ag[i]
+		if w.led.IsLeader {
+			leaders++
+		}
+		if w.led.Done {
+			done++
+		}
+		if w.apxDone {
+			apx++
+		}
+		if w.refEntered {
+			ref++
+		}
+		if w.refMultiplied {
+			mult++
+		}
+		if w.clk.Phase > maxPhase {
+			maxPhase = w.clk.Phase
+		}
+		if int(w.jnt.Level) < minLevel {
+			minLevel = int(w.jnt.Level)
+		}
+		if int(w.jnt.Level) > maxLevel {
+			maxLevel = int(w.jnt.Level)
+		}
+	}
+	return fmt.Sprintf("leaders=%d done=%d apx=%d ref=%d mult=%d phase=%d lvl=[%d,%d]",
+		leaders, done, apx, ref, mult, maxPhase, minLevel, maxLevel)
+}

@@ -1,0 +1,136 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+func TestUpdateTruthTable(t *testing.T) {
+	cases := []struct{ u, v, want int64 }{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {5, 5, 5}, {-3, 2, 2}, {7, -1, 7},
+	}
+	for _, c := range cases {
+		if got := Update(c.u, c.v); got != c.want {
+			t.Errorf("Update(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestUpdateMonotone(t *testing.T) {
+	// Property: Update never decreases the initiator value and never
+	// exceeds the max of the two inputs.
+	err := quick.Check(func(u, v int64) bool {
+		got := Update(u, v)
+		maxuv := u
+		if v > maxuv {
+			maxuv = v
+		}
+		return got >= u && got == maxuv
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateBothSymmetric(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		u, v := a, b
+		UpdateBoth(&u, &v)
+		maxab := a
+		if b > maxab {
+			maxab = b
+		}
+		return u == maxab && v == maxab
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastCompletes(t *testing.T) {
+	for _, oneWay := range []bool{true, false} {
+		p := NewSingleSource(512, oneWay)
+		res, err := sim.Run(p, sim.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("oneWay=%v: broadcast did not complete", oneWay)
+		}
+		if !sim.AllOutputsEqual(p, 1) {
+			t.Fatalf("oneWay=%v: some agent does not hold the max", oneWay)
+		}
+	}
+}
+
+func TestMaximumBroadcast(t *testing.T) {
+	r := rng.New(7)
+	vals := make([]int64, 300)
+	var maxv int64
+	for i := range vals {
+		vals[i] = int64(r.Intn(1000))
+		if vals[i] > maxv {
+			maxv = vals[i]
+		}
+	}
+	p := New(vals, true)
+	res, err := sim.Run(p, sim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !sim.AllOutputsEqual(p, maxv) {
+		t.Fatalf("maximum broadcast failed: converged=%v", res.Converged)
+	}
+}
+
+func TestBroadcastTimeIsNLogN(t *testing.T) {
+	// Lemma 3 sanity check at small scale: T_bc / (n ln n) stays within a
+	// modest constant band across a factor-16 range of n.
+	for _, n := range []int{256, 1024, 4096} {
+		var total float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			p := NewSingleSource(n, true)
+			res, err := sim.Run(p, sim.Config{Seed: uint64(100 + tr), CheckEvery: int64(n) / 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("n=%d trial=%d did not converge", n, tr)
+			}
+			total += float64(res.Interactions)
+		}
+		norm := total / trials / (float64(n) * math.Log(float64(n)))
+		if norm < 0.5 || norm > 8 {
+			t.Errorf("n=%d: T/(n ln n) = %.2f outside sanity band [0.5, 8]", n, norm)
+		}
+	}
+}
+
+func TestInformedMonotone(t *testing.T) {
+	p := NewSingleSource(128, true)
+	r := rng.New(3)
+	prev := p.Informed()
+	for i := 0; i < 100000 && !p.Converged(); i++ {
+		u, v := r.Pair(128)
+		p.Interact(u, v, r)
+		if got := p.Informed(); got < prev {
+			t.Fatalf("informed count decreased from %d to %d", prev, got)
+		} else {
+			prev = got
+		}
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	vals := []int64{1, 2, 3}
+	p := New(vals, true)
+	vals[0] = 99
+	if p.Output(0) == 99 {
+		t.Fatal("New did not copy the input slice")
+	}
+}

@@ -1,0 +1,289 @@
+// Package exp defines the reproduction experiments E1–E15 and the
+// ablations A1–A3 from DESIGN.md. The paper is a theory paper with no
+// empirical tables or figures, so each experiment operationalizes one of
+// its theorems or lemmas: the harness runs the protocols across a sweep
+// of population sizes, normalizes measured interaction counts by the
+// claimed asymptotic bounds, and reports correctness rates and state
+// usage. EXPERIMENTS.md records the paper-claim vs. measured outcome of
+// every table produced here.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"popcount/internal/sim"
+	"popcount/internal/stats"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Sizes overrides the experiment's default population-size sweep.
+	Sizes []int
+	// Trials is the number of independent trials per configuration
+	// (default 10, heavy experiments reduce it).
+	Trials int
+	// Parallelism bounds concurrent trials (default 4).
+	Parallelism int
+	// Seed is the base seed; every (configuration, trial) derives a
+	// distinct deterministic seed from it.
+	Seed uint64
+	// Quick shrinks sweeps and trial counts so the whole suite finishes
+	// in benchmark-friendly time.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 10
+		if o.Quick {
+			o.Trials = 3
+		}
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// sizes returns the sweep for an experiment: the override if given,
+// otherwise the quick or full default.
+func (o Options) sizes(full, quick []int) []int {
+	if len(o.Sizes) > 0 {
+		return o.Sizes
+	}
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// trials returns the trial count, clamped by a per-experiment heaviness
+// divisor.
+func (o Options) trials(div int) int {
+	t := o.Trials / div
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form note (e.g. a fitted scaling exponent).
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// trialOut couples a finished protocol instance with its run result so
+// experiments can read protocol-specific metrics after the run.
+type trialOut struct {
+	p   sim.Protocol
+	res sim.Result
+}
+
+// runOpt customizes runMany.
+type runOpt func(*runConfig)
+
+type runConfig struct {
+	mkSched func() sim.Scheduler
+}
+
+// withScheduler makes every trial run under a freshly built scheduler
+// (schedulers may be stateful and must not be shared across trials).
+func withScheduler(mk func() sim.Scheduler) runOpt {
+	return func(rc *runConfig) { rc.mkSched = mk }
+}
+
+// runMany runs trials of factory-built protocols in parallel, with
+// deterministic per-trial seeds derived from cfg.Seed.
+func runMany(factory func(trial int) sim.Protocol, trials int, cfg sim.Config, parallelism int, opts ...runOpt) []trialOut {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	out := make([]trialOut, trials)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := factory(i)
+				c := cfg
+				c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+				if rc.mkSched != nil {
+					c.Scheduler = rc.mkSched()
+				}
+				res, err := sim.Run(p, c)
+				if err != nil {
+					// Population sizes are validated by the factories;
+					// an error here is a programming bug.
+					panic(err)
+				}
+				out[i] = trialOut{p: p, res: res}
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// normTimes extracts Interactions/denom(n) for converged trials.
+func normTimes(outs []trialOut, denom float64) []float64 {
+	var xs []float64
+	for _, o := range outs {
+		if o.res.Converged {
+			xs = append(xs, float64(o.res.Interactions)/denom)
+		}
+	}
+	return xs
+}
+
+// convRate returns the fraction of converged trials.
+func convRate(outs []trialOut) float64 {
+	c := 0
+	for _, o := range outs {
+		if o.res.Converged {
+			c++
+		}
+	}
+	return float64(c) / float64(len(outs))
+}
+
+// meanInteractions averages the interaction counts of converged trials.
+func meanInteractions(outs []trialOut) float64 {
+	var xs []float64
+	for _, o := range outs {
+		if o.res.Converged {
+			xs = append(xs, float64(o.res.Interactions))
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// nLogN returns n·ln n.
+func nLogN(n int) float64 { return float64(n) * math.Log(float64(n)) }
+
+// nLog2N returns n·ln² n.
+func nLog2N(n int) float64 { l := math.Log(float64(n)); return float64(n) * l * l }
+
+// n2LogN returns n²·ln n.
+func n2LogN(n int) float64 { return float64(n) * float64(n) * math.Log(float64(n)) }
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func pct(x float64) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*x)
+}
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// fitNote appends a scaling-exponent note (T ∝ n^e) to tbl when the fit
+// succeeds.
+func fitNote(tbl *Table, ns []int, ts []float64, expect string) {
+	if len(ns) < 2 || len(ns) != len(ts) {
+		return
+	}
+	e, err := stats.ScalingExponent(ns, ts)
+	if err != nil {
+		return
+	}
+	tbl.AddNote("fitted exponent: T ∝ n^%.2f (expected %s)", e, expect)
+}
+
+// All runs the full reproduction suite and returns the tables in order.
+// Experiments E10–E12 share a single set of CountExact runs.
+func All(o Options) []Table {
+	e10, e11, e12 := CountExactSuite(o)
+	return []Table{
+		E1Broadcast(o),
+		E2Junta(o),
+		E3PhaseClock(o),
+		E4LeaderElect(o),
+		E5FastLeader(o),
+		E6PowerOfTwo(o),
+		E7Search(o),
+		E8Approximate(o),
+		E9StableApproximate(o),
+		e10,
+		e11,
+		e12,
+		E13BackupApprox(o),
+		E14BackupExact(o),
+		E15Baselines(o),
+		E16SchedulerRobustness(o),
+		E17Stabilization(o),
+		A1ClockPeriod(o),
+		A2Shift(o),
+		A3FastLeaderRounds(o),
+	}
+}

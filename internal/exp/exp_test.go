@@ -1,0 +1,286 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns options that make experiments run in test time.
+func tiny() Options {
+	return Options{Quick: true, Trials: 2, Parallelism: 4, Seed: 99}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := Table{
+		ID:      "T0",
+		Title:   "demo",
+		Claim:   "c",
+		Columns: []string{"a", "bbbb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("n%d", 5)
+	out := tbl.Format()
+	for _, want := range []string{"T0 — demo", "paper: c", "a    bbbb", "333", "note: n5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != 10 || o.Parallelism != 4 || o.Seed == 0 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Trials != 3 {
+		t.Fatalf("quick trials = %d", q.Trials)
+	}
+	if got := o.trials(100); got != 2 {
+		t.Fatalf("trials floor = %d", got)
+	}
+	if got := o.sizes([]int{1}, []int{2}); got[0] != 1 {
+		t.Fatal("full sizes not selected")
+	}
+	if got := q.sizes([]int{1}, []int{2}); got[0] != 2 {
+		t.Fatal("quick sizes not selected")
+	}
+	if got := (Options{Sizes: []int{7}}).sizes([]int{1}, []int{2}); got[0] != 7 {
+		t.Fatal("size override ignored")
+	}
+}
+
+func TestE1BroadcastTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{256, 512}
+	tbl := E1Broadcast(o)
+	if tbl.ID != "E1" || len(tbl.Rows) != 2 {
+		t.Fatalf("unexpected table: %+v", tbl)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "100%" {
+			t.Errorf("broadcast did not converge: %v", row)
+		}
+	}
+}
+
+func TestE2JuntaTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := E2Junta(o)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][7] != "100%" {
+		t.Errorf("junta level outside Lemma 4 window: %v", tbl.Rows[0])
+	}
+}
+
+func TestE6PowerOfTwoTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := E6PowerOfTwo(o)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][4] != "100%" {
+		t.Errorf("underloaded case did not complete: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][4] != "0%" {
+		t.Errorf("overloaded case completed: %v", tbl.Rows[1])
+	}
+}
+
+func TestCountExactSuiteTables(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	e10, e11, e12 := CountExactSuite(o)
+	if e10.ID != "E10" || e11.ID != "E11" || e12.ID != "E12" {
+		t.Fatal("wrong table ids")
+	}
+	if e11.Rows[0][2] != "100%" {
+		t.Errorf("refinement not exact: %v", e11.Rows[0])
+	}
+	if e12.Rows[0][2] != "100%" {
+		t.Errorf("CountExact not exact: %v", e12.Rows[0])
+	}
+}
+
+func TestE8ApproximateTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := E8Approximate(o)
+	if tbl.Rows[0][2] != "100%" {
+		t.Errorf("Approximate incorrect: %v", tbl.Rows[0])
+	}
+}
+
+func TestE13E14BackupTables(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{24}
+	if tbl := E13BackupApprox(o); tbl.Rows[0][2] != "100%" {
+		t.Errorf("approx backup failed: %v", tbl.Rows[0])
+	}
+	o.Sizes = []int{32}
+	if tbl := E14BackupExact(o); tbl.Rows[0][2] != "100%" {
+		t.Errorf("exact backup failed: %v", tbl.Rows[0])
+	}
+}
+
+func TestA3FastLeaderRoundsTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := A3FastLeaderRounds(o)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// More rounds must never hurt uniqueness; the 4-round row should be
+	// at 100% at this scale.
+	if tbl.Rows[3][3] != "100%" {
+		t.Errorf("4 rounds not unique: %v", tbl.Rows[3])
+	}
+}
+
+func TestE16SchedulerRobustness(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := E16SchedulerRobustness(o)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// The uniform rows (paper's model) must be fully correct.
+	for _, row := range tbl.Rows {
+		if row[1] == "uniform" && row[4] != "100%" {
+			t.Errorf("uniform scheduler row not fully correct: %v", row)
+		}
+	}
+}
+
+func TestE17Stabilization(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := E17Stabilization(o)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "100%" || row[4] != "100%" {
+			t.Errorf("protocol not stable through the window: %v", row)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{256}
+	figs := Figures(o)
+	if len(figs) != 4 {
+		t.Fatalf("figures: %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.T) == 0 || len(f.Y) != len(f.T) {
+			t.Errorf("%s: empty or ragged series", f.ID)
+		}
+		csv := f.CSV()
+		if !strings.Contains(csv, "interactions,") {
+			t.Errorf("%s: CSV header missing", f.ID)
+		}
+	}
+}
+
+func TestF1ReachesFullInfection(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	f := F1EpidemicCurve(o)
+	last := f.Y[len(f.Y)-1]
+	if last[1] != 1 {
+		t.Fatalf("epidemic did not finish: informed fraction %v", last[1])
+	}
+	// Monotone non-decreasing informed count.
+	for i := 1; i < len(f.Y); i++ {
+		if f.Y[i][0] < f.Y[i-1][0] {
+			t.Fatalf("informed count decreased at %d", i)
+		}
+	}
+}
+
+func TestE3PhaseClockTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	tbl := E3PhaseClock(o)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "4/4" {
+			t.Errorf("phase intervals invalid: %v", row)
+		}
+	}
+}
+
+func TestE4E5LeaderTables(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{512}
+	if tbl := E4LeaderElect(o); tbl.Rows[0][2] != "100%" {
+		t.Errorf("slow election not unique: %v", tbl.Rows[0])
+	}
+	if tbl := E5FastLeader(o); tbl.Rows[0][2] != "100%" {
+		t.Errorf("fast election not unique: %v", tbl.Rows[0])
+	}
+}
+
+func TestE7SearchTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{300}
+	tbl := E7Search(o)
+	if tbl.Rows[0][3] != "100%" {
+		t.Errorf("search window violated: %v", tbl.Rows[0])
+	}
+}
+
+func TestE9StableApproximateTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{128}
+	tbl := E9StableApproximate(o)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "100%" {
+			t.Errorf("stable run incorrect: %v", row)
+		}
+	}
+	if tbl.Rows[1][4] != "100%" {
+		t.Errorf("fault not detected: %v", tbl.Rows[1])
+	}
+}
+
+func TestE15BaselinesTable(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{256}
+	tbl := E15Baselines(o)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][5] != "0.00" {
+		t.Errorf("Approximate error nonzero: %v", tbl.Rows[0])
+	}
+}
+
+func TestA1A2AblationTables(t *testing.T) {
+	o := tiny()
+	o.Sizes = []int{256}
+	if tbl := A1ClockPeriod(o); len(tbl.Rows) != 4 {
+		t.Fatalf("A1 rows: %d", len(tbl.Rows))
+	}
+	tbl := A2Shift(o)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("A2 rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "100%" {
+			t.Errorf("A2 shift run inexact: %v", row)
+		}
+	}
+}

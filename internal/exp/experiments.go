@@ -1,0 +1,542 @@
+package exp
+
+import (
+	"math"
+
+	"popcount/internal/backup"
+	"popcount/internal/balance"
+	"popcount/internal/baseline"
+	"popcount/internal/clock"
+	"popcount/internal/core"
+	"popcount/internal/epidemic"
+	"popcount/internal/junta"
+	"popcount/internal/leader"
+	"popcount/internal/sim"
+	"popcount/internal/stats"
+)
+
+// E1Broadcast reproduces Lemma 3: one-way epidemics complete within
+// O(n log n) interactions w.h.p.
+func E1Broadcast(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E1",
+		Title:   "one-way epidemics (broadcast)",
+		Claim:   "Lemma 3: T_bc = O(n log n) w.h.p.",
+		Columns: []string{"n", "trials", "conv", "T/(n ln n) mean", "T/(n ln n) max"},
+	}
+	ns := o.sizes([]int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}, []int{1 << 8, 1 << 11})
+	var fitN []int
+	var fitT []float64
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return epidemic.NewSingleSource(n, true) },
+			o.trials(1), sim.Config{Seed: o.Seed + uint64(n), CheckEvery: int64(n) / 4}, o.Parallelism)
+		norms := normTimes(outs, nLogN(n))
+		s, _ := stats.Summarize(norms)
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(convRate(outs)), f2(s.Mean), f2(s.Max))
+		fitN = append(fitN, n)
+		fitT = append(fitT, meanInteractions(outs))
+	}
+	fitNote(&tbl, fitN, fitT, "≈1 (×log n)")
+	return tbl
+}
+
+// E2Junta reproduces Lemma 4: the junta process settles in O(n log n)
+// interactions with level* ∈ [log log n − 4, log log n + 8] and a junta
+// of size O(√n·log n).
+func E2Junta(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E2",
+		Title:   "junta process",
+		Claim:   "Lemma 4: inactive within O(n log n); log log n − 4 ≤ level* ≤ log log n + 8; junta size O(√n log n)",
+		Columns: []string{"n", "trials", "level* (min..max)", "loglogn", "junta size mean", "√n·log n", "settle/(n ln n)", "window ok"},
+	}
+	ns := o.sizes([]int{1 << 10, 1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 13})
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return junta.New(n) },
+			o.trials(1), sim.Config{Seed: o.Seed + uint64(n)}, o.Parallelism)
+		loglogn := math.Log2(math.Log2(float64(n)))
+		minL, maxL := 255, 0
+		var sizes, norms []float64
+		okWindow := 0
+		for _, out := range outs {
+			p := out.p.(*junta.Protocol)
+			l := p.MaxLevelReached()
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+			sizes = append(sizes, float64(p.JuntaSize()))
+			norms = append(norms, float64(p.SettleTime())/nLogN(n))
+			if float64(l) >= loglogn-4 && float64(l) <= loglogn+8 {
+				okWindow++
+			}
+		}
+		tbl.AddRow(itoa(n), itoa(len(outs)),
+			itoa(minL)+".."+itoa(maxL), f2(loglogn),
+			f1(stats.Mean(sizes)), f1(math.Sqrt(float64(n))*math.Log2(float64(n))),
+			f2(stats.Mean(norms)), pct(float64(okWindow)/float64(len(outs))))
+	}
+	return tbl
+}
+
+// E3PhaseClock reproduces Lemma 5: phase intervals have length Θ(n log n)
+// with properly nested phases, for several clock constants m.
+func E3PhaseClock(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E3",
+		Title:   "junta-driven phase clock",
+		Claim:   "Lemma 5: c·n·log n ≤ D_i ≤ c·n·log n + Θ(n log n) for m = m(c) = O(1)",
+		Columns: []string{"n", "m", "phases ok", "D/(n ln n) mean", "D/(n ln n) min", "D/(n ln n) max"},
+	}
+	ns := o.sizes([]int{1 << 10, 1 << 13, 1 << 15}, []int{1 << 10, 1 << 13})
+	for _, n := range ns {
+		for _, m := range []int{16, 32, 64} {
+			j := 2 * sim.Log2Ceil(n)
+			p := clock.NewProtocol(n, m, j, 6)
+			cfg := sim.Config{Seed: o.Seed + uint64(n*m), MaxInteractions: int64(n) * 20000}
+			if _, err := sim.Run(p, cfg); err != nil {
+				panic(err)
+			}
+			var lens []float64
+			ok := 0
+			for i := 1; i <= 4; i++ {
+				if ds, de, valid := p.PhaseInterval(i); valid {
+					ok++
+					lens = append(lens, float64(de-ds)/nLogN(n))
+				}
+			}
+			s, err := stats.Summarize(lens)
+			if err != nil {
+				tbl.AddRow(itoa(n), itoa(m), "0/4", "n/a", "n/a", "n/a")
+				continue
+			}
+			tbl.AddRow(itoa(n), itoa(m), itoa(ok)+"/4", f2(s.Mean), f2(s.Min), f2(s.Max))
+		}
+	}
+	tbl.AddNote("phase length grows linearly in m and is flat in n, as Lemma 5 requires")
+	return tbl
+}
+
+// E4LeaderElect reproduces Lemma 6: leader_elect elects a unique leader
+// within O(n log² n) interactions.
+func E4LeaderElect(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E4",
+		Title:   "slow leader election (leader_elect, [GS18])",
+		Claim:   "Lemma 6: unique leader, stabilizes in O(n log² n), O(log log n) states",
+		Columns: []string{"n", "trials", "unique", "T/(n ln² n) mean", "T/(n ln² n) max"},
+	}
+	ns := o.sizes([]int{1 << 9, 1 << 11, 1 << 13, 1 << 15}, []int{1 << 9, 1 << 12})
+	var fitN []int
+	var fitT []float64
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol {
+			return leader.NewProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n))
+		}, o.trials(2), sim.Config{Seed: o.Seed + uint64(n)}, o.Parallelism)
+		unique := 0
+		for _, out := range outs {
+			if out.res.Converged && out.p.(*leader.Protocol).Leaders() == 1 {
+				unique++
+			}
+		}
+		norms := normTimes(outs, nLog2N(n))
+		s, _ := stats.Summarize(norms)
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(float64(unique)/float64(len(outs))), f2(s.Mean), f2(s.Max))
+		fitN = append(fitN, n)
+		fitT = append(fitT, meanInteractions(outs))
+	}
+	fitNote(&tbl, fitN, fitT, "≈1 (×log² n)")
+	return tbl
+}
+
+// E5FastLeader reproduces Lemma 7: FastLeaderElection elects a unique
+// leader within O(n log n) interactions.
+func E5FastLeader(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E5",
+		Title:   "FastLeaderElection ([BEFKKR18], Appendix D)",
+		Claim:   "Lemma 7: unique leader, stabilizes in O(n log n), Õ(n) states",
+		Columns: []string{"n", "trials", "unique", "T/(n ln n) mean", "T/(n ln n) max"},
+	}
+	ns := o.sizes([]int{1 << 9, 1 << 11, 1 << 13, 1 << 15}, []int{1 << 9, 1 << 12})
+	var fitN []int
+	var fitT []float64
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol {
+			return leader.NewFastProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n), leader.DefaultFastRounds)
+		}, o.trials(2), sim.Config{Seed: o.Seed + uint64(n)}, o.Parallelism)
+		unique := 0
+		for _, out := range outs {
+			if out.res.Converged && out.p.(*leader.FastProtocol).Leaders() == 1 {
+				unique++
+			}
+		}
+		norms := normTimes(outs, nLogN(n))
+		s, _ := stats.Summarize(norms)
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(float64(unique)/float64(len(outs))), f2(s.Mean), f2(s.Max))
+		fitN = append(fitN, n)
+		fitT = append(fitT, meanInteractions(outs))
+	}
+	fitNote(&tbl, fitN, fitT, "≈1 (×log n)")
+	return tbl
+}
+
+// E6PowerOfTwo reproduces Lemma 8: the powers-of-two process started with
+// 2^κ ≤ ¾·n tokens reaches maximum load 1 within 16·n·log n interactions,
+// while 2^κ ≥ n cannot (pigeonhole).
+func E6PowerOfTwo(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E6",
+		Title:   "powers-of-two load balancing",
+		Claim:   "Lemma 8: max load 1 within 16·n·log n when 2^κ ≤ ¾n; impossible when 2^κ ≥ n",
+		Columns: []string{"n", "case", "κ", "trials", "done in bound", "T/(n ln n) mean"},
+	}
+	ns := o.sizes([]int{1 << 9, 1 << 12, 1 << 15}, []int{1 << 9, 1 << 12})
+	for _, n := range ns {
+		underK := sim.Log2Floor(3 * n / 4)
+		overK := sim.Log2Ceil(n)
+		for _, c := range []struct {
+			name  string
+			kappa int
+			want  bool
+		}{{"2^κ ≤ ¾n", underK, true}, {"2^κ ≥ n", overK, false}} {
+			limit := int64(16 * float64(n) * math.Log2(float64(n)))
+			outs := runMany(func(int) sim.Protocol { return balance.NewPowers(n, c.kappa, true) },
+				o.trials(1), sim.Config{Seed: o.Seed + uint64(n+c.kappa), MaxInteractions: limit}, o.Parallelism)
+			norms := normTimes(outs, nLogN(n))
+			mean := "n/a"
+			if len(norms) > 0 {
+				mean = f2(stats.Mean(norms))
+			}
+			tbl.AddRow(itoa(n), c.name, itoa(c.kappa), itoa(len(outs)), pct(convRate(outs)), mean)
+		}
+	}
+	tbl.AddNote("the overloaded case must show 0%% completion — some agent keeps load ≥ 2 forever")
+	return tbl
+}
+
+// E7Search reproduces Lemma 9: the Search Protocol stops with
+// ¾·n < 2^k ≤ 2^⌈log n⌉ after at most ⌈log n⌉ rounds (measured through
+// protocol Approximate's final k).
+func E7Search(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E7",
+		Title:   "Search Protocol result window",
+		Claim:   "Lemma 9: searchDone with ¾·n < 2^k ≤ 2^⌈log n⌉ after ≤ ⌈log n⌉ rounds",
+		Columns: []string{"n", "trials", "conv", "window ok", "2^k/n mean"},
+	}
+	ns := o.sizes([]int{300, 1000, 3000, 10000}, []int{300, 1500})
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return core.NewApproximate(core.Config{N: n}) },
+			o.trials(2), sim.Config{Seed: o.Seed + uint64(n)}, o.Parallelism)
+		okWindow := 0
+		var ratios []float64
+		for _, out := range outs {
+			if !out.res.Converged {
+				continue
+			}
+			p := out.p.(*core.Approximate)
+			est := float64(p.Estimate(0))
+			ratios = append(ratios, est/float64(n))
+			if est > 0.75*float64(n) && est <= math.Pow(2, float64(sim.Log2Ceil(n))) {
+				okWindow++
+			}
+		}
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(convRate(outs)),
+			pct(float64(okWindow)/float64(len(outs))), f2(stats.Mean(ratios)))
+	}
+	return tbl
+}
+
+// E8Approximate reproduces Theorem 1.1: protocol Approximate outputs
+// ⌊log n⌋ or ⌈log n⌉ w.h.p. within O(n log² n) interactions using
+// O(log n · log log n) states.
+func E8Approximate(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E8",
+		Title:   "protocol Approximate (Algorithm 2)",
+		Claim:   "Theorem 1.1: output ∈ {⌊log n⌋, ⌈log n⌉} w.h.p.; O(n log² n) interactions; O(log n·log log n) states",
+		Columns: []string{"n", "trials", "correct", "T/(n ln² n) mean", "max k", "max level"},
+	}
+	ns := o.sizes([]int{1 << 9, 1 << 11, 1 << 13, 10000}, []int{1 << 9, 1 << 11})
+	var fitN []int
+	var fitT []float64
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return core.NewApproximate(core.Config{N: n}) },
+			o.trials(2), sim.Config{Seed: o.Seed + uint64(3*n)}, o.Parallelism)
+		lo, hi := int64(sim.Log2Floor(n)), int64(sim.Log2Ceil(n))
+		correct, maxK, maxLvl := 0, 0, 0
+		for _, out := range outs {
+			p := out.p.(*core.Approximate)
+			if out.res.Converged {
+				allOK := true
+				for i := 0; i < n; i++ {
+					if v := p.Output(i); v != lo && v != hi {
+						allOK = false
+						break
+					}
+				}
+				if allOK {
+					correct++
+				}
+			}
+			m := p.Metrics()
+			if m.MaxK > maxK {
+				maxK = m.MaxK
+			}
+			if m.MaxLevel > maxLvl {
+				maxLvl = m.MaxLevel
+			}
+		}
+		norms := normTimes(outs, nLog2N(n))
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(float64(correct)/float64(len(outs))),
+			f2(stats.Mean(norms)), itoa(maxK), itoa(maxLvl))
+		fitN = append(fitN, n)
+		fitT = append(fitT, meanInteractions(outs))
+	}
+	fitNote(&tbl, fitN, fitT, "≈1 (×log² n)")
+	return tbl
+}
+
+// E9StableApproximate reproduces Theorem 1.2: the hybrid stable variant
+// stabilizes correctly both on the clean path and under fault injection.
+func E9StableApproximate(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E9",
+		Title:   "stable protocol Approximate (Algorithm 7 + backup)",
+		Claim:   "Theorem 1.2: always correct; w.h.p. stabilizes in O(n log² n) with O(log² n·log log n) states",
+		Columns: []string{"n", "mode", "trials", "correct", "error raised", "T/(n ln² n) mean"},
+	}
+	ns := o.sizes([]int{512, 1024}, []int{300})
+	for _, n := range ns {
+		for _, mode := range []string{"clean", "fault-injected"} {
+			fault := mode == "fault-injected"
+			cap := int64(0)
+			if fault {
+				cap = int64(n) * int64(n) * 800 // backup needs Θ(n² log² n)
+			}
+			outs := runMany(func(int) sim.Protocol {
+				p := core.NewStableApproximate(core.Config{N: n})
+				p.FaultInjection = fault
+				return p
+			}, o.trials(4), sim.Config{Seed: o.Seed + uint64(5*n), MaxInteractions: cap}, o.Parallelism)
+			lo, hi := int64(sim.Log2Floor(n)), int64(sim.Log2Ceil(n))
+			correct, errored := 0, 0
+			for _, out := range outs {
+				p := out.p.(*core.StableApproximate)
+				if p.Errored() {
+					errored++
+				}
+				if out.res.Converged {
+					v := p.Output(0)
+					if fault {
+						// After the backup path only ⌊log n⌋ is possible.
+						if v == lo {
+							correct++
+						}
+					} else if v == lo || v == hi {
+						correct++
+					}
+				}
+			}
+			norms := normTimes(outs, nLog2N(n))
+			tbl.AddRow(itoa(n), mode, itoa(len(outs)),
+				pct(float64(correct)/float64(len(outs))),
+				pct(float64(errored)/float64(len(outs))), f2(stats.Mean(norms)))
+		}
+	}
+	tbl.AddNote("fault injection corrupts the leader's k by −4; errors must fire on every faulted run and on (almost) no clean run")
+	return tbl
+}
+
+// CountExactSuite runs protocol CountExact once per (n, trial) and
+// derives the three related tables E10 (Lemma 10), E11 (Lemma 11) and
+// E12 (Theorem 2) from the same runs.
+func CountExactSuite(o Options) (e10, e11, e12 Table) {
+	o = o.withDefaults()
+	ns := o.sizes([]int{1 << 9, 1 << 11, 1 << 13, 10000}, []int{1 << 9, 1 << 11})
+
+	e10 = Table{
+		ID:      "E10",
+		Title:   "Approximation Stage (Algorithm 4)",
+		Claim:   "Lemma 10: k = log n ± 3 after O(n log n) interactions",
+		Columns: []string{"n", "trials", "|k − log n| ≤ 3", "k−log n (min..max)"},
+	}
+	e11 = Table{
+		ID:      "E11",
+		Title:   "Refinement Stage (Algorithm 5)",
+		Claim:   "Lemma 11: all agents output ω(v) = n after O(n log n) interactions",
+		Columns: []string{"n", "trials", "all agents exact"},
+	}
+	e12 = Table{
+		ID:      "E12",
+		Title:   "protocol CountExact (Algorithm 3)",
+		Claim:   "Theorem 2: exact n; stabilizes in O(n log n); Õ(n) states",
+		Columns: []string{"n", "trials", "exact", "T/(n ln n) mean", "max load/n²"},
+	}
+
+	var fitN []int
+	var fitT []float64
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return core.NewCountExact(core.Config{N: n}) },
+			o.trials(2), sim.Config{Seed: o.Seed + uint64(7*n)}, o.Parallelism)
+
+		// E10: quality of the approximation k.
+		logn := math.Log2(float64(n))
+		okK := 0
+		minD, maxD := math.Inf(1), math.Inf(-1)
+		for _, out := range outs {
+			d := float64(out.p.(*core.CountExact).Metrics().MaxK) - logn
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+			if math.Abs(d) <= 3 {
+				okK++
+			}
+		}
+		e10.AddRow(itoa(n), itoa(len(outs)), pct(float64(okK)/float64(len(outs))),
+			f2(minD)+".."+f2(maxD))
+
+		// E11 and E12: exactness, time and state usage.
+		exact := 0
+		var maxLoadRatio float64
+		for _, out := range outs {
+			p := out.p.(*core.CountExact)
+			if out.res.Converged && allExact(p, n) {
+				exact++
+			}
+			if r := float64(p.Metrics().MaxLoad) / (float64(n) * float64(n)); r > maxLoadRatio {
+				maxLoadRatio = r
+			}
+		}
+		exactRate := pct(float64(exact) / float64(len(outs)))
+		e11.AddRow(itoa(n), itoa(len(outs)), exactRate)
+		norms := normTimes(outs, nLogN(n))
+		e12.AddRow(itoa(n), itoa(len(outs)), exactRate, f2(stats.Mean(norms)), f1(maxLoadRatio))
+		fitN = append(fitN, n)
+		fitT = append(fitT, meanInteractions(outs))
+	}
+	fitNote(&e12, fitN, fitT, "≈1 (×log n)")
+	return e10, e11, e12
+}
+
+// E10ApproxStage reproduces Lemma 10 (runs the shared CountExact suite).
+func E10ApproxStage(o Options) Table { t, _, _ := CountExactSuite(o); return t }
+
+// E11Refine reproduces Lemma 11 (runs the shared CountExact suite).
+func E11Refine(o Options) Table { _, t, _ := CountExactSuite(o); return t }
+
+// E12CountExact reproduces Theorem 2 (runs the shared CountExact suite).
+func E12CountExact(o Options) Table { _, _, t := CountExactSuite(o); return t }
+
+// E13BackupApprox reproduces Lemma 12: the approximate backup converges
+// to the binary representation of n within O(n² log² n) interactions.
+func E13BackupApprox(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E13",
+		Title:   "backup protocol for approximate counting (Appendix C.1)",
+		Claim:   "Lemma 12: |K_i| = n_i, kmax = ⌊log n⌋ everywhere; O(n² log² n) interactions; ≤ (log n+1)² states",
+		Columns: []string{"n", "trials", "binary rep ok", "T/(n² ln n) mean"},
+	}
+	ns := o.sizes([]int{13, 32, 100, 256}, []int{13, 64})
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return backup.NewApprox(n) },
+			o.trials(2), sim.Config{Seed: o.Seed + uint64(n), MaxInteractions: int64(n) * int64(n) * 2000}, o.Parallelism)
+		norms := normTimes(outs, n2LogN(n))
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(convRate(outs)), f2(stats.Mean(norms)))
+	}
+	return tbl
+}
+
+// E14BackupExact reproduces Lemma 13: the exact backup outputs n within
+// O(n² log n) interactions.
+func E14BackupExact(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E14",
+		Title:   "backup protocol for exact counting (Appendix C.2)",
+		Claim:   "Lemma 13: every agent outputs n; O(n² log n) interactions",
+		Columns: []string{"n", "trials", "exact", "T/(n² ln n) mean"},
+	}
+	ns := o.sizes([]int{16, 64, 256, 512}, []int{16, 128})
+	for _, n := range ns {
+		outs := runMany(func(int) sim.Protocol { return backup.NewExact(n) },
+			o.trials(2), sim.Config{Seed: o.Seed + uint64(n), MaxInteractions: int64(n) * int64(n) * 1000}, o.Parallelism)
+		norms := normTimes(outs, n2LogN(n))
+		tbl.AddRow(itoa(n), itoa(len(outs)), pct(convRate(outs)), f2(stats.Mean(norms)))
+	}
+	return tbl
+}
+
+// E15Baselines compares CountExact against the Θ(n²) token-bag baseline
+// (Section 1's simple uniform protocol) and Approximate against the
+// geometric-maximum estimator.
+func E15Baselines(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "E15",
+		Title:   "baseline comparison",
+		Claim:   "Section 1: CountExact (O(n log n)) vs token bags (Θ(n²)); Approximate (⌊log n⌋/⌈log n⌉) vs geometric estimator (log n ± O(1))",
+		Columns: []string{"n", "bag T mean", "CountExact T mean", "speedup", "geo |err| mean", "Approx |err| mean"},
+	}
+	ns := o.sizes([]int{1024, 4096, 8192, 16384}, []int{1024, 4096})
+	for _, n := range ns {
+		trials := o.trials(2)
+		bag := runMany(func(int) sim.Protocol { return baseline.NewTokenBag(n) },
+			trials, sim.Config{Seed: o.Seed + uint64(n), MaxInteractions: int64(n) * int64(n) * 200}, o.Parallelism)
+		exact := runMany(func(int) sim.Protocol { return core.NewCountExact(core.Config{N: n}) },
+			trials, sim.Config{Seed: o.Seed + uint64(2*n)}, o.Parallelism)
+		geo := runMany(func(int) sim.Protocol { return baseline.NewGeometricEstimate(n) },
+			trials, sim.Config{Seed: o.Seed + uint64(3*n)}, o.Parallelism)
+		apx := runMany(func(int) sim.Protocol { return core.NewApproximate(core.Config{N: n}) },
+			trials, sim.Config{Seed: o.Seed + uint64(4*n)}, o.Parallelism)
+
+		bagT := meanInteractions(bag)
+		exactT := meanInteractions(exact)
+		logn := math.Log2(float64(n))
+		var geoErr, apxErr []float64
+		for _, out := range geo {
+			if out.res.Converged {
+				geoErr = append(geoErr, math.Abs(float64(out.p.(*baseline.GeometricEstimate).Output(0))-logn))
+			}
+		}
+		for _, out := range apx {
+			if out.res.Converged {
+				apxErr = append(apxErr, math.Abs(float64(out.p.(*core.Approximate).Output(0))-logn))
+			}
+		}
+		speedup := "n/a"
+		if exactT > 0 {
+			speedup = f1(bagT / exactT)
+		}
+		tbl.AddRow(itoa(n), f1(bagT), f1(exactT), speedup,
+			f2(stats.Mean(geoErr)), f2(stats.Mean(apxErr)))
+	}
+	tbl.AddNote("speedup must grow like n/log n; the error of Approximate is below 1 by construction")
+	return tbl
+}
+
+// allExact reports whether every agent of p outputs exactly n.
+func allExact(p *core.CountExact, n int) bool {
+	for i := 0; i < n; i++ {
+		if p.Output(i) != int64(n) {
+			return false
+		}
+	}
+	return true
+}

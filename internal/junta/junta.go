@@ -1,0 +1,144 @@
+// Package junta implements the junta process from Section 2 of the paper
+// (Lemma 4, following [GS18] and [BEFKKR18]).
+//
+// Every agent starts active on level 0 with its junta bit set. If an
+// active agent interacts with an active agent on the same level it
+// increases its level; otherwise it becomes inactive. Inactive agents
+// adopt the higher level of their partner. Whenever an agent meets a
+// partner on a strictly higher level it clears its junta bit. The process
+// stabilizes when all agents are inactive; the junta consists of the
+// agents that reached the maximal level with their junta bit still set.
+//
+// W.h.p. the maximal level lies in [log log n − 4, log log n + 8], the
+// number of agents on the maximal level is O(√n · log n), and all agents
+// become inactive within O(n log n) interactions.
+package junta
+
+import "popcount/internal/rng"
+
+// MaxLevel caps the level variable. Levels reach ≈ log log n + O(1), so
+// 63 is unreachable for any physical population; the cap only guards the
+// fixed-width representation.
+const MaxLevel = 63
+
+// State is the per-agent state of the junta process: the triplet
+// (level, active, junta), initially (0, true, true).
+type State struct {
+	Level  uint8
+	Active bool
+	Junta  bool
+}
+
+// InitState returns the initial agent state (0, active, junta).
+func InitState() State { return State{Level: 0, Active: true, Junta: true} }
+
+// Interact applies the junta transition to both endpoints of an
+// interaction, using the pre-interaction states on both sides (the
+// standard simultaneous-update convention for δ: Q×Q → Q×Q).
+func Interact(u, v *State) {
+	pu, pv := *u, *v
+	step(u, pv)
+	step(v, pu)
+}
+
+// step updates one endpoint w given its partner's pre-interaction state p.
+func step(w *State, p State) {
+	if p.Level > w.Level {
+		w.Junta = false
+	}
+	if w.Active {
+		if p.Active && p.Level == w.Level {
+			if w.Level < MaxLevel {
+				w.Level++
+			}
+		} else {
+			w.Active = false
+		}
+	}
+	if !w.Active && p.Level > w.Level {
+		w.Level = p.Level
+	}
+}
+
+// Protocol is a standalone simulation wrapper for measuring the junta
+// process (experiment E2).
+type Protocol struct {
+	states   []State
+	active   int
+	settleAt int64
+	t        int64
+}
+
+// New returns a junta process over n agents.
+func New(n int) *Protocol {
+	s := make([]State, n)
+	for i := range s {
+		s[i] = InitState()
+	}
+	return &Protocol{states: s, active: n, settleAt: -1}
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return len(p.states) }
+
+// Interact applies one transition.
+func (p *Protocol) Interact(u, v int, _ *rng.Rand) {
+	p.t++
+	au, av := p.states[u].Active, p.states[v].Active
+	Interact(&p.states[u], &p.states[v])
+	if au && !p.states[u].Active {
+		p.active--
+	}
+	if av && !p.states[v].Active {
+		p.active--
+	}
+	if p.active == 0 && p.settleAt < 0 {
+		p.settleAt = p.t
+	}
+}
+
+// Converged reports whether all agents are inactive.
+func (p *Protocol) Converged() bool { return p.active == 0 }
+
+// SettleTime returns the interaction at which the last agent became
+// inactive, or -1 if some agent is still active.
+func (p *Protocol) SettleTime() int64 { return p.settleAt }
+
+// MaxLevelReached returns the maximal level over all agents.
+func (p *Protocol) MaxLevelReached() int {
+	m := 0
+	for i := range p.states {
+		if int(p.states[i].Level) > m {
+			m = int(p.states[i].Level)
+		}
+	}
+	return m
+}
+
+// JuntaSize returns the number of agents on the maximal level with the
+// junta bit set — the size of the elected junta.
+func (p *Protocol) JuntaSize() int {
+	m := p.MaxLevelReached()
+	c := 0
+	for i := range p.states {
+		if int(p.states[i].Level) == m && p.states[i].Junta {
+			c++
+		}
+	}
+	return c
+}
+
+// OnMaxLevel returns the number of agents on the maximal level.
+func (p *Protocol) OnMaxLevel() int {
+	m := p.MaxLevelReached()
+	c := 0
+	for i := range p.states {
+		if int(p.states[i].Level) == m {
+			c++
+		}
+	}
+	return c
+}
+
+// State returns a copy of agent i's state.
+func (p *Protocol) State(i int) State { return p.states[i] }

@@ -1,0 +1,159 @@
+package junta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popcount/internal/sim"
+)
+
+func TestInitState(t *testing.T) {
+	s := InitState()
+	if s.Level != 0 || !s.Active || !s.Junta {
+		t.Fatalf("InitState = %+v, want level 0 active junta", s)
+	}
+}
+
+func TestInteractTruthTable(t *testing.T) {
+	mk := func(l uint8, a, j bool) State { return State{Level: l, Active: a, Junta: j} }
+	cases := []struct {
+		name  string
+		u, v  State
+		wantU State
+		wantV State
+	}{
+		{
+			name:  "both active same level advance",
+			u:     mk(2, true, true),
+			v:     mk(2, true, true),
+			wantU: mk(3, true, true),
+			wantV: mk(3, true, true),
+		},
+		{
+			name:  "active meets lower active: both deactivate, lower loses junta",
+			u:     mk(3, true, true),
+			v:     mk(1, true, true),
+			wantU: mk(3, false, true),
+			wantV: mk(3, false, false), // deactivates, clears junta, adopts level
+		},
+		{
+			name:  "active meets inactive same level: deactivate",
+			u:     mk(2, true, true),
+			v:     mk(2, false, false),
+			wantU: mk(2, false, true),
+			wantV: mk(2, false, false),
+		},
+		{
+			name:  "inactive adopts higher level and clears junta",
+			u:     mk(1, false, true),
+			v:     mk(4, false, false),
+			wantU: mk(4, false, false),
+			wantV: mk(4, false, false),
+		},
+		{
+			name:  "inactive pair same level: no change",
+			u:     mk(3, false, false),
+			v:     mk(3, false, true),
+			wantU: mk(3, false, false),
+			wantV: mk(3, false, true),
+		},
+	}
+	for _, c := range cases {
+		u, v := c.u, c.v
+		Interact(&u, &v)
+		if u != c.wantU || v != c.wantV {
+			t.Errorf("%s: got u=%+v v=%+v, want u=%+v v=%+v", c.name, u, v, c.wantU, c.wantV)
+		}
+	}
+}
+
+func TestLevelMonotoneAndJuntaMonotone(t *testing.T) {
+	// Properties: an agent's level never decreases, the junta bit never
+	// flips back on, and an inactive agent never reactivates.
+	err := quick.Check(func(lu, lv uint8, au, av, ju, jv bool) bool {
+		u := State{Level: lu % 10, Active: au, Junta: ju}
+		v := State{Level: lv % 10, Active: av, Junta: jv}
+		pu, pv := u, v
+		Interact(&u, &v)
+		okLevel := u.Level >= pu.Level && v.Level >= pv.Level
+		okJunta := (pu.Junta || !u.Junta) && (pv.Junta || !v.Junta)
+		okActive := (pu.Active || !u.Active) && (pv.Active || !v.Active)
+		return okLevel && okJunta && okActive
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLevelCap(t *testing.T) {
+	u := State{Level: MaxLevel, Active: true, Junta: true}
+	v := State{Level: MaxLevel, Active: true, Junta: true}
+	Interact(&u, &v)
+	if u.Level != MaxLevel || v.Level != MaxLevel {
+		t.Fatalf("level exceeded cap: %d %d", u.Level, v.Level)
+	}
+}
+
+func TestProcessSettles(t *testing.T) {
+	p := New(1000)
+	res, err := sim.Run(p, sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("junta process did not settle")
+	}
+	if p.SettleTime() <= 0 {
+		t.Fatalf("settle time %d", p.SettleTime())
+	}
+	if p.JuntaSize() < 1 {
+		t.Fatal("empty junta")
+	}
+}
+
+func TestLevelWindowLemma4(t *testing.T) {
+	// Lemma 4: log log n − 4 ≤ level* ≤ log log n + 8 w.h.p., and the
+	// number of agents on the maximal level is O(√n log n).
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 15} {
+		loglogn := math.Log2(math.Log2(float64(n)))
+		for trial := 0; trial < 3; trial++ {
+			p := New(n)
+			res, err := sim.Run(p, sim.Config{Seed: uint64(10*n + trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("n=%d: did not settle", n)
+			}
+			lvl := float64(p.MaxLevelReached())
+			if lvl < loglogn-4 || lvl > loglogn+8 {
+				t.Errorf("n=%d: level* = %v outside [loglogn-4, loglogn+8] = [%.2f, %.2f]",
+					n, lvl, loglogn-4, loglogn+8)
+			}
+			// After settling, every agent has adopted the max level, so
+			// Lemma 4's O(sqrt(n) log n) bound on "agents on the maximal
+			// level" refers to those that climbed there actively — the
+			// agents whose junta bit is still set.
+			bound := 8 * math.Sqrt(float64(n)) * math.Log2(float64(n))
+			if sz := float64(p.JuntaSize()); sz < 1 || sz > bound {
+				t.Errorf("n=%d: junta size %v outside [1, %.0f]", n, sz, bound)
+			}
+		}
+	}
+}
+
+func TestSettleTimeIsNLogN(t *testing.T) {
+	// Lemma 4: all agents inactive within O(n log n) interactions.
+	for _, n := range []int{1 << 10, 1 << 13} {
+		p := New(n)
+		res, err := sim.Run(p, sim.Config{Seed: uint64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := float64(res.Interactions) / (float64(n) * math.Log(float64(n)))
+		if !res.Converged || norm > 20 {
+			t.Errorf("n=%d: settle time %.1f × n ln n (converged=%v)", n, norm, res.Converged)
+		}
+	}
+}

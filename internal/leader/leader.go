@@ -1,0 +1,428 @@
+// Package leader implements the two leader-election protocols the paper
+// builds on: the stable, uniform protocol leader_elect of [GS18]
+// (Section 2, Lemma 6) and FastLeaderElection of [BEFKKR18]
+// (Section 2 and Appendix D, Lemma 7).
+//
+// Both protocols run on top of a junta-driven phase clock supplied by the
+// caller (the combined protocols of internal/core wire the clock and the
+// junta process in; the stand-alone wrappers in this package use a fixed
+// junta for clean measurement of Lemmas 6 and 7).
+//
+// leader_elect: every agent starts as a leader. In each phase of the
+// inner clock every remaining leader draws a random bit; the maximum bit
+// among leaders spreads by one-way epidemics during the phase, and at the
+// next phase boundary every leader that drew less than the observed
+// maximum retires. The number of leaders halves in expectation per phase,
+// and at least one leader always survives (a maximum holder can never
+// retire). Agents additionally run an outer phase clock, performing one
+// outer interaction per inner phase; when the outer clock completes its
+// first revolution — after Θ(log n) inner phases, i.e. Θ(n log² n)
+// interactions — the agent sets leaderDone, at which point the leader is
+// unique w.h.p.
+//
+// FastLeaderElection: in even phases every contender samples Θ(log n)
+// random bits at once (2^level with level from the junta process; the
+// paper's synthetic-coin argument justifies drawing the bits from the
+// scheduler's randomness); in odd phases the maximum sampled value
+// spreads and smaller contenders retire. After a constant number of
+// rounds every agent sets leaderDone, after O(n log n) interactions, and
+// the survivor is unique w.h.p.
+package leader
+
+import (
+	"popcount/internal/clock"
+	"popcount/internal/junta"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// State is the per-agent state of the slow leader_elect protocol.
+type State struct {
+	// IsLeader reports whether the agent is still a leader contender.
+	IsLeader bool
+	// Done is the leaderDone flag: set when the agent's outer phase
+	// clock completes its first revolution.
+	Done bool
+	// Bit is the coin the agent drew for the current inner phase
+	// (always 0 for non-leaders).
+	Bit uint8
+	// SeenMax is the maximum leader bit observed during the current
+	// inner phase.
+	SeenMax uint8
+	// Tag is the synchronized phase index the Bit/SeenMax values belong
+	// to; values are exchanged only between agents with equal tags.
+	Tag uint8
+	// Outer is the agent's outer phase-clock state.
+	Outer clock.State
+}
+
+// Election is the configuration of the slow leader_elect protocol.
+type Election struct {
+	// Inner is the (shared) inner phase clock configuration.
+	Inner clock.Clock
+	// Outer is the outer phase clock; one outer interaction is performed
+	// per inner phase. Its first revolution takes Θ(log n) inner phases.
+	Outer clock.Clock
+}
+
+// NewElection returns a leader_elect configuration over the given inner
+// clock, with an outer clock of outerM hours (use clock.DefaultM).
+func NewElection(inner clock.Clock, outerM int) Election {
+	return Election{Inner: inner, Outer: clock.NewWithModulus(outerM, 1)}
+}
+
+// Init returns the initial agent state: a leader contender.
+func (e Election) Init() State { return State{IsLeader: true} }
+
+// Interact applies one leader_elect step to both endpoints. uc and vc are
+// the endpoints' inner-clock states after this interaction's clock tick;
+// uJunta and vJunta are the junta bits driving the outer clock.
+func (e Election) Interact(u, v *State, uc, vc clock.State, uJunta, vJunta bool, r *rng.Rand) {
+	e.boundary(u, uc, r)
+	e.boundary(v, vc, r)
+
+	// One outer-clock interaction per inner phase (per the paper: agents
+	// perform an interaction of the outer phase clock once per phase of
+	// the inner phase clock).
+	if uc.FirstTick || vc.FirstTick {
+		e.Outer.Tick(&u.Outer, &v.Outer, uJunta, vJunta)
+		if u.Outer.Phase >= 1 {
+			u.Done = true
+		}
+		if v.Outer.Phase >= 1 {
+			v.Done = true
+		}
+	}
+
+	// One-way epidemics of the per-phase maximum bit, restricted to
+	// agents whose values belong to the same phase. Agents with
+	// leaderDone set have left Stage 1 and no longer take part.
+	if u.Tag == v.Tag {
+		if !u.Done && v.SeenMax > u.SeenMax {
+			u.SeenMax = v.SeenMax
+		} else if !v.Done && u.SeenMax > v.SeenMax {
+			v.SeenMax = u.SeenMax
+		}
+	}
+
+	// leaderDone spreads by one-way epidemics.
+	if u.Done || v.Done {
+		u.Done, v.Done = true, true
+	}
+}
+
+// boundary handles the phase-boundary bookkeeping for one endpoint: the
+// previous phase's contest concludes and a fresh coin is drawn.
+func (e Election) boundary(w *State, wc clock.State, r *rng.Rand) {
+	if !wc.FirstTick || w.Done {
+		// Once leaderDone is set the agent has moved on to the next
+		// stage and freezes its election state.
+		return
+	}
+	if w.IsLeader && w.Bit < w.SeenMax {
+		w.IsLeader = false
+	}
+	w.Bit = 0
+	if w.IsLeader {
+		if r.Bool() {
+			w.Bit = 1
+		}
+	}
+	w.SeenMax = w.Bit
+	w.Tag = e.Inner.PhaseIdx(wc)
+}
+
+// FastState is the per-agent state of FastLeaderElection.
+type FastState struct {
+	// IsLeader reports whether the agent is still a contender.
+	IsLeader bool
+	// Done is the leaderDone flag.
+	Done bool
+	// Val is the value sampled in the current round (0 for
+	// non-contenders), spread by maximum broadcast in odd phases.
+	Val uint64
+	// Tag is the synchronized phase index Val belongs to.
+	Tag uint8
+	// Phases counts the inner phases this agent has completed since the
+	// protocol (re)started, saturating at 255.
+	Phases uint8
+}
+
+// FastElection is the configuration of FastLeaderElection.
+type FastElection struct {
+	// Inner is the shared inner phase clock configuration.
+	Inner clock.Clock
+	// Rounds is the number of sample/broadcast phase pairs before
+	// leaderDone is raised. The collision probability is about
+	// n²·2^(−Rounds·log n); the default of 3 gives ≤ 1/n.
+	Rounds int
+}
+
+// DefaultFastRounds is the default number of sample/broadcast rounds.
+const DefaultFastRounds = 3
+
+// NewFastElection returns a FastLeaderElection configuration.
+func NewFastElection(inner clock.Clock, rounds int) FastElection {
+	if rounds < 1 {
+		rounds = DefaultFastRounds
+	}
+	return FastElection{Inner: inner, Rounds: rounds}
+}
+
+// Init returns the initial agent state: a contender.
+func (e FastElection) Init() FastState { return FastState{IsLeader: true} }
+
+// bits returns the number of random bits a contender samples per round,
+// 2^level per the paper (level from the junta process reaches
+// log log n ± O(1), so 2^level ≈ log n), clamped to [16, 60]. The floor
+// matters: Lemma 4 allows level* as low as log log n − 4, and with only
+// 2^level ≈ (log n)/16 bits the surviving contenders tie at the sampled
+// maximum too often before the constant number of rounds runs out. The
+// paper absorbs this into its astronomically large phase constant (2¹³);
+// a 16-bit floor achieves the same ≤ n⁻¹ collision bound at laptop n
+// without changing the state asymptotics.
+func bits(level uint8) uint {
+	b := uint(1) << level
+	if b < 16 {
+		b = 16
+	}
+	if b > 60 {
+		b = 60
+	}
+	return b
+}
+
+// Interact applies one FastLeaderElection step to both endpoints. uc, vc
+// are the endpoints' inner-clock states after this interaction's tick;
+// uLevel, vLevel their junta-process levels (used to size the samples).
+func (e FastElection) Interact(u, v *FastState, uc, vc clock.State, uLevel, vLevel uint8, r *rng.Rand) {
+	e.fastBoundary(u, uc, uLevel, r)
+	e.fastBoundary(v, vc, vLevel, r)
+
+	// Odd phases: maximum broadcast of sampled values; smaller
+	// contenders retire (Algorithm 8, lines 7–9). Agents with leaderDone
+	// set have left the election stage.
+	if u.Tag == v.Tag && e.odd(u.Tag) {
+		if !u.Done && u.Val < v.Val {
+			if u.IsLeader {
+				u.IsLeader = false
+			}
+			u.Val = v.Val
+		} else if !v.Done && v.Val < u.Val {
+			if v.IsLeader {
+				v.IsLeader = false
+			}
+			v.Val = u.Val
+		}
+	}
+
+	// leaderDone spreads by one-way epidemics.
+	if u.Done || v.Done {
+		u.Done, v.Done = true, true
+	}
+}
+
+func (e FastElection) odd(tag uint8) bool { return tag%2 == 1 }
+
+func (e FastElection) fastBoundary(w *FastState, wc clock.State, level uint8, r *rng.Rand) {
+	if !wc.FirstTick || w.Done {
+		return
+	}
+	if w.Phases < 255 {
+		w.Phases++
+	}
+	w.Tag = e.Inner.PhaseIdx(wc)
+	if !e.odd(w.Tag) {
+		// Sampling phase: contenders draw a fresh random value
+		// (synthetic coins; the paper samples one bit per interaction,
+		// which has the same distribution as sampling them at once).
+		if w.IsLeader {
+			w.Val = r.Bits(bits(level))
+		} else {
+			w.Val = 0
+		}
+	}
+	if int(w.Phases) > 2*e.Rounds {
+		w.Done = true
+	}
+}
+
+// Protocol is a stand-alone simulation of leader_elect over a real phase
+// clock driven by a fixed junta set of the first juntaSize agents, for
+// experiment E4. The fixed junta isolates Lemma 6 from junta election;
+// the full composition with the junta process lives in internal/core.
+type Protocol struct {
+	elect  Election
+	clocks []clock.State
+	states []State
+	junta  []bool
+	lead   int // current number of leader contenders
+}
+
+// NewProtocol returns a leader_elect simulation over n agents with inner
+// clock m hours and a fixed junta of juntaSize agents.
+func NewProtocol(n, m, juntaSize int) *Protocol {
+	if juntaSize < 1 || juntaSize > n {
+		panic("leader: junta size out of range")
+	}
+	inner := clock.New(m)
+	e := NewElection(inner, m)
+	p := &Protocol{
+		elect:  e,
+		clocks: make([]clock.State, n),
+		states: make([]State, n),
+		junta:  make([]bool, n),
+		lead:   n,
+	}
+	for i := range p.states {
+		p.states[i] = e.Init()
+	}
+	for i := 0; i < juntaSize; i++ {
+		p.junta[i] = true
+	}
+	return p
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return len(p.states) }
+
+// Interact applies one transition: clock tick, then election step.
+func (p *Protocol) Interact(u, v int, r *rng.Rand) {
+	lu, lv := p.states[u].IsLeader, p.states[v].IsLeader
+	p.elect.Inner.Tick(&p.clocks[u], &p.clocks[v], p.junta[u], p.junta[v])
+	p.elect.Interact(&p.states[u], &p.states[v], p.clocks[u], p.clocks[v],
+		p.junta[u], p.junta[v], r)
+	if lu && !p.states[u].IsLeader {
+		p.lead--
+	}
+	if lv && !p.states[v].IsLeader {
+		p.lead--
+	}
+}
+
+// Converged reports whether exactly one leader remains and every agent
+// has leaderDone set.
+func (p *Protocol) Converged() bool {
+	if p.lead != 1 {
+		return false
+	}
+	for i := range p.states {
+		if !p.states[i].Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaders returns the current number of leader contenders.
+func (p *Protocol) Leaders() int { return p.lead }
+
+// DoneCount returns the number of agents with leaderDone set.
+func (p *Protocol) DoneCount() int {
+	c := 0
+	for i := range p.states {
+		if p.states[i].Done {
+			c++
+		}
+	}
+	return c
+}
+
+// LeadersAtDone returns the number of contenders remaining at the moment
+// the first agent set leaderDone; it equals Leaders() when no agent is
+// done yet.
+func (p *Protocol) State(i int) State { return p.states[i] }
+
+// FastProtocol is a stand-alone simulation of FastLeaderElection over a
+// real phase clock with a fixed junta, for experiment E5. Junta members
+// report a level consistent with log log n to size the samples.
+type FastProtocol struct {
+	elect  FastElection
+	clocks []clock.State
+	states []FastState
+	juntaF []bool
+	level  uint8
+	lead   int
+}
+
+// NewFastProtocol returns a FastLeaderElection simulation over n agents.
+func NewFastProtocol(n, m, juntaSize, rounds int) *FastProtocol {
+	if juntaSize < 1 || juntaSize > n {
+		panic("leader: junta size out of range")
+	}
+	inner := clock.New(m)
+	e := NewFastElection(inner, rounds)
+	p := &FastProtocol{
+		elect:  e,
+		clocks: make([]clock.State, n),
+		states: make([]FastState, n),
+		juntaF: make([]bool, n),
+		level:  levelFor(n),
+		lead:   n,
+	}
+	for i := range p.states {
+		p.states[i] = e.Init()
+	}
+	for i := 0; i < juntaSize; i++ {
+		p.juntaF[i] = true
+	}
+	return p
+}
+
+// levelFor returns a junta level consistent with Lemma 4 for population
+// size n: ⌈log₂ log₂ n⌉.
+func levelFor(n int) uint8 {
+	l := sim.Log2Ceil(sim.Log2Ceil(n))
+	if l < 1 {
+		l = 1
+	}
+	if l > junta.MaxLevel {
+		l = junta.MaxLevel
+	}
+	return uint8(l)
+}
+
+// N returns the population size.
+func (p *FastProtocol) N() int { return len(p.states) }
+
+// Interact applies one transition.
+func (p *FastProtocol) Interact(u, v int, r *rng.Rand) {
+	lu, lv := p.states[u].IsLeader, p.states[v].IsLeader
+	p.elect.Inner.Tick(&p.clocks[u], &p.clocks[v], p.juntaF[u], p.juntaF[v])
+	p.elect.Interact(&p.states[u], &p.states[v], p.clocks[u], p.clocks[v],
+		p.level, p.level, r)
+	if lu && !p.states[u].IsLeader {
+		p.lead--
+	}
+	if lv && !p.states[v].IsLeader {
+		p.lead--
+	}
+}
+
+// Converged reports whether exactly one leader remains and all agents
+// have leaderDone set.
+func (p *FastProtocol) Converged() bool {
+	if p.lead != 1 {
+		return false
+	}
+	for i := range p.states {
+		if !p.states[i].Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaders returns the current number of contenders.
+func (p *FastProtocol) Leaders() int { return p.lead }
+
+// DoneCount returns the number of agents with leaderDone set.
+func (p *FastProtocol) DoneCount() int {
+	c := 0
+	for i := range p.states {
+		if p.states[i].Done {
+			c++
+		}
+	}
+	return c
+}

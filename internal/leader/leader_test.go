@@ -1,0 +1,206 @@
+package leader
+
+import (
+	"math"
+	"testing"
+
+	"popcount/internal/clock"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+func TestElectionInit(t *testing.T) {
+	e := NewElection(clock.New(16), 16)
+	s := e.Init()
+	if !s.IsLeader || s.Done {
+		t.Fatalf("Init = %+v, want leader, not done", s)
+	}
+}
+
+func TestBoundaryRetiresSmallerBit(t *testing.T) {
+	e := NewElection(clock.New(16), 16)
+	r := rng.New(1)
+	w := State{IsLeader: true, Bit: 0, SeenMax: 1}
+	wc := clock.State{FirstTick: true}
+	e.boundary(&w, wc, r)
+	if w.IsLeader {
+		t.Fatal("leader with bit below the seen maximum did not retire")
+	}
+	if w.Bit != 0 || w.SeenMax != 0 {
+		t.Fatalf("retired agent should hold bit 0: %+v", w)
+	}
+}
+
+func TestBoundaryMaxHolderSurvives(t *testing.T) {
+	e := NewElection(clock.New(16), 16)
+	r := rng.New(1)
+	w := State{IsLeader: true, Bit: 1, SeenMax: 1}
+	e.boundary(&w, clock.State{FirstTick: true}, r)
+	if !w.IsLeader {
+		t.Fatal("leader holding the maximum bit retired")
+	}
+}
+
+func TestSeenMaxExchangeRequiresEqualTags(t *testing.T) {
+	e := NewElection(clock.New(16), 16)
+	r := rng.New(1)
+	u := State{IsLeader: true, SeenMax: 0, Tag: 1}
+	v := State{IsLeader: true, SeenMax: 1, Tag: 2}
+	e.Interact(&u, &v, clock.State{}, clock.State{}, false, false, r)
+	if u.SeenMax != 0 {
+		t.Fatal("SeenMax leaked across phase tags")
+	}
+	v.Tag = 1
+	e.Interact(&u, &v, clock.State{}, clock.State{}, false, false, r)
+	if u.SeenMax != 1 {
+		t.Fatal("SeenMax did not spread between equal tags")
+	}
+}
+
+func TestDoneSpreadsByEpidemics(t *testing.T) {
+	e := NewElection(clock.New(16), 16)
+	r := rng.New(1)
+	u := State{Done: true}
+	v := State{}
+	e.Interact(&u, &v, clock.State{}, clock.State{}, false, false, r)
+	if !v.Done {
+		t.Fatal("Done flag did not spread")
+	}
+}
+
+func TestSlowElectionUniqueLeader(t *testing.T) {
+	// Lemma 6: unique leader, O(n log² n) stabilization.
+	for _, n := range []int{512, 2048} {
+		for trial := 0; trial < 3; trial++ {
+			p := NewProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n))
+			res, err := sim.Run(p, sim.Config{Seed: uint64(100*n + trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("n=%d trial %d: not converged (%d leaders, %d done)",
+					n, trial, p.Leaders(), p.DoneCount())
+			}
+			if p.Leaders() != 1 {
+				t.Fatalf("n=%d: %d leaders after convergence", n, p.Leaders())
+			}
+			lg := math.Log(float64(n))
+			if norm := float64(res.Interactions) / (float64(n) * lg * lg); norm > 120 {
+				t.Errorf("n=%d: stabilization %.1f × n ln² n is out of band", n, norm)
+			}
+		}
+	}
+}
+
+func TestAlwaysAtLeastOneLeaderSlow(t *testing.T) {
+	n := 256
+	p := NewProtocol(n, clock.DefaultM, 8)
+	r := rng.New(5)
+	for i := 0; i < 2_000_000; i++ {
+		u, v := r.Pair(n)
+		p.Interact(u, v, r)
+		if p.Leaders() < 1 {
+			t.Fatalf("no leader left after %d interactions", i+1)
+		}
+	}
+}
+
+func TestFastElectionUniqueLeader(t *testing.T) {
+	// Lemma 7: unique leader in O(n log n) interactions.
+	for _, n := range []int{512, 2048, 8192} {
+		for trial := 0; trial < 3; trial++ {
+			p := NewFastProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n), DefaultFastRounds)
+			res, err := sim.Run(p, sim.Config{Seed: uint64(200*n + trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged || p.Leaders() != 1 {
+				t.Fatalf("n=%d trial %d: converged=%v leaders=%d",
+					n, trial, res.Converged, p.Leaders())
+			}
+			if norm := float64(res.Interactions) / (float64(n) * math.Log(float64(n))); norm > 150 {
+				t.Errorf("n=%d: stabilization %.1f × n ln n is out of band", n, norm)
+			}
+		}
+	}
+}
+
+func TestAlwaysAtLeastOneLeaderFast(t *testing.T) {
+	n := 256
+	p := NewFastProtocol(n, clock.DefaultM, 8, DefaultFastRounds)
+	r := rng.New(7)
+	for i := 0; i < 2_000_000; i++ {
+		u, v := r.Pair(n)
+		p.Interact(u, v, r)
+		if p.Leaders() < 1 {
+			t.Fatalf("no leader left after %d interactions", i+1)
+		}
+	}
+}
+
+func TestBitsClamped(t *testing.T) {
+	if bits(0) != 16 {
+		t.Fatalf("bits(0) = %d, want floor 16", bits(0))
+	}
+	if bits(5) != 32 {
+		t.Fatalf("bits(5) = %d, want 32", bits(5))
+	}
+	if bits(10) != 60 {
+		t.Fatalf("bits(10) = %d, want clamp 60", bits(10))
+	}
+}
+
+func TestFastSamplingOnlyForContenders(t *testing.T) {
+	e := NewFastElection(clock.New(16), 3)
+	r := rng.New(9)
+	// Non-contender samples 0 in an even phase.
+	w := FastState{IsLeader: false}
+	wc := clock.State{Val: 0, FirstTick: true} // phase index 0 (even)
+	e.fastBoundary(&w, wc, 4, r)
+	if w.Val != 0 {
+		t.Fatalf("non-contender sampled %d", w.Val)
+	}
+	// Contender samples a value with the right width.
+	l := FastState{IsLeader: true}
+	e.fastBoundary(&l, wc, 4, r)
+	if l.Val >= 1<<16 {
+		t.Fatalf("sample %d exceeds 16-bit width", l.Val)
+	}
+}
+
+func TestFastRetireOnSmallerValue(t *testing.T) {
+	e := NewFastElection(clock.New(16), 3)
+	r := rng.New(11)
+	u := FastState{IsLeader: true, Val: 3, Tag: 1}
+	v := FastState{IsLeader: true, Val: 9, Tag: 1}
+	e.Interact(&u, &v, clock.State{}, clock.State{}, 4, 4, r)
+	if u.IsLeader {
+		t.Fatal("smaller-valued contender survived an odd-phase comparison")
+	}
+	if !v.IsLeader {
+		t.Fatal("maximum holder retired")
+	}
+	if u.Val != 9 {
+		t.Fatal("maximum value did not spread")
+	}
+}
+
+func TestFastNoRetireInEvenPhase(t *testing.T) {
+	e := NewFastElection(clock.New(16), 3)
+	r := rng.New(13)
+	u := FastState{IsLeader: true, Val: 3, Tag: 2}
+	v := FastState{IsLeader: true, Val: 9, Tag: 2}
+	e.Interact(&u, &v, clock.State{}, clock.State{}, 4, 4, r)
+	if !u.IsLeader {
+		t.Fatal("contender retired during an even (sampling) phase")
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero junta")
+		}
+	}()
+	NewProtocol(10, 16, 0)
+}

@@ -1,0 +1,158 @@
+// Package rng provides a small, fast, deterministic random number
+// generator used by the population-protocol scheduler and by transition
+// functions that flip synthetic coins.
+//
+// The generator is xoshiro256++ seeded through splitmix64, following the
+// reference implementations by Blackman and Vigna. It is not safe for
+// concurrent use; create one generator per goroutine (see Split).
+package rng
+
+// Rand is a xoshiro256++ pseudo-random number generator.
+//
+// The zero value is not usable; construct instances with New.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64,
+// so that closely related seeds still yield well-separated streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator state from seed.
+func (r *Rand) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// A state of all zeros would be a fixed point; splitmix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit integer. It makes *Rand usable as a
+// math/rand Source64 if ever needed.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Uint32n returns a uniform integer in [0, n). n must be > 0.
+// It uses Lemire's nearly-divisionless method.
+func (r *Rand) Uint32n(n uint32) uint32 {
+	v := uint32(r.Uint64())
+	prod := uint64(v) * uint64(n)
+	low := uint32(prod)
+	if low < n {
+		thresh := -n % n
+		for low < thresh {
+			v = uint32(r.Uint64())
+			prod = uint64(v) * uint64(n)
+			low = uint32(prod)
+		}
+	}
+	return uint32(prod >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	if n <= 1<<31-1 {
+		return int(r.Uint32n(uint32(n)))
+	}
+	// Rare large-n path: rejection sampling over 63 bits.
+	maxv := uint64(n)
+	mask := ^uint64(0) >> 1
+	for {
+		v := r.Uint64() & mask
+		if v < mask-(mask+1)%maxv+1 || (mask+1)%maxv == 0 {
+			return int(v % maxv)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair random bit.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bits returns k uniform random bits packed into the low bits of a uint64.
+// k must be in [0, 64].
+func (r *Rand) Bits(k uint) uint64 {
+	if k == 0 {
+		return 0
+	}
+	return r.Uint64() >> (64 - k)
+}
+
+// Pair returns an ordered pair (u, v) of distinct agent indices chosen
+// uniformly at random from [0, n). n must be >= 2.
+func (r *Rand) Pair(n int) (u, v int) {
+	u = r.Intn(n)
+	v = r.Intn(n - 1)
+	if v >= u {
+		v++
+	}
+	return u, v
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Split returns a new generator whose stream is independent of r's
+// (seeded from r's output). Use it to derive per-trial or per-goroutine
+// generators from a master seed.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Geometric returns the number of fair-coin flips up to and including the
+// first head, minus one (i.e. a Geometric(1/2) value starting at 0),
+// capped at cap to bound the state space.
+func (r *Rand) Geometric(cap int) int {
+	g := 0
+	for g < cap && !r.Bool() {
+		g++
+	}
+	return g
+}

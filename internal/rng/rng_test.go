@@ -1,0 +1,221 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestReseedRestoresStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint32nUniformity(t *testing.T) {
+	// Chi-squared style sanity bound on a small modulus.
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint32n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("bucket %d has count %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestPairDistinct(t *testing.T) {
+	r := New(9)
+	for _, n := range []int{2, 3, 10, 1000} {
+		for i := 0; i < 500; i++ {
+			u, v := r.Pair(n)
+			if u == v {
+				t.Fatalf("Pair(%d) returned identical indices %d", n, u)
+			}
+			if u < 0 || u >= n || v < 0 || v >= n {
+				t.Fatalf("Pair(%d) = (%d, %d) out of range", n, u, v)
+			}
+		}
+	}
+}
+
+func TestPairUniform(t *testing.T) {
+	// All n(n-1) ordered pairs should appear roughly equally often.
+	r := New(13)
+	const n = 5
+	counts := make(map[[2]int]int)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		u, v := r.Pair(n)
+		counts[[2]int{u, v}]++
+	}
+	want := float64(trials) / (n * (n - 1))
+	if len(counts) != n*(n-1) {
+		t.Fatalf("saw %d distinct pairs, want %d", len(counts), n*(n-1))
+	}
+	for p, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("pair %v count %d deviates from %.0f", p, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	err := quick.Check(func(k uint8) bool {
+		n := int(k%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBits(t *testing.T) {
+	r := New(19)
+	if r.Bits(0) != 0 {
+		t.Fatal("Bits(0) != 0")
+	}
+	for k := uint(1); k <= 64; k++ {
+		for i := 0; i < 50; i++ {
+			v := r.Bits(k)
+			if k < 64 && v >= 1<<k {
+				t.Fatalf("Bits(%d) = %d exceeds range", k, v)
+			}
+		}
+	}
+}
+
+func TestGeometricBounds(t *testing.T) {
+	r := New(23)
+	const cap = 10
+	sum := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		g := r.Geometric(cap)
+		if g < 0 || g > cap {
+			t.Fatalf("Geometric(cap=%d) = %d out of range", cap, g)
+		}
+		sum += g
+	}
+	// Mean of Geometric(1/2) starting at 0 is 1 (cap truncation lowers it slightly).
+	mean := float64(sum) / trials
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("Geometric mean = %v, want about 1.0", mean)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(29)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split generators produced %d/100 identical outputs", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPair(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		u, v := r.Pair(1 << 16)
+		sink += u + v
+	}
+	_ = sink
+}

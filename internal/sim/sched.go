@@ -1,0 +1,76 @@
+package sim
+
+import "popcount/internal/rng"
+
+// Scheduler selects the ordered agent pair for each interaction. The
+// paper's probabilistic scheduler is UniformScheduler; the other
+// implementations let experiments probe how robust the protocols are
+// when the scheduling assumption is bent (experiment E16 — an extension
+// beyond the paper).
+type Scheduler interface {
+	// Next returns the initiator and responder for the next interaction,
+	// distinct indices in [0, n).
+	Next(n int, r *rng.Rand) (u, v int)
+}
+
+// UniformScheduler is the paper's scheduler: an ordered pair of distinct
+// agents chosen independently and uniformly at random.
+type UniformScheduler struct{}
+
+// Next returns a uniformly random ordered pair.
+func (UniformScheduler) Next(n int, r *rng.Rand) (int, int) { return r.Pair(n) }
+
+// BiasedScheduler perturbs the uniform scheduler: with probability Bias
+// the initiator is the fixed agent Hot (the responder stays uniform).
+// This models a "chatty" agent — a mild violation of the model under
+// which the w.h.p. analyses no longer apply verbatim.
+type BiasedScheduler struct {
+	// Hot is the index of the favoured agent.
+	Hot int
+	// Bias is the probability the favoured agent initiates, on top of
+	// its uniform chance. Must be in [0, 1).
+	Bias float64
+}
+
+// Next returns the next pair under the bias.
+func (s BiasedScheduler) Next(n int, r *rng.Rand) (int, int) {
+	if r.Float64() < s.Bias {
+		v := r.Intn(n - 1)
+		if v >= s.Hot {
+			v++
+		}
+		return s.Hot, v
+	}
+	return r.Pair(n)
+}
+
+// MatchingScheduler draws interactions from random perfect matchings:
+// each "round" it shuffles the population and plays the ⌊n/2⌋ disjoint
+// pairs in sequence before reshuffling. Every agent interacts exactly
+// once per round — a synchronous flavour common in practical gossip
+// systems. It is not the paper's model, but the protocols' building
+// blocks (epidemics, balancing, clocks) tolerate it well.
+type MatchingScheduler struct {
+	perm []int
+	pos  int
+}
+
+// NewMatchingScheduler returns an empty matching scheduler; the first
+// call to Next draws the first matching.
+func NewMatchingScheduler() *MatchingScheduler { return &MatchingScheduler{} }
+
+// Next returns the next pair of the current matching, drawing a new
+// matching when the current one is exhausted.
+func (s *MatchingScheduler) Next(n int, r *rng.Rand) (int, int) {
+	if s.perm == nil || len(s.perm) != n || s.pos+1 >= len(s.perm)-(n%2) {
+		s.perm = r.Perm(n)
+		s.pos = 0
+	}
+	u, v := s.perm[s.pos], s.perm[s.pos+1]
+	s.pos += 2
+	// Randomize the initiator/responder role within the matched pair.
+	if r.Bool() {
+		return v, u
+	}
+	return u, v
+}

@@ -1,0 +1,286 @@
+// Package sim implements the probabilistic population-protocol scheduler
+// and simulation engine from the paper's computation model (Section 1.1):
+// in every time step an ordered pair of distinct agents — the initiator and
+// the responder — is selected independently and uniformly at random, and
+// the pair updates its states by applying the protocol's transition
+// function.
+//
+// The engine is deliberately minimal: a Protocol owns its agent states and
+// applies one transition per Interact call; the engine supplies the random
+// pair sequence, counts interactions, and polls for convergence.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"popcount/internal/rng"
+)
+
+// Protocol is a population protocol under simulation. Implementations own
+// the per-agent state vector.
+type Protocol interface {
+	// N returns the population size.
+	N() int
+	// Interact applies one transition with initiator u and responder v.
+	// The generator provides scheduler randomness (synthetic coins).
+	Interact(u, v int, r *rng.Rand)
+}
+
+// Converger is implemented by protocols that can report whether the
+// current configuration is a desired (converged) one. The check may scan
+// all agents; the engine calls it only every Config.CheckEvery
+// interactions.
+type Converger interface {
+	Converged() bool
+}
+
+// Outputter is implemented by protocols whose agents produce an integer
+// output (the output function ω of the paper).
+type Outputter interface {
+	Output(i int) int64
+}
+
+// Config controls a single simulation run.
+type Config struct {
+	// Seed seeds the scheduler RNG. Runs with equal seeds and protocols
+	// are bit-for-bit reproducible.
+	Seed uint64
+	// MaxInteractions caps the run. Zero selects a generous default of
+	// 4096·n·ceil(log2 n)² interactions.
+	MaxInteractions int64
+	// CheckEvery is the interval, in interactions, between convergence
+	// polls. Zero selects n.
+	CheckEvery int64
+	// Observe, if non-nil, is called at every convergence poll with the
+	// number of interactions so far (including after the final poll).
+	Observe func(interactions int64)
+	// Scheduler selects interaction pairs. Nil selects the paper's
+	// uniform random scheduler.
+	Scheduler Scheduler
+	// ConfirmWindow, when positive, distinguishes convergence from
+	// stabilization (Section 1.1: T_C vs T_S): after the convergence
+	// predicate first holds, the run continues for this many further
+	// interactions and Result.Stable reports whether the predicate held
+	// at every poll throughout the window.
+	ConfirmWindow int64
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Interactions is the number of interactions after which the
+	// convergence predicate was first observed true (granularity
+	// CheckEvery). If the run did not converge it equals Total.
+	Interactions int64
+	// Total is the total number of interactions executed.
+	Total int64
+	// Converged reports whether the convergence predicate held when the
+	// run stopped.
+	Converged bool
+	// Stable reports whether the predicate held at every poll of the
+	// ConfirmWindow after first convergence (equal to Converged when no
+	// window was requested).
+	Stable bool
+}
+
+// ErrTooSmall is returned when a protocol population has fewer than two
+// agents, which cannot interact.
+var ErrTooSmall = errors.New("sim: population must have at least 2 agents")
+
+// DefaultMaxInteractions returns the default interaction cap for a
+// population of n agents: 4096·n·⌈log₂ n⌉².
+func DefaultMaxInteractions(n int) int64 {
+	l := int64(Log2Ceil(n))
+	if l < 1 {
+		l = 1
+	}
+	return 4096 * int64(n) * l * l
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1).
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Log2Floor returns ⌊log₂ n⌋ for n ≥ 1. It panics for n < 1.
+func Log2Floor(n int) int {
+	if n < 1 {
+		panic("sim: Log2Floor of non-positive value")
+	}
+	k := -1
+	for v := n; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Run simulates p under cfg until it converges or the interaction cap is
+// reached.
+func Run(p Protocol, cfg Config) (Result, error) {
+	n := p.N()
+	if n < 2 {
+		return Result{}, ErrTooSmall
+	}
+	maxI := cfg.MaxInteractions
+	if maxI <= 0 {
+		maxI = DefaultMaxInteractions(n)
+	}
+	check := cfg.CheckEvery
+	if check <= 0 {
+		check = int64(n)
+	}
+	r := rng.New(cfg.Seed)
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = UniformScheduler{}
+	}
+	conv, canConverge := p.(Converger)
+
+	var t int64
+	for t < maxI {
+		batch := check
+		if rem := maxI - t; rem < batch {
+			batch = rem
+		}
+		for i := int64(0); i < batch; i++ {
+			u, v := sched.Next(n, r)
+			p.Interact(u, v, r)
+		}
+		t += batch
+		if cfg.Observe != nil {
+			cfg.Observe(t)
+		}
+		if canConverge && conv.Converged() {
+			res := Result{Interactions: t, Total: t, Converged: true, Stable: true}
+			if cfg.ConfirmWindow > 0 {
+				res.Stable, res.Total = confirm(p, conv, sched, r, t, check, cfg)
+			}
+			return res, nil
+		}
+	}
+	converged := canConverge && conv.Converged()
+	return Result{Interactions: t, Total: t, Converged: converged, Stable: converged}, nil
+}
+
+// confirm continues the run for cfg.ConfirmWindow interactions after
+// first convergence and reports whether the predicate held at every
+// poll (the stabilization check of Section 1.1).
+func confirm(p Protocol, conv Converger, sched Scheduler, r *rng.Rand, t, check int64, cfg Config) (stable bool, total int64) {
+	n := p.N()
+	stable = true
+	end := t + cfg.ConfirmWindow
+	for t < end {
+		batch := check
+		if rem := end - t; rem < batch {
+			batch = rem
+		}
+		for i := int64(0); i < batch; i++ {
+			u, v := sched.Next(n, r)
+			p.Interact(u, v, r)
+		}
+		t += batch
+		if cfg.Observe != nil {
+			cfg.Observe(t)
+		}
+		if !conv.Converged() {
+			stable = false
+		}
+	}
+	return stable, t
+}
+
+// RunSteps executes exactly steps interactions without convergence checks,
+// useful for fixed-horizon experiments.
+func RunSteps(p Protocol, seed uint64, steps int64) error {
+	n := p.N()
+	if n < 2 {
+		return ErrTooSmall
+	}
+	r := rng.New(seed)
+	for i := int64(0); i < steps; i++ {
+		u, v := r.Pair(n)
+		p.Interact(u, v, r)
+	}
+	return nil
+}
+
+// Factory builds a fresh protocol instance for trial number trial. The
+// factory must return an independent instance every call.
+type Factory func(trial int) Protocol
+
+// RunTrials runs independent trials of a protocol in parallel and returns
+// the per-trial results in trial order. Trial i uses seed base cfg.Seed+i
+// (hashed internally by the generator), so results are reproducible.
+// parallelism ≤ 0 selects 1.
+func RunTrials(f Factory, trials int, cfg Config, parallelism int) ([]Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	if parallelism > trials {
+		parallelism = trials
+	}
+	results := make([]Result, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+				results[i], errs[i] = Run(f(i), c)
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// AllOutputsEqual reports whether every agent of p outputs want.
+func AllOutputsEqual(p Protocol, want int64) bool {
+	o, ok := p.(Outputter)
+	if !ok {
+		return false
+	}
+	for i := 0; i < p.N(); i++ {
+		if o.Output(i) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Outputs returns the current output vector of p.
+func Outputs(p Protocol) []int64 {
+	o, ok := p.(Outputter)
+	if !ok {
+		return nil
+	}
+	out := make([]int64, p.N())
+	for i := range out {
+		out[i] = o.Output(i)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"testing"
+
+	"popcount/internal/rng"
+)
+
+// spread is a toy one-way epidemic used to exercise the engine.
+type spread struct {
+	informed []bool
+	count    int
+}
+
+func newSpread(n int) *spread {
+	s := &spread{informed: make([]bool, n), count: 1}
+	s.informed[0] = true
+	return s
+}
+
+func (s *spread) N() int { return len(s.informed) }
+
+func (s *spread) Interact(u, v int, _ *rng.Rand) {
+	if s.informed[v] && !s.informed[u] {
+		s.informed[u] = true
+		s.count++
+	}
+}
+
+func (s *spread) Converged() bool { return s.count == len(s.informed) }
+
+func (s *spread) Output(i int) int64 {
+	if s.informed[i] {
+		return 1
+	}
+	return 0
+}
+
+func TestRunConverges(t *testing.T) {
+	p := newSpread(256)
+	res, err := Run(p, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("epidemic did not converge")
+	}
+	if res.Interactions <= 0 || res.Interactions > res.Total {
+		t.Fatalf("bad interaction counts: %+v", res)
+	}
+	if !AllOutputsEqual(p, 1) {
+		t.Fatal("not all agents informed at convergence")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, _ := Run(newSpread(128), Config{Seed: 42})
+	b, _ := Run(newSpread(128), Config{Seed: 42})
+	if a != b {
+		t.Fatalf("identical seeds gave different results: %+v vs %+v", a, b)
+	}
+	c, _ := Run(newSpread(128), Config{Seed: 43})
+	if a == c {
+		t.Log("different seeds coincided (possible but unlikely); not fatal")
+	}
+}
+
+func TestRunRespectsCap(t *testing.T) {
+	p := newSpread(64)
+	res, err := Run(p, Config{Seed: 1, MaxInteractions: 10, CheckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 10 {
+		t.Fatalf("Total = %d, want 10", res.Total)
+	}
+}
+
+func TestRunTooSmall(t *testing.T) {
+	if _, err := Run(newSpread(1), Config{}); err != ErrTooSmall {
+		t.Fatalf("err = %v, want ErrTooSmall", err)
+	}
+}
+
+func TestRunObserve(t *testing.T) {
+	var calls []int64
+	p := newSpread(32)
+	_, err := Run(p, Config{Seed: 1, MaxInteractions: 100, CheckEvery: 25,
+		Observe: func(t int64) { calls = append(calls, t) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("Observe never called")
+	}
+	for i, c := range calls {
+		if want := int64(25 * (i + 1)); c != want && c <= 100 {
+			t.Fatalf("Observe call %d = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	p := newSpread(64)
+	if err := RunSteps(p, 7, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Converged() {
+		t.Fatal("epidemic not complete after 50k interactions on 64 agents")
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	f := func(trial int) Protocol { return newSpread(64) }
+	res, err := RunTrials(f, 8, Config{Seed: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("got %d results, want 8", len(res))
+	}
+	for i, r := range res {
+		if !r.Converged {
+			t.Fatalf("trial %d did not converge", i)
+		}
+	}
+	// Reproducibility across invocations.
+	res2, err := RunTrials(f, 8, Config{Seed: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i] != res2[i] {
+			t.Fatalf("trial %d not reproducible: %+v vs %+v", i, res[i], res2[i])
+		}
+	}
+}
+
+func TestRunTrialsRejectsBadCount(t *testing.T) {
+	if _, err := RunTrials(func(int) Protocol { return newSpread(4) }, 0, Config{}, 1); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+}
+
+func TestLog2Helpers(t *testing.T) {
+	cases := []struct{ n, floor, ceil int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 1, 2}, {4, 2, 2}, {5, 2, 3},
+		{7, 2, 3}, {8, 3, 3}, {9, 3, 4}, {1023, 9, 10}, {1024, 10, 10}, {1025, 10, 11},
+	}
+	for _, c := range cases {
+		if got := Log2Floor(c.n); got != c.floor {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.n, got, c.floor)
+		}
+		if got := Log2Ceil(c.n); got != c.ceil {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	p := newSpread(4)
+	out := Outputs(p)
+	if len(out) != 4 || out[0] != 1 || out[1] != 0 {
+		t.Fatalf("unexpected outputs %v", out)
+	}
+}
+
+func TestBiasedSchedulerFavoursHot(t *testing.T) {
+	s := BiasedScheduler{Hot: 3, Bias: 0.5}
+	r := rng.New(1)
+	hot := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		u, v := s.Next(10, r)
+		if u == v {
+			t.Fatal("identical pair")
+		}
+		if u == 3 {
+			hot++
+		}
+	}
+	// Expected initiator rate for the hot agent: 0.5 + 0.5·(1/10) = 0.55.
+	rate := float64(hot) / trials
+	if rate < 0.5 || rate > 0.6 {
+		t.Fatalf("hot initiator rate = %v, want ≈ 0.55", rate)
+	}
+}
+
+func TestMatchingSchedulerCoversEveryAgentPerRound(t *testing.T) {
+	s := NewMatchingScheduler()
+	r := rng.New(2)
+	const n = 10
+	seen := make(map[int]int)
+	for i := 0; i < n/2; i++ {
+		u, v := s.Next(n, r)
+		if u == v {
+			t.Fatal("identical pair")
+		}
+		seen[u]++
+		seen[v]++
+	}
+	if len(seen) != n {
+		t.Fatalf("one matching round touched %d agents, want %d", len(seen), n)
+	}
+	for a, c := range seen {
+		if c != 1 {
+			t.Fatalf("agent %d appeared %d times in one matching", a, c)
+		}
+	}
+}
+
+func TestMatchingSchedulerOddPopulation(t *testing.T) {
+	s := NewMatchingScheduler()
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		u, v := s.Next(7, r)
+		if u == v || u < 0 || v < 0 || u >= 7 || v >= 7 {
+			t.Fatalf("bad pair (%d, %d)", u, v)
+		}
+	}
+}
+
+func TestRunWithSchedulerOption(t *testing.T) {
+	p := newSpread(128)
+	res, err := Run(p, Config{Seed: 4, Scheduler: NewMatchingScheduler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("broadcast under matching scheduler did not converge")
+	}
+}
+
+func TestRunConfirmWindow(t *testing.T) {
+	p := newSpread(64)
+	res, err := Run(p, Config{Seed: 5, ConfirmWindow: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Stable {
+		t.Fatalf("broadcast should be stable: %+v", res)
+	}
+	if res.Total != res.Interactions+10_000 {
+		t.Fatalf("confirm window not executed: %+v", res)
+	}
+}
+
+// flapper converges at 10k interactions and leaves the desired set again
+// afterwards — Stable must come back false.
+type flapper struct{ t int64 }
+
+func (f *flapper) N() int                         { return 2 }
+func (f *flapper) Interact(_, _ int, _ *rng.Rand) { f.t++ }
+func (f *flapper) Converged() bool                { return f.t >= 10_000 && f.t < 12_000 }
+
+func TestRunConfirmWindowDetectsFlapping(t *testing.T) {
+	res, err := Run(&flapper{}, Config{Seed: 6, CheckEvery: 500, ConfirmWindow: 5_000,
+		MaxInteractions: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("flapper never reported converged")
+	}
+	if res.Stable {
+		t.Fatal("flapping configuration reported stable")
+	}
+}

@@ -1,0 +1,161 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: summary statistics, quantiles, and least-squares
+// regression on log-log data to estimate empirical scaling exponents.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty
+// sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinearFit holds the result of a least-squares line fit y = a + b·x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitLine fits y = a + b·x by least squares. Both slices must have equal
+// length ≥ 2 and xs must not be constant.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: need at least 2 points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: constant x values")
+	}
+	b := sxy / sxx
+	fit := LinearFit{Slope: b, Intercept: my - b*mx, R2: 1}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// ScalingExponent fits T(n) = c·n^e on log-log axes and returns the
+// empirical exponent e. Inputs must be positive.
+func ScalingExponent(ns []int, ts []float64) (exponent float64, err error) {
+	if len(ns) != len(ts) {
+		return 0, errors.New("stats: mismatched sample lengths")
+	}
+	xs := make([]float64, len(ns))
+	ys := make([]float64, len(ts))
+	for i := range ns {
+		if ns[i] <= 0 || ts[i] <= 0 {
+			return 0, errors.New("stats: non-positive value in log-log fit")
+		}
+		xs[i] = math.Log(float64(ns[i]))
+		ys[i] = math.Log(ts[i])
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return fit.Slope, nil
+}
+
+// Fraction returns the fraction of xs for which pred holds (NaN when
+// empty).
+func Fraction(xs []float64, pred func(float64) bool) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := 0
+	for _, x := range xs {
+		if pred(x) {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}

@@ -1,0 +1,287 @@
+// Package popcount is a library of uniform population protocols for
+// counting the population size, reproducing "On Counting the Population
+// Size" (Berenbrink, Kaaser, Radzik; PODC 2019).
+//
+// In the population model, n identical agents interact in uniformly
+// random pairs. A uniform protocol's transition function does not depend
+// on n — yet the protocols here let every agent learn n, exactly or
+// within a factor of two:
+//
+//   - Approximate (Theorem 1.1) converges in O(n log² n) interactions,
+//     using O(log n · log log n) states, to either ⌊log₂ n⌋ or ⌈log₂ n⌉
+//     at every agent, w.h.p.
+//   - CountExact (Theorem 2) stabilizes on the exact n in the optimal
+//     O(n log n) interactions using Õ(n) states, w.h.p.
+//   - StableApproximate and StableCountExact (Theorems 1.2 and 2) add
+//     error detection and a slow always-correct backup, making the
+//     answer correct with probability 1.
+//
+// The package's high-level functions run a full simulation under the
+// uniform random scheduler; the Simulation type offers stepwise control.
+// The building blocks (epidemics, junta, phase clocks, leader election,
+// load balancing, backups, baselines) live in internal packages and are
+// exercised by the experiment suite in internal/exp (see EXPERIMENTS.md).
+package popcount
+
+import (
+	"fmt"
+
+	"popcount/internal/baseline"
+	"popcount/internal/core"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// Algorithm selects one of the library's counting protocols.
+type Algorithm int
+
+// The available algorithms.
+const (
+	// Approximate is protocol Approximate (Theorem 1.1): every agent
+	// outputs ⌊log₂ n⌋ or ⌈log₂ n⌉ w.h.p.
+	Approximate Algorithm = iota + 1
+	// CountExact is protocol CountExact (Theorem 2): every agent
+	// outputs the exact n w.h.p.
+	CountExact
+	// StableApproximate is the stable hybrid variant of Approximate
+	// (Theorem 1.2): correct with probability 1.
+	StableApproximate
+	// StableCountExact is the stable variant of CountExact (Theorem 2
+	// with Appendix F): correct with probability 1.
+	StableCountExact
+	// TokenBag is the simple Θ(n²)-interaction exact baseline from the
+	// paper's introduction.
+	TokenBag
+	// GeometricEstimate is the O(log n)-state polynomial-factor
+	// estimator baseline ([1]-style).
+	GeometricEstimate
+)
+
+// String returns the algorithm's name.
+func (a Algorithm) String() string {
+	switch a {
+	case Approximate:
+		return "approximate"
+	case CountExact:
+		return "exact"
+	case StableApproximate:
+		return "stable-approximate"
+	case StableCountExact:
+		return "stable-exact"
+	case TokenBag:
+		return "tokenbag"
+	case GeometricEstimate:
+		return "geometric"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves an algorithm by its String name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range []Algorithm{Approximate, CountExact, StableApproximate,
+		StableCountExact, TokenBag, GeometricEstimate} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("popcount: unknown algorithm %q", name)
+}
+
+// Option customizes a simulation.
+type Option func(*settings)
+
+type settings struct {
+	seed       uint64
+	maxI       int64
+	checkEvery int64
+	clockM     int
+	fastRounds int
+	shift      int
+}
+
+// WithSeed sets the scheduler seed (default 1). Equal seeds reproduce
+// runs bit for bit.
+func WithSeed(seed uint64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithMaxInteractions caps the simulation length (default: a generous
+// multiple of n·log² n chosen by the engine).
+func WithMaxInteractions(max int64) Option { return func(s *settings) { s.maxI = max } }
+
+// WithCheckEvery sets the convergence polling interval in interactions
+// (default n).
+func WithCheckEvery(interval int64) Option { return func(s *settings) { s.checkEvery = interval } }
+
+// WithClockM sets the phase-clock constant m (Lemma 5); see DESIGN.md
+// for the calibration of the default.
+func WithClockM(m int) Option { return func(s *settings) { s.clockM = m } }
+
+// WithFastRounds sets the number of FastLeaderElection rounds (Lemma 7).
+func WithFastRounds(rounds int) Option { return func(s *settings) { s.fastRounds = rounds } }
+
+// WithShift sets the Approximation Stage's load-explosion shift
+// (DESIGN.md, substitution 1).
+func WithShift(shift int) Option { return func(s *settings) { s.shift = shift } }
+
+// Result reports the outcome of a completed simulation.
+type Result struct {
+	// Converged reports whether the protocol reached its desired
+	// configuration within the interaction budget.
+	Converged bool
+	// Interactions is the number of interactions until convergence was
+	// detected (or the budget, if not converged).
+	Interactions int64
+	// Output is agent 0's output; at convergence all agents agree. For
+	// the approximate protocols it is the log₂-estimate, for the exact
+	// protocols and baselines the population-size estimate itself.
+	Output int64
+	// Estimate is the population-size estimate implied by Output (2^k
+	// for the approximate protocols, Output itself otherwise).
+	Estimate int64
+	// Outputs holds every agent's output.
+	Outputs []int64
+}
+
+// Count runs the chosen algorithm on a population of n agents until it
+// converges (or a generous interaction cap is hit) and returns the
+// result.
+func Count(alg Algorithm, n int, opts ...Option) (Result, error) {
+	s, err := NewSimulation(alg, n, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunToConvergence()
+}
+
+// EstimateSize runs protocol Approximate and returns the estimated
+// population size (2^k with k ∈ {⌊log n⌋, ⌈log n⌉} w.h.p.).
+func EstimateSize(n int, opts ...Option) (Result, error) {
+	return Count(Approximate, n, opts...)
+}
+
+// ExactSize runs protocol CountExact and returns the exact population
+// size (w.h.p.; use StableCountExact for probability 1).
+func ExactSize(n int, opts ...Option) (Result, error) {
+	return Count(CountExact, n, opts...)
+}
+
+// Simulation is a stepwise-controlled protocol run.
+type Simulation struct {
+	alg Algorithm
+	p   sim.Protocol
+	r   *rng.Rand
+	set settings
+	t   int64
+}
+
+// NewSimulation builds a protocol instance over n agents.
+func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("popcount: population size %d is below 2", n)
+	}
+	set := settings{seed: 1}
+	for _, o := range opts {
+		o(&set)
+	}
+	cfg := core.Config{N: n, ClockM: set.clockM, FastRounds: set.fastRounds, Shift: set.shift}
+	var p sim.Protocol
+	switch alg {
+	case Approximate:
+		p = core.NewApproximate(cfg)
+	case CountExact:
+		p = core.NewCountExact(cfg)
+	case StableApproximate:
+		p = core.NewStableApproximate(cfg)
+	case StableCountExact:
+		p = core.NewStableCountExact(cfg)
+	case TokenBag:
+		p = baseline.NewTokenBag(n)
+	case GeometricEstimate:
+		p = baseline.NewGeometricEstimate(n)
+	default:
+		return nil, fmt.Errorf("popcount: unknown algorithm %v", alg)
+	}
+	return &Simulation{alg: alg, p: p, r: rng.New(set.seed), set: set}, nil
+}
+
+// N returns the population size.
+func (s *Simulation) N() int { return s.p.N() }
+
+// Algorithm returns the algorithm under simulation.
+func (s *Simulation) Algorithm() Algorithm { return s.alg }
+
+// Step executes count scheduler steps (uniformly random ordered pairs).
+func (s *Simulation) Step(count int64) {
+	n := s.p.N()
+	for i := int64(0); i < count; i++ {
+		u, v := s.r.Pair(n)
+		s.p.Interact(u, v, s.r)
+	}
+	s.t += count
+}
+
+// Interactions returns the number of interactions executed so far.
+func (s *Simulation) Interactions() int64 { return s.t }
+
+// Converged reports whether the protocol's desired configuration holds.
+func (s *Simulation) Converged() bool {
+	c, ok := s.p.(sim.Converger)
+	return ok && c.Converged()
+}
+
+// Output returns agent i's current output.
+func (s *Simulation) Output(i int) int64 {
+	o, ok := s.p.(sim.Outputter)
+	if !ok {
+		return 0
+	}
+	return o.Output(i)
+}
+
+// Outputs returns the current outputs of all agents.
+func (s *Simulation) Outputs() []int64 { return sim.Outputs(s.p) }
+
+// RunToConvergence drives the simulation until convergence or the
+// interaction cap and packages the result.
+func (s *Simulation) RunToConvergence() (Result, error) {
+	n := s.p.N()
+	maxI := s.set.maxI
+	if maxI <= 0 {
+		maxI = sim.DefaultMaxInteractions(n)
+	}
+	check := s.set.checkEvery
+	if check <= 0 {
+		check = int64(n)
+	}
+	for s.t < maxI && !s.Converged() {
+		batch := check
+		if rem := maxI - s.t; rem < batch {
+			batch = rem
+		}
+		s.Step(batch)
+	}
+	res := Result{
+		Converged:    s.Converged(),
+		Interactions: s.t,
+		Output:       s.Output(0),
+		Outputs:      s.Outputs(),
+	}
+	res.Estimate = s.estimate(res.Output)
+	return res, nil
+}
+
+// estimate converts an output value into a population-size estimate.
+func (s *Simulation) estimate(out int64) int64 {
+	switch s.alg {
+	case Approximate, StableApproximate, GeometricEstimate:
+		if out < 0 {
+			return 0
+		}
+		if out > 62 {
+			return 1 << 62
+		}
+		return int64(1) << uint(out)
+	default:
+		return out
+	}
+}

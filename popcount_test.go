@@ -1,0 +1,159 @@
+package popcount
+
+import (
+	"testing"
+)
+
+func TestEstimateSize(t *testing.T) {
+	res, err := EstimateSize(1000, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Output != 9 && res.Output != 10 {
+		t.Fatalf("log estimate %d, want 9 or 10", res.Output)
+	}
+	if res.Estimate != 1<<uint(res.Output) {
+		t.Fatalf("estimate %d inconsistent with output %d", res.Estimate, res.Output)
+	}
+}
+
+func TestExactSize(t *testing.T) {
+	res, err := ExactSize(700, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Output != 700 {
+		t.Fatalf("converged=%v output=%d, want exact 700", res.Converged, res.Output)
+	}
+	for i, out := range res.Outputs {
+		if out != 700 {
+			t.Fatalf("agent %d outputs %d", i, out)
+		}
+	}
+}
+
+func TestCountStableVariants(t *testing.T) {
+	for _, alg := range []Algorithm{StableApproximate, StableCountExact} {
+		res, err := Count(alg, 512, WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", alg)
+		}
+		switch alg {
+		case StableApproximate:
+			if res.Output != 9 {
+				t.Fatalf("stable approximate output %d, want 9", res.Output)
+			}
+		case StableCountExact:
+			if res.Output != 512 {
+				t.Fatalf("stable exact output %d, want 512", res.Output)
+			}
+		}
+	}
+}
+
+func TestCountBaselines(t *testing.T) {
+	res, err := Count(TokenBag, 128, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Output != 128 {
+		t.Fatalf("token bag: converged=%v output=%d", res.Converged, res.Output)
+	}
+	res, err = Count(GeometricEstimate, 1024, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("geometric estimator did not converge")
+	}
+	if res.Output < 4 || res.Output > 18 {
+		t.Fatalf("geometric log estimate %d is implausible for n=1024", res.Output)
+	}
+}
+
+func TestNewSimulationValidation(t *testing.T) {
+	if _, err := NewSimulation(Approximate, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewSimulation(Algorithm(99), 10); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSimulationStepwise(t *testing.T) {
+	s, err := NewSimulation(TokenBag, 64, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 64 || s.Algorithm() != TokenBag {
+		t.Fatalf("simulation metadata wrong: n=%d alg=%v", s.N(), s.Algorithm())
+	}
+	s.Step(1000)
+	if s.Interactions() != 1000 {
+		t.Fatalf("interactions = %d", s.Interactions())
+	}
+	for !s.Converged() {
+		s.Step(10000)
+		if s.Interactions() > 50_000_000 {
+			t.Fatal("token bag did not converge in 50M interactions on 64 agents")
+		}
+	}
+	if s.Output(0) != 64 {
+		t.Fatalf("output %d", s.Output(0))
+	}
+	if got := len(s.Outputs()); got != 64 {
+		t.Fatalf("outputs length %d", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := ExactSize(300, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExactSize(300, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Interactions != b.Interactions || a.Output != b.Output {
+		t.Fatalf("runs with equal seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range []Algorithm{Approximate, CountExact, StableApproximate,
+		StableCountExact, TokenBag, GeometricEstimate} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestWithMaxInteractionsCapsRun(t *testing.T) {
+	res, err := Count(Approximate, 256, WithSeed(1), WithMaxInteractions(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("cannot converge in 1000 interactions")
+	}
+	if res.Interactions != 1000 {
+		t.Fatalf("interactions = %d, want 1000", res.Interactions)
+	}
+}
+
+func TestAlgorithmStringRoundTrip(t *testing.T) {
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm has empty name")
+	}
+}
