@@ -266,17 +266,56 @@ func BenchmarkA3FastLeaderBits(b *testing.B) {
 }
 
 // BenchmarkInteractionThroughput measures raw simulator speed: scheduler
-// plus the CountExact transition function.
+// plus the CountExact transition function, on the engine's default
+// (batched) path through the public API.
 func BenchmarkInteractionThroughput(b *testing.B) {
 	const n = 1 << 16
-	p := core.NewCountExact(core.Config{N: n})
 	s, err := popcount.NewSimulation(popcount.CountExact, n)
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = p
 	b.ResetTimer()
 	s.Step(int64(b.N))
+}
+
+// benchPath measures interaction throughput of one protocol on either
+// the scalar engine loop (disableBatch) or the BatchInteractor fast
+// path. The two paths are bit-for-bit equivalent (see
+// TestBatchEquivalentToScalar); these benchmarks quantify the speedup of
+// removing the per-interaction virtual calls.
+func benchPath(b *testing.B, p sim.Protocol, disableBatch bool) {
+	b.Helper()
+	e, err := sim.NewEngine(p, sim.Config{Seed: 1, DisableBatch: disableBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	e.Step(int64(b.N))
+}
+
+// BenchmarkTokenBagScalar / BenchmarkTokenBagBatch — the Θ(n²) baseline's
+// cheap transition is dominated by dispatch overhead, so the batched
+// path's gain is largest here.
+func BenchmarkTokenBagScalar(b *testing.B) { benchPath(b, baseline.NewTokenBag(1<<14), true) }
+func BenchmarkTokenBagBatch(b *testing.B)  { benchPath(b, baseline.NewTokenBag(1<<14), false) }
+
+// BenchmarkApproximateScalar / BenchmarkApproximateBatch — protocol
+// Approximate's transition is heavier, so the dispatch saving is
+// proportionally smaller but still visible.
+func BenchmarkApproximateScalar(b *testing.B) {
+	benchPath(b, core.NewApproximate(core.Config{N: 1 << 14}), true)
+}
+func BenchmarkApproximateBatch(b *testing.B) {
+	benchPath(b, core.NewApproximate(core.Config{N: 1 << 14}), false)
+}
+
+// BenchmarkCountExactScalar / BenchmarkCountExactBatch — same comparison
+// for protocol CountExact.
+func BenchmarkCountExactScalar(b *testing.B) {
+	benchPath(b, core.NewCountExact(core.Config{N: 1 << 14}), true)
+}
+func BenchmarkCountExactBatch(b *testing.B) {
+	benchPath(b, core.NewCountExact(core.Config{N: 1 << 14}), false)
 }
 
 // BenchmarkQuickSuite runs the whole quick experiment suite once per

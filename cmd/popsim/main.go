@@ -4,14 +4,17 @@
 // Usage:
 //
 //	popsim -alg exact -n 10000 -seed 7
-//	popsim -alg approximate -n 100000
-//	popsim -alg stable-exact -n 2000 -progress
+//	popsim -alg approximate -n 100000 -progress
+//	popsim -alg stable-exact -n 2000 -confirm 100000
+//	popsim -alg exact -n 4096 -trials 32 -par 8
+//	popsim -alg approximate -n 4096 -sched matching
 //
 // Algorithms: approximate, exact, stable-approximate, stable-exact,
-// tokenbag, geometric.
+// tokenbag, geometric. Schedulers: uniform, biased, matching.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,11 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "scheduler seed (runs are reproducible)")
 		maxI     = fs.Int64("max", 0, "interaction cap (0 = engine default)")
 		progress = fs.Bool("progress", false, "print progress snapshots while running")
+		schedN   = fs.String("sched", "uniform", "scheduler: uniform | biased | matching")
+		bias     = fs.Float64("bias", 0.2, "initiator bias of agent 0 under -sched biased")
+		confirm  = fs.Int64("confirm", 0, "confirmation window in interactions (0 = none); reports stabilization")
+		trials   = fs.Int("trials", 1, "independent trials; >1 runs an ensemble and prints aggregate statistics")
+		par      = fs.Int("par", 0, "parallel trials for ensembles (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,35 +50,85 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := popcount.NewSimulation(alg, *n,
-		popcount.WithSeed(*seed), popcount.WithMaxInteractions(*maxI))
-	if err != nil {
-		return err
-	}
 
-	if *progress {
-		step := int64(*n) * 10
-		for !s.Converged() {
-			s.Step(step)
-			fmt.Printf("t=%12d  agent0 output=%d\n", s.Interactions(), s.Output(0))
-			if *maxI > 0 && s.Interactions() >= *maxI {
-				break
-			}
+	opts := []popcount.Option{
+		popcount.WithSeed(*seed),
+		popcount.WithMaxInteractions(*maxI),
+		popcount.WithConfirmWindow(*confirm),
+		popcount.WithParallelism(*par),
+	}
+	switch *schedN {
+	case "uniform":
+		// Engine default.
+	case "biased":
+		b := *bias
+		if b < 0 || b >= 1 {
+			return fmt.Errorf("-bias %v out of range [0, 1)", b)
 		}
+		opts = append(opts, popcount.WithScheduler(func() popcount.Scheduler {
+			return popcount.BiasedPairs(0, b)
+		}))
+	case "matching":
+		opts = append(opts, popcount.WithScheduler(popcount.RandomMatching))
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedN)
+	}
+	if *progress {
+		opts = append(opts,
+			popcount.WithObserveEvery(int64(*n)*10),
+			popcount.WithObserver(func(s popcount.Snapshot) {
+				if *trials > 1 {
+					fmt.Printf("trial=%3d  t=%12d  agent0 output=%d\n", s.Trial, s.Interactions, s.Output)
+					return
+				}
+				fmt.Printf("t=%12d  agent0 output=%d\n", s.Interactions, s.Output)
+			}))
 	}
 
-	res, err := s.RunToConvergence()
+	if *trials > 1 {
+		return runEnsemble(alg, *n, *trials, *confirm, opts)
+	}
+
+	res, err := popcount.Count(alg, *n, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("algorithm:    %s\n", alg)
 	fmt.Printf("population:   %d agents\n", *n)
+	fmt.Printf("scheduler:    %s\n", *schedN)
 	fmt.Printf("converged:    %v\n", res.Converged)
 	fmt.Printf("interactions: %d\n", res.Interactions)
+	if *confirm > 0 {
+		fmt.Printf("total:        %d (confirmation window %d)\n", res.Total, *confirm)
+		fmt.Printf("stable:       %v\n", res.Stable)
+	}
 	fmt.Printf("output:       %d\n", res.Output)
 	fmt.Printf("estimate:     %d agents\n", res.Estimate)
 	if !res.Converged {
 		return fmt.Errorf("no convergence within the interaction cap")
+	}
+	return nil
+}
+
+// runEnsemble runs the multi-trial path and prints per-run aggregates.
+func runEnsemble(alg popcount.Algorithm, n, trials int, confirm int64, opts []popcount.Option) error {
+	ens, err := popcount.RunEnsemble(context.Background(), alg, n, trials, opts...)
+	if err != nil {
+		return err
+	}
+	st := ens.Stats
+	fmt.Printf("algorithm:    %s\n", alg)
+	fmt.Printf("population:   %d agents\n", n)
+	fmt.Printf("trials:       %d\n", st.Trials)
+	fmt.Printf("converged:    %d/%d (%.0f%%)\n", st.Converged, st.Trials, 100*st.ConvergenceRate)
+	if confirm > 0 {
+		fmt.Printf("stable:       %d/%d (%.0f%%)\n", st.Stable, st.Trials, 100*st.StableRate)
+	}
+	fmt.Printf("interactions: mean %.0f  median %.0f  p10 %.0f  p90 %.0f\n",
+		st.Interactions.Mean, st.Interactions.Median, st.Interactions.P10, st.Interactions.P90)
+	fmt.Printf("estimate:     mean %.1f  median %.1f\n", st.Estimates.Mean, st.Estimates.Median)
+	if st.Converged < st.Trials {
+		return fmt.Errorf("%d trials missed convergence within the interaction cap", st.Trials-st.Converged)
 	}
 	return nil
 }

@@ -26,6 +26,36 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 	}
 }
 
+func TestRunEnsembleFlag(t *testing.T) {
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-trials", "4", "-par", "2"}); err != nil {
+		t.Fatalf("ensemble run failed: %v", err)
+	}
+}
+
+func TestRunMatchingScheduler(t *testing.T) {
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-sched", "matching"}); err != nil {
+		t.Fatalf("matching-scheduler run failed: %v", err)
+	}
+}
+
+func TestRunBiasedScheduler(t *testing.T) {
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-sched", "biased", "-bias", "0.3"}); err != nil {
+		t.Fatalf("biased-scheduler run failed: %v", err)
+	}
+}
+
+func TestRunUnknownScheduler(t *testing.T) {
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-sched", "nope"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunConfirmWindow(t *testing.T) {
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-confirm", "5000"}); err != nil {
+		t.Fatalf("confirm-window run failed: %v", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")

@@ -1,0 +1,171 @@
+package popcount
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"popcount/internal/sim"
+	"popcount/internal/stats"
+)
+
+// SummaryStats are the summary statistics of one per-trial quantity.
+type SummaryStats struct {
+	Mean   float64
+	Median float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	P10    float64 // 10th percentile
+	P90    float64 // 90th percentile
+}
+
+// summarize computes SummaryStats of xs (zero value when xs is empty).
+func summarize(xs []float64) SummaryStats {
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return SummaryStats{}
+	}
+	return SummaryStats{
+		Mean:   s.Mean,
+		Median: s.Median,
+		Std:    s.Std,
+		Min:    s.Min,
+		Max:    s.Max,
+		P10:    stats.Quantile(xs, 0.1),
+		P90:    stats.Quantile(xs, 0.9),
+	}
+}
+
+// EnsembleStats aggregates the per-trial results of an ensemble.
+type EnsembleStats struct {
+	// Trials is the number of trials run.
+	Trials int
+	// Converged counts the trials whose protocol reached its desired
+	// configuration; ConvergenceRate is the corresponding fraction.
+	Converged       int
+	ConvergenceRate float64
+	// Stable counts the trials that additionally held the configuration
+	// through the confirmation window (equal to Converged when no window
+	// was requested); StableRate is the corresponding fraction.
+	Stable     int
+	StableRate float64
+	// Interactions summarizes the convergence times T_C (in
+	// interactions) of the converged trials.
+	Interactions SummaryStats
+	// Estimates summarizes the population-size estimates of the
+	// converged trials.
+	Estimates SummaryStats
+}
+
+// EnsembleResult is the outcome of RunEnsemble: every trial's result in
+// trial order, plus aggregate statistics.
+type EnsembleResult struct {
+	Trials []Result
+	Stats  EnsembleStats
+}
+
+// RunEnsemble runs trials independent simulations of the chosen
+// algorithm in parallel and aggregates the results. Trial i derives its
+// scheduler seed deterministically from the base seed (WithSeed), so an
+// ensemble is bit-for-bit reproducible at any parallelism
+// (WithParallelism; default one worker per CPU). Schedulers registered
+// with WithScheduler are built fresh per trial, observers receive
+// snapshots tagged with the trial index, and ctx cancellation stops all
+// trials at their next convergence poll and returns ctx's error.
+func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Option) (EnsembleResult, error) {
+	if trials <= 0 {
+		return EnsembleResult{}, fmt.Errorf("popcount: non-positive trial count %d", trials)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	set := newSettings(opts)
+	// Validate once up front so the trial factory cannot fail mid-run.
+	if err := validate(alg, n); err != nil {
+		return EnsembleResult{}, err
+	}
+
+	// Per-trial observer closures, written by the factory and read by
+	// the observer hook — both run on the owning trial's goroutine.
+	var obsFns []func(sim.Observation)
+	if set.observer != nil {
+		obsFns = make([]func(sim.Observation), trials)
+	}
+	factory := func(trial int) sim.Protocol {
+		p, err := newProtocol(alg, n, set)
+		if err != nil {
+			panic(err) // validated above; unreachable
+		}
+		if obsFns != nil {
+			obsFns[trial] = set.snapshotObserver(alg, p, trial)
+		}
+		return p
+	}
+
+	cfg := sim.Config{
+		Seed:            set.seed,
+		MaxInteractions: set.maxI,
+		CheckEvery:      set.checkEvery,
+		ConfirmWindow:   set.confirmWindow,
+		Interrupt: func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		},
+	}
+
+	par := set.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	topt := sim.TrialOptions{Parallelism: par}
+	if set.mkSched != nil {
+		topt.MakeScheduler = set.newSimScheduler
+	}
+	if obsFns != nil {
+		topt.Observe = func(trial int, o sim.Observation) { obsFns[trial](o) }
+	}
+
+	runs, err := sim.RunTrials(factory, trials, cfg, topt)
+	if err != nil {
+		return EnsembleResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return EnsembleResult{}, err
+	}
+
+	out := EnsembleResult{Trials: make([]Result, trials)}
+	var times, ests []float64
+	for i, tr := range runs {
+		r := Result{
+			Converged:    tr.Result.Converged,
+			Interactions: tr.Result.Interactions,
+			Total:        tr.Result.Total,
+			Stable:       tr.Result.Stable,
+			Outputs:      sim.Outputs(tr.Protocol),
+		}
+		if o, ok := tr.Protocol.(sim.Outputter); ok {
+			r.Output = o.Output(0)
+		}
+		r.Estimate = estimateFor(alg, r.Output)
+		out.Trials[i] = r
+		if r.Converged {
+			out.Stats.Converged++
+			times = append(times, float64(r.Interactions))
+			ests = append(ests, float64(r.Estimate))
+		}
+		if r.Stable && r.Converged {
+			out.Stats.Stable++
+		}
+	}
+	out.Stats.Trials = trials
+	out.Stats.ConvergenceRate = float64(out.Stats.Converged) / float64(trials)
+	out.Stats.StableRate = float64(out.Stats.Stable) / float64(trials)
+	out.Stats.Interactions = summarize(times)
+	out.Stats.Estimates = summarize(ests)
+	return out, nil
+}

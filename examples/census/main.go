@@ -8,12 +8,14 @@
 // CountExact does it in the optimal O(n log n). Asymptotics hide
 // constants, so this example sweeps n and shows the crossover: the
 // baseline wins for small populations, CountExact's advantage then grows
-// like n / log n.
+// like n / log n. The sweep runs both protocols as parallel ensembles so
+// each cell is a mean over independent trials rather than a single run.
 //
 //	go run ./examples/census
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,23 +23,32 @@ import (
 )
 
 func main() {
+	const trials = 4
+	ctx := context.Background()
+
 	fmt.Printf("%8s %16s %16s %9s\n", "n", "token bags (Θn²)", "CountExact", "speedup")
-	for _, n := range []int{500, 1000, 2000, 4000, 8000, 16000} {
-		bag, err := popcount.Count(popcount.TokenBag, n,
+	for _, n := range []int{500, 1000, 2000, 4000, 8000} {
+		bags, err := popcount.RunEnsemble(ctx, popcount.TokenBag, n, trials,
 			popcount.WithSeed(9), popcount.WithMaxInteractions(int64(n)*int64(n)*200))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fast, err := popcount.ExactSize(n, popcount.WithSeed(9))
+		fast, err := popcount.RunEnsemble(ctx, popcount.CountExact, n, trials,
+			popcount.WithSeed(9))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if bag.Output != int64(n) || fast.Output != int64(n) {
-			log.Fatalf("n=%d: census mismatch (bag=%d exact=%d)", n, bag.Output, fast.Output)
+		for _, ens := range []popcount.EnsembleResult{bags, fast} {
+			for i, r := range ens.Trials {
+				if !r.Converged || r.Output != int64(n) {
+					log.Fatalf("n=%d trial %d: census mismatch (converged=%v output=%d)",
+						n, i, r.Converged, r.Output)
+				}
+			}
 		}
-		fmt.Printf("%8d %16d %16d %8.1fx\n",
-			n, bag.Interactions, fast.Interactions,
-			float64(bag.Interactions)/float64(fast.Interactions))
+		fmt.Printf("%8d %16.0f %16.0f %8.1fx\n",
+			n, bags.Stats.Interactions.Mean, fast.Stats.Interactions.Mean,
+			bags.Stats.Interactions.Mean/fast.Stats.Interactions.Mean)
 	}
 
 	// Use the count: split the swarm into equal task groups.

@@ -7,8 +7,8 @@
 // such inconsistencies, raise an error flag that spreads by one-way
 // epidemics, and fall back to a slow protocol that is correct with
 // probability 1. This example runs protocol Approximate's stable variant
-// with an artificially corrupted search result and watches the machinery
-// recover.
+// with an artificially corrupted search result (WithFaultInjection) and
+// watches the machinery recover through the observer hook.
 //
 //	go run ./examples/faulttolerance
 package main
@@ -17,46 +17,46 @@ import (
 	"fmt"
 	"log"
 
-	"popcount/internal/core"
-	"popcount/internal/rng"
+	"popcount"
 )
 
 func main() {
 	const n = 400
 
-	p := core.NewStableApproximate(core.Config{N: n})
-	p.FaultInjection = true // corrupt the leader's k by −4 doublings
-	r := rng.New(77)
-
 	fmt.Println("running stable Approximate with a corrupted search result …")
-	var t int64
-	for !p.Converged() {
-		for i := 0; i < n; i++ {
-			u, v := r.Pair(n)
-			p.Interact(u, v, r)
-		}
-		t += int64(n)
-		if t%(int64(n)*5000) == 0 {
+	var s *popcount.Simulation
+	s, err := popcount.NewSimulation(popcount.StableApproximate, n,
+		popcount.WithSeed(77),
+		popcount.WithFaultInjection(), // corrupt the leader's k by −4 doublings
+		popcount.WithMaxInteractions(int64(n)*int64(n)*2000),
+		popcount.WithObserveEvery(int64(n)*1000),
+		popcount.WithObserver(func(snap popcount.Snapshot) {
 			fmt.Printf("t=%10d  error detected: %v  agent#0 output: %d\n",
-				t, p.Errored(), p.Output(0))
-		}
-		if t > int64(n)*int64(n)*2000 {
-			log.Fatal("did not stabilize")
-		}
+				snap.Interactions, s.Errored(), snap.Output)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.RunToConvergence()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		log.Fatal("did not stabilize")
 	}
 
-	if !p.Errored() {
+	if !s.Errored() {
 		log.Fatal("the corrupted run was not detected — this should never happen")
 	}
 	want := int64(0)
 	for v := n; v > 1; v >>= 1 {
 		want++
 	}
-	fmt.Printf("\nstabilized after %d interactions\n", t)
+	fmt.Printf("\nstabilized after %d interactions\n", res.Interactions)
 	fmt.Printf("error was detected and the backup protocol took over\n")
 	fmt.Printf("final output: %d (⌊log₂ %d⌋ = %d) — correct despite the fault\n",
-		p.Output(0), n, want)
-	if p.Output(0) != want {
+		res.Output, n, want)
+	if res.Output != want {
 		log.Fatal("wrong final output")
 	}
 }

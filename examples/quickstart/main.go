@@ -1,5 +1,6 @@
 // Quickstart: count a population of anonymous agents, approximately and
-// exactly, with the two headline protocols of the paper.
+// exactly, with the two headline protocols of the paper — then separate
+// convergence from stabilization with a confirmation window.
 //
 //	go run ./examples/quickstart
 package main
@@ -33,11 +34,15 @@ func main() {
 		exact.Output, exact.Interactions)
 
 	// The stable variant trades a little bookkeeping for correctness
-	// with probability 1 (Theorem 1.2 / Appendix F).
-	stable, err := popcount.Count(popcount.StableCountExact, n, popcount.WithSeed(42))
+	// with probability 1 (Theorem 1.2 / Appendix F). A confirmation
+	// window distinguishes convergence (T_C) from stabilization (T_S,
+	// Section 1.1): the run continues past first convergence and
+	// Result.Stable certifies the answer never flapped.
+	stable, err := popcount.Count(popcount.StableCountExact, n,
+		popcount.WithSeed(42), popcount.WithConfirmWindow(20*n))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Stable:      %d agents, guaranteed correct, %d interactions\n",
-		stable.Output, stable.Interactions)
+	fmt.Printf("Stable:      %d agents, guaranteed correct, converged at %d, stable=%v through %d total\n",
+		stable.Output, stable.Interactions, stable.Stable, stable.Total)
 }

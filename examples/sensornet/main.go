@@ -8,6 +8,8 @@
 // duty cycle: with more sensors covering the field, each can sleep
 // longer. Protocol Approximate gives every sensor ⌊log₂ n⌋ or ⌈log₂ n⌉
 // using only O(log n · log log n) states — small enough for firmware.
+// The refining estimate is watched through the engine's observer hook;
+// no manual stepping loop needed.
 //
 //	go run ./examples/sensornet
 package main
@@ -33,31 +35,31 @@ func dutyCycle(logEstimate int64) float64 {
 func main() {
 	const deployed = 20000 // ground truth, unknown to the sensors
 
-	s, err := popcount.NewSimulation(popcount.Approximate, deployed, popcount.WithSeed(2026))
+	// Watch the estimate refine as radio contacts accumulate.
+	fmt.Println("contacts      sensor#0 log-estimate")
+	res, err := popcount.Count(popcount.Approximate, deployed,
+		popcount.WithSeed(2026),
+		popcount.WithMaxInteractions(int64(deployed)*100000),
+		popcount.WithObserveEvery(int64(deployed)*25),
+		popcount.WithObserver(func(s popcount.Snapshot) {
+			fmt.Printf("%9d     %d\n", s.Interactions, s.Output)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Watch the estimate refine as radio contacts accumulate.
-	fmt.Println("contacts      sensor#0 log-estimate")
-	for !s.Converged() {
-		s.Step(int64(deployed) * 25)
-		fmt.Printf("%9d     %d\n", s.Interactions(), s.Output(0))
-		if s.Interactions() > int64(deployed)*100000 {
-			log.Fatal("sensornet: estimation did not settle")
-		}
+	if !res.Converged {
+		log.Fatal("sensornet: estimation did not settle")
 	}
 
-	est := s.Output(0)
-	fmt.Printf("\nnetwork size: 2^%d ≈ %d sensors (true: %d)\n", est, int64(1)<<uint(est), deployed)
+	est := res.Output
+	fmt.Printf("\nnetwork size: 2^%d ≈ %d sensors (true: %d)\n", est, res.Estimate, deployed)
 	fmt.Printf("chosen duty cycle: %.3f (awake fraction)\n", dutyCycle(est))
 
 	// Every sensor independently arrives at the same calibration.
-	outs := s.Outputs()
-	for i, o := range outs {
+	for i, o := range res.Outputs {
 		if o != est {
 			log.Fatalf("sensor %d disagrees: %d vs %d", i, o, est)
 		}
 	}
-	fmt.Printf("all %d sensors agree on the estimate\n", len(outs))
+	fmt.Printf("all %d sensors agree on the estimate\n", len(res.Outputs))
 }

@@ -1,0 +1,3 @@
+module popcount
+
+go 1.24

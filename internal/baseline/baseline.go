@@ -19,7 +19,10 @@
 // guarantee, which experiment E15 quantifies.
 package baseline
 
-import "popcount/internal/rng"
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
 
 // TokenBag is the Θ(n²)-interaction exact counting baseline.
 type TokenBag struct {
@@ -43,17 +46,48 @@ func (p *TokenBag) N() int { return len(p.bags) }
 // Interact merges the responder's bag into the initiator's and spreads
 // the maximum bag size.
 func (p *TokenBag) Interact(u, v int, _ *rng.Rand) {
-	if p.bags[u] > 0 && p.bags[v] > 0 {
-		p.bags[u] += p.bags[v]
-		p.bags[v] = 0
+	p.interactOne(u, v)
+}
+
+// interactOne is the transition body shared by the scalar and batched
+// interaction paths.
+func (p *TokenBag) interactOne(u, v int) {
+	bu, bv := p.bags[u], p.bags[v]
+	if bu > 0 && bv > 0 {
+		bu += bv
+		p.bags[u], p.bags[v] = bu, 0
+		bv = 0
 	}
 	m := p.best[u]
-	for _, x := range []int64{p.best[v], p.bags[u], p.bags[v]} {
-		if x > m {
-			m = x
-		}
+	if x := p.best[v]; x > m {
+		m = x
+	}
+	if bu > m {
+		m = bu
+	}
+	if bv > m {
+		m = bv
 	}
 	p.best[u], p.best[v] = m, m
+}
+
+// InteractBatch implements sim.BatchInteractor: it executes count
+// interactions in one tight loop, bit-for-bit equivalent to count scalar
+// Interact calls, with pair drawing devirtualized for the uniform
+// scheduler.
+func (p *TokenBag) InteractBatch(count int64, sched sim.Scheduler, r *rng.Rand) {
+	n := len(p.bags)
+	if _, ok := sched.(sim.UniformScheduler); ok {
+		for i := int64(0); i < count; i++ {
+			u, v := r.Pair(n)
+			p.interactOne(u, v)
+		}
+		return
+	}
+	for i := int64(0); i < count; i++ {
+		u, v := sched.Next(n, r)
+		p.interactOne(u, v)
+	}
 }
 
 // Converged reports whether every agent outputs n.

@@ -7,6 +7,7 @@ import (
 	"popcount/internal/junta"
 	"popcount/internal/leader"
 	"popcount/internal/rng"
+	"popcount/internal/sim"
 )
 
 // refC is the constant factor 2^8 with which the Refinement Stage
@@ -89,6 +90,25 @@ func (p *CountExact) injectExp(level uint8) int32 {
 		e = 16
 	}
 	return e
+}
+
+// InteractBatch implements sim.BatchInteractor: it executes count
+// interactions in one tight loop, bit-for-bit equivalent to count scalar
+// Interact calls, with pair drawing devirtualized for the uniform
+// scheduler.
+func (p *CountExact) InteractBatch(count int64, sched sim.Scheduler, r *rng.Rand) {
+	n := p.cfg.N
+	if _, ok := sched.(sim.UniformScheduler); ok {
+		for i := int64(0); i < count; i++ {
+			u, v := r.Pair(n)
+			p.Interact(u, v, r)
+		}
+		return
+	}
+	for i := int64(0); i < count; i++ {
+		u, v := sched.Next(n, r)
+		p.Interact(u, v, r)
+	}
 }
 
 // Interact applies one interaction of protocol CountExact (Algorithm 3)

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 
 	"popcount/internal/sim"
 	"popcount/internal/stats"
@@ -153,45 +152,25 @@ func withScheduler(mk func() sim.Scheduler) runOpt {
 	return func(rc *runConfig) { rc.mkSched = mk }
 }
 
-// runMany runs trials of factory-built protocols in parallel, with
-// deterministic per-trial seeds derived from cfg.Seed.
+// runMany runs trials of factory-built protocols through the engine's
+// shared trial driver (sim.RunTrials), with deterministic per-trial seeds
+// derived from cfg.Seed.
 func runMany(factory func(trial int) sim.Protocol, trials int, cfg sim.Config, parallelism int, opts ...runOpt) []trialOut {
-	if parallelism <= 0 {
-		parallelism = 1
-	}
 	var rc runConfig
 	for _, o := range opts {
 		o(&rc)
 	}
-	out := make([]trialOut, trials)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				p := factory(i)
-				c := cfg
-				c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
-				if rc.mkSched != nil {
-					c.Scheduler = rc.mkSched()
-				}
-				res, err := sim.Run(p, c)
-				if err != nil {
-					// Population sizes are validated by the factories;
-					// an error here is a programming bug.
-					panic(err)
-				}
-				out[i] = trialOut{p: p, res: res}
-			}
-		}()
+	runs, err := sim.RunTrials(sim.Factory(factory), trials, cfg,
+		sim.TrialOptions{Parallelism: parallelism, MakeScheduler: rc.mkSched})
+	if err != nil {
+		// Population sizes are validated by the factories; an error here
+		// is a programming bug.
+		panic(err)
 	}
-	for i := 0; i < trials; i++ {
-		next <- i
+	out := make([]trialOut, len(runs))
+	for i, tr := range runs {
+		out[i] = trialOut{p: tr.Protocol, res: tr.Result}
 	}
-	close(next)
-	wg.Wait()
 	return out
 }
 

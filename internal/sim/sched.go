@@ -32,8 +32,13 @@ type BiasedScheduler struct {
 	Bias float64
 }
 
-// Next returns the next pair under the bias.
+// Next returns the next pair under the bias. It panics when Hot is not a
+// valid agent index — better than the opaque out-of-range panic the
+// protocol's state arrays would raise later.
 func (s BiasedScheduler) Next(n int, r *rng.Rand) (int, int) {
+	if s.Hot < 0 || s.Hot >= n {
+		panic("sim: BiasedScheduler.Hot is not a valid agent index")
+	}
 	if r.Float64() < s.Bias {
 		v := r.Intn(n - 1)
 		if v >= s.Hot {

@@ -5,9 +5,20 @@
 // the pair updates its states by applying the protocol's transition
 // function.
 //
-// The engine is deliberately minimal: a Protocol owns its agent states and
-// applies one transition per Interact call; the engine supplies the random
-// pair sequence, counts interactions, and polls for convergence.
+// The engine is organized around the resumable Engine type: a Protocol
+// owns its agent states and applies transitions; the Engine supplies the
+// random pair sequence, counts interactions, polls for convergence,
+// notifies observers, and drives the optional confirmation window that
+// separates convergence from stabilization (T_C vs T_S). Run, RunSteps
+// and RunTrials are thin drivers over the same Engine, so every consumer
+// — the public popcount package, the experiment harness, the commands —
+// shares one loop.
+//
+// Protocols that additionally implement BatchInteractor get a fast path:
+// the Engine hands them a whole batch of interactions at once and the
+// protocol pulls scheduler-drawn pairs in a tight loop, eliminating the
+// per-interaction interface dispatch of the scalar path while remaining
+// bit-for-bit reproducible with it.
 package sim
 
 import (
@@ -28,6 +39,19 @@ type Protocol interface {
 	Interact(u, v int, r *rng.Rand)
 }
 
+// BatchInteractor is an optional Protocol fast path. The engine hands the
+// protocol a whole batch of interactions at once; the implementation must
+// behave exactly like count consecutive sched.Next + Interact calls —
+// drawing each pair from sched and interleaving transition coins on r in
+// the same order as the scalar path — so that a batched run is bit-for-bit
+// identical to a scalar run under equal seeds. The payoff is that the
+// per-interaction virtual calls disappear: the protocol loops over its own
+// (devirtualized, inlinable) transition body, and may special-case
+// UniformScheduler to draw pairs with a direct r.Pair call.
+type BatchInteractor interface {
+	InteractBatch(count int64, sched Scheduler, r *rng.Rand)
+}
+
 // Converger is implemented by protocols that can report whether the
 // current configuration is a desired (converged) one. The check may scan
 // all agents; the engine calls it only every Config.CheckEvery
@@ -42,6 +66,16 @@ type Outputter interface {
 	Output(i int) int64
 }
 
+// Observation is a periodic snapshot passed to Config.Observe at every
+// convergence poll.
+type Observation struct {
+	// Interactions is the number of interactions executed so far.
+	Interactions int64
+	// Converged reports whether the convergence predicate held at this
+	// poll (always false for protocols without a Converger).
+	Converged bool
+}
+
 // Config controls a single simulation run.
 type Config struct {
 	// Seed seeds the scheduler RNG. Runs with equal seeds and protocols
@@ -53,9 +87,13 @@ type Config struct {
 	// CheckEvery is the interval, in interactions, between convergence
 	// polls. Zero selects n.
 	CheckEvery int64
-	// Observe, if non-nil, is called at every convergence poll with the
-	// number of interactions so far (including after the final poll).
-	Observe func(interactions int64)
+	// Observe, if non-nil, is called at every convergence poll (including
+	// the polls inside a confirmation window) with the current progress.
+	Observe func(Observation)
+	// Interrupt, if non-nil, is polled before every batch; when it
+	// returns true the run stops early and Result.Interrupted is set.
+	// It is how context cancellation reaches the engine.
+	Interrupt func() bool
 	// Scheduler selects interaction pairs. Nil selects the paper's
 	// uniform random scheduler.
 	Scheduler Scheduler
@@ -65,6 +103,11 @@ type Config struct {
 	// interactions and Result.Stable reports whether the predicate held
 	// at every poll throughout the window.
 	ConfirmWindow int64
+	// DisableBatch forces the scalar interaction path even for protocols
+	// implementing BatchInteractor. The batch path is bit-for-bit
+	// equivalent; the switch exists for differential tests and for
+	// benchmarking one path against the other.
+	DisableBatch bool
 }
 
 // Result reports the outcome of a run.
@@ -82,6 +125,8 @@ type Result struct {
 	// ConfirmWindow after first convergence (equal to Converged when no
 	// window was requested).
 	Stable bool
+	// Interrupted reports whether Config.Interrupt stopped the run early.
+	Interrupted bool
 }
 
 // ErrTooSmall is returned when a protocol population has fewer than two
@@ -122,93 +167,187 @@ func Log2Floor(n int) int {
 	return k
 }
 
-// Run simulates p under cfg until it converges or the interaction cap is
-// reached.
-func Run(p Protocol, cfg Config) (Result, error) {
+// Engine is a resumable simulation of one protocol instance: stepwise
+// control (Step) plus convergence driving (RunToConvergence) over the
+// same interaction counter, scheduler, and RNG stream. Mixing the two is
+// legal — RunToConvergence picks up wherever manual stepping left off.
+type Engine struct {
+	p      Protocol
+	bi     BatchInteractor // nil when unsupported or disabled
+	conv   Converger       // nil when the protocol has no predicate
+	sched  Scheduler
+	r      *rng.Rand
+	cfg    Config // normalized: MaxInteractions and CheckEvery filled in
+	t      int64
+	convAt int64 // interactions at first observed convergence, -1 before
+}
+
+// NewEngine validates p and cfg and returns an engine positioned at
+// interaction 0.
+func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 	n := p.N()
 	if n < 2 {
-		return Result{}, ErrTooSmall
+		return nil, ErrTooSmall
 	}
-	maxI := cfg.MaxInteractions
-	if maxI <= 0 {
-		maxI = DefaultMaxInteractions(n)
+	if cfg.MaxInteractions <= 0 {
+		cfg.MaxInteractions = DefaultMaxInteractions(n)
 	}
-	check := cfg.CheckEvery
-	if check <= 0 {
-		check = int64(n)
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = int64(n)
 	}
-	r := rng.New(cfg.Seed)
-	sched := cfg.Scheduler
-	if sched == nil {
-		sched = UniformScheduler{}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = UniformScheduler{}
 	}
-	conv, canConverge := p.(Converger)
+	e := &Engine{
+		p:      p,
+		sched:  cfg.Scheduler,
+		r:      rng.New(cfg.Seed),
+		cfg:    cfg,
+		convAt: -1,
+	}
+	if !cfg.DisableBatch {
+		e.bi, _ = p.(BatchInteractor)
+	}
+	e.conv, _ = p.(Converger)
+	return e, nil
+}
 
-	var t int64
-	for t < maxI {
+// Protocol returns the protocol under simulation.
+func (e *Engine) Protocol() Protocol { return e.p }
+
+// Interactions returns the number of interactions executed so far.
+func (e *Engine) Interactions() int64 { return e.t }
+
+// Converged reports whether the protocol's convergence predicate
+// currently holds (false for protocols without one).
+func (e *Engine) Converged() bool { return e.conv != nil && e.conv.Converged() }
+
+// Step executes exactly count interactions without convergence checks,
+// using the batch fast path when the protocol supports it.
+func (e *Engine) Step(count int64) {
+	if count <= 0 {
+		return
+	}
+	if e.bi != nil {
+		e.bi.InteractBatch(count, e.sched, e.r)
+	} else {
+		n := e.p.N()
+		for i := int64(0); i < count; i++ {
+			u, v := e.sched.Next(n, e.r)
+			e.p.Interact(u, v, e.r)
+		}
+	}
+	e.t += count
+}
+
+// poll runs one convergence poll: it records first convergence, notifies
+// the observer, and returns the predicate's value.
+func (e *Engine) poll() bool {
+	conv := e.Converged()
+	if conv && e.convAt < 0 {
+		e.convAt = e.t
+	}
+	if e.cfg.Observe != nil {
+		e.cfg.Observe(Observation{Interactions: e.t, Converged: conv})
+	}
+	return conv
+}
+
+// interrupted polls the Interrupt hook.
+func (e *Engine) interrupted() bool {
+	return e.cfg.Interrupt != nil && e.cfg.Interrupt()
+}
+
+// result packages the engine's current progress. The first-convergence
+// time is only meaningful on a converged result: a predicate that held
+// once and flapped out before the budget ran out must report the
+// budget, per the Interactions contract.
+func (e *Engine) result(converged, stable, interrupted bool) Result {
+	first := e.t
+	if converged && e.convAt >= 0 {
+		first = e.convAt
+	}
+	return Result{
+		Interactions: first,
+		Total:        e.t,
+		Converged:    converged,
+		Stable:       stable,
+		Interrupted:  interrupted,
+	}
+}
+
+// RunToConvergence drives the simulation from its current position until
+// the convergence predicate holds (plus the optional confirmation
+// window), the interaction cap is reached, or Interrupt fires.
+func (e *Engine) RunToConvergence() (Result, error) {
+	maxI, check := e.cfg.MaxInteractions, e.cfg.CheckEvery
+	converged := e.Converged()
+	if converged && e.convAt < 0 {
+		e.convAt = e.t
+	}
+	for !converged && e.t < maxI {
+		if e.interrupted() {
+			return e.result(false, false, true), nil
+		}
 		batch := check
-		if rem := maxI - t; rem < batch {
+		if rem := maxI - e.t; rem < batch {
 			batch = rem
 		}
-		for i := int64(0); i < batch; i++ {
-			u, v := sched.Next(n, r)
-			p.Interact(u, v, r)
-		}
-		t += batch
-		if cfg.Observe != nil {
-			cfg.Observe(t)
-		}
-		if canConverge && conv.Converged() {
-			res := Result{Interactions: t, Total: t, Converged: true, Stable: true}
-			if cfg.ConfirmWindow > 0 {
-				res.Stable, res.Total = confirm(p, conv, sched, r, t, check, cfg)
-			}
-			return res, nil
-		}
+		e.Step(batch)
+		converged = e.poll()
 	}
-	converged := canConverge && conv.Converged()
-	return Result{Interactions: t, Total: t, Converged: converged, Stable: converged}, nil
+	if !converged {
+		return e.result(false, false, false), nil
+	}
+	if e.cfg.ConfirmWindow <= 0 {
+		return e.result(true, true, false), nil
+	}
+	return e.confirm()
 }
 
 // confirm continues the run for cfg.ConfirmWindow interactions after
 // first convergence and reports whether the predicate held at every
-// poll (the stabilization check of Section 1.1).
-func confirm(p Protocol, conv Converger, sched Scheduler, r *rng.Rand, t, check int64, cfg Config) (stable bool, total int64) {
-	n := p.N()
-	stable = true
-	end := t + cfg.ConfirmWindow
-	for t < end {
+// poll (the stabilization check of Section 1.1). Result.Converged stays
+// true — it records that convergence was observed, even if the window
+// then catches the configuration flapping out of the desired set.
+func (e *Engine) confirm() (Result, error) {
+	check := e.cfg.CheckEvery
+	stable := true
+	end := e.t + e.cfg.ConfirmWindow
+	for e.t < end {
+		if e.interrupted() {
+			return e.result(true, false, true), nil
+		}
 		batch := check
-		if rem := end - t; rem < batch {
+		if rem := end - e.t; rem < batch {
 			batch = rem
 		}
-		for i := int64(0); i < batch; i++ {
-			u, v := sched.Next(n, r)
-			p.Interact(u, v, r)
-		}
-		t += batch
-		if cfg.Observe != nil {
-			cfg.Observe(t)
-		}
-		if !conv.Converged() {
+		e.Step(batch)
+		if !e.poll() {
 			stable = false
 		}
 	}
-	return stable, t
+	return e.result(true, stable, false), nil
+}
+
+// Run simulates p under cfg until it converges or the interaction cap is
+// reached.
+func Run(p Protocol, cfg Config) (Result, error) {
+	e, err := NewEngine(p, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.RunToConvergence()
 }
 
 // RunSteps executes exactly steps interactions without convergence checks,
 // useful for fixed-horizon experiments.
 func RunSteps(p Protocol, seed uint64, steps int64) error {
-	n := p.N()
-	if n < 2 {
-		return ErrTooSmall
+	e, err := NewEngine(p, Config{Seed: seed})
+	if err != nil {
+		return err
 	}
-	r := rng.New(seed)
-	for i := int64(0); i < steps; i++ {
-		u, v := r.Pair(n)
-		p.Interact(u, v, r)
-	}
+	e.Step(steps)
 	return nil
 }
 
@@ -216,21 +355,49 @@ func RunSteps(p Protocol, seed uint64, steps int64) error {
 // factory must return an independent instance every call.
 type Factory func(trial int) Protocol
 
+// TrialRun couples a trial's finished protocol instance with its result,
+// so callers can read protocol-specific metrics after the run.
+type TrialRun struct {
+	Protocol Protocol
+	Result   Result
+}
+
+// TrialOptions configures RunTrials beyond the per-run Config.
+type TrialOptions struct {
+	// Parallelism bounds concurrent trials (≤ 0 selects 1).
+	Parallelism int
+	// MakeScheduler, if non-nil, builds a fresh scheduler for every trial
+	// — schedulers may be stateful and must never be shared across
+	// trials. It overrides Config.Scheduler.
+	MakeScheduler func() Scheduler
+	// Observe, if non-nil, receives every trial's observations tagged
+	// with the trial index. It overrides Config.Observe and must be safe
+	// for concurrent use when Parallelism > 1.
+	Observe func(trial int, obs Observation)
+}
+
+// TrialSeed derives trial i's scheduler seed from a base seed. The
+// golden-ratio stride keeps the seeds well separated before they are
+// hashed by the generator's splitmix64 seeding.
+func TrialSeed(base uint64, trial int) uint64 {
+	return base + uint64(trial)*0x9e3779b97f4a7c15
+}
+
 // RunTrials runs independent trials of a protocol in parallel and returns
-// the per-trial results in trial order. Trial i uses seed base cfg.Seed+i
-// (hashed internally by the generator), so results are reproducible.
-// parallelism ≤ 0 selects 1.
-func RunTrials(f Factory, trials int, cfg Config, parallelism int) ([]Result, error) {
+// the per-trial runs in trial order. Trial i uses seed TrialSeed(cfg.Seed,
+// i), so results are bit-for-bit reproducible regardless of parallelism.
+func RunTrials(f Factory, trials int, cfg Config, opt TrialOptions) ([]TrialRun, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
 	}
+	parallelism := opt.Parallelism
 	if parallelism <= 0 {
 		parallelism = 1
 	}
 	if parallelism > trials {
 		parallelism = trials
 	}
-	results := make([]Result, trials)
+	runs := make([]TrialRun, trials)
 	errs := make([]error, trials)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -240,8 +407,17 @@ func RunTrials(f Factory, trials int, cfg Config, parallelism int) ([]Result, er
 			defer wg.Done()
 			for i := range next {
 				c := cfg
-				c.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
-				results[i], errs[i] = Run(f(i), c)
+				c.Seed = TrialSeed(cfg.Seed, i)
+				if opt.MakeScheduler != nil {
+					c.Scheduler = opt.MakeScheduler()
+				}
+				if opt.Observe != nil {
+					trial := i
+					c.Observe = func(obs Observation) { opt.Observe(trial, obs) }
+				}
+				p := f(i)
+				res, err := Run(p, c)
+				runs[i], errs[i] = TrialRun{Protocol: p, Result: res}, err
 			}
 		}()
 	}
@@ -255,7 +431,7 @@ func RunTrials(f Factory, trials int, cfg Config, parallelism int) ([]Result, er
 			return nil, err
 		}
 	}
-	return results, nil
+	return runs, nil
 }
 
 // AllOutputsEqual reports whether every agent of p outputs want.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 
 	"popcount/internal/rng"
@@ -86,7 +87,7 @@ func TestRunObserve(t *testing.T) {
 	var calls []int64
 	p := newSpread(32)
 	_, err := Run(p, Config{Seed: 1, MaxInteractions: 100, CheckEvery: 25,
-		Observe: func(t int64) { calls = append(calls, t) }})
+		Observe: func(o Observation) { calls = append(calls, o.Interactions) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRunSteps(t *testing.T) {
 
 func TestRunTrials(t *testing.T) {
 	f := func(trial int) Protocol { return newSpread(64) }
-	res, err := RunTrials(f, 8, Config{Seed: 5}, 4)
+	res, err := RunTrials(f, 8, Config{Seed: 5}, TrialOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,25 +121,89 @@ func TestRunTrials(t *testing.T) {
 		t.Fatalf("got %d results, want 8", len(res))
 	}
 	for i, r := range res {
-		if !r.Converged {
+		if !r.Result.Converged {
 			t.Fatalf("trial %d did not converge", i)
 		}
+		if r.Protocol == nil {
+			t.Fatalf("trial %d lost its protocol instance", i)
+		}
 	}
-	// Reproducibility across invocations.
-	res2, err := RunTrials(f, 8, Config{Seed: 5}, 2)
+	// Reproducibility across invocations and parallelism levels.
+	res2, err := RunTrials(f, 8, Config{Seed: 5}, TrialOptions{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range res {
-		if res[i] != res2[i] {
-			t.Fatalf("trial %d not reproducible: %+v vs %+v", i, res[i], res2[i])
+		if res[i].Result != res2[i].Result {
+			t.Fatalf("trial %d not reproducible: %+v vs %+v", i, res[i].Result, res2[i].Result)
 		}
 	}
 }
 
 func TestRunTrialsRejectsBadCount(t *testing.T) {
-	if _, err := RunTrials(func(int) Protocol { return newSpread(4) }, 0, Config{}, 1); err == nil {
+	if _, err := RunTrials(func(int) Protocol { return newSpread(4) }, 0, Config{}, TrialOptions{}); err == nil {
 		t.Fatal("expected error for zero trials")
+	}
+}
+
+func TestRunTrialsPerTrialObserver(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	_, err := RunTrials(func(int) Protocol { return newSpread(64) }, 4, Config{Seed: 5},
+		TrialOptions{Parallelism: 4, Observe: func(trial int, obs Observation) {
+			mu.Lock()
+			seen[trial]++
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("trial %d produced no observations", i)
+		}
+	}
+}
+
+func TestEngineResumable(t *testing.T) {
+	p := newSpread(128)
+	e, err := NewEngine(p, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step(500)
+	if e.Interactions() != 500 {
+		t.Fatalf("Interactions = %d after manual stepping", e.Interactions())
+	}
+	res, err := e.RunToConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Total != e.Interactions() {
+		t.Fatalf("resumed run inconsistent: %+v vs t=%d", res, e.Interactions())
+	}
+	// Driving a converged engine again is a no-op.
+	res2, err := e.RunToConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Total != res.Total || !res2.Converged {
+		t.Fatalf("re-driving a converged engine changed the result: %+v", res2)
+	}
+}
+
+func TestRunInterrupt(t *testing.T) {
+	polls := 0
+	res, err := Run(newSpread(1024), Config{Seed: 1, CheckEvery: 64,
+		Interrupt: func() bool { polls++; return polls > 3 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatalf("run was not interrupted: %+v", res)
+	}
+	if res.Converged || res.Total >= DefaultMaxInteractions(1024) {
+		t.Fatalf("interrupted run ran to completion: %+v", res)
 	}
 }
 

@@ -17,10 +17,16 @@
 //     answer correct with probability 1.
 //
 // The package's high-level functions run a full simulation under the
-// uniform random scheduler; the Simulation type offers stepwise control.
-// The building blocks (epidemics, junta, phase clocks, leader election,
-// load balancing, backups, baselines) live in internal packages and are
-// exercised by the experiment suite in internal/exp (see EXPERIMENTS.md).
+// uniform random scheduler; the Simulation type offers stepwise control,
+// and RunEnsemble drives many independent trials in parallel with
+// aggregate statistics. The scheduling assumption itself is pluggable
+// (WithScheduler), running progress is observable (WithObserver), and a
+// confirmation window (WithConfirmWindow) separates convergence from
+// stabilization — Section 1.1's T_C vs T_S distinction, reported through
+// Result.Stable and Result.Total. The building blocks (epidemics, junta,
+// phase clocks, leader election, load balancing, backups, baselines)
+// live in internal packages and are exercised by the experiment suite in
+// internal/exp (see DESIGN.md and EXPERIMENTS.md).
 package popcount
 
 import (
@@ -28,7 +34,6 @@ import (
 
 	"popcount/internal/baseline"
 	"popcount/internal/core"
-	"popcount/internal/rng"
 	"popcount/internal/sim"
 )
 
@@ -77,10 +82,15 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Algorithms returns every available algorithm, in declaration order.
+func Algorithms() []Algorithm {
+	return []Algorithm{Approximate, CountExact, StableApproximate,
+		StableCountExact, TokenBag, GeometricEstimate}
+}
+
 // ParseAlgorithm resolves an algorithm by its String name.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	for _, a := range []Algorithm{Approximate, CountExact, StableApproximate,
-		StableCountExact, TokenBag, GeometricEstimate} {
+	for _, a := range Algorithms() {
 		if a.String() == name {
 			return a, nil
 		}
@@ -88,20 +98,35 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("popcount: unknown algorithm %q", name)
 }
 
-// Option customizes a simulation.
+// Option customizes a simulation or ensemble.
 type Option func(*settings)
 
 type settings struct {
-	seed       uint64
-	maxI       int64
-	checkEvery int64
-	clockM     int
-	fastRounds int
-	shift      int
+	seed          uint64
+	maxI          int64
+	checkEvery    int64
+	confirmWindow int64
+	clockM        int
+	fastRounds    int
+	shift         int
+	parallelism   int
+	mkSched       func() Scheduler
+	observer      Observer
+	observeEvery  int64
+	faultInject   bool
+}
+
+func newSettings(opts []Option) settings {
+	set := settings{seed: 1}
+	for _, o := range opts {
+		o(&set)
+	}
+	return set
 }
 
 // WithSeed sets the scheduler seed (default 1). Equal seeds reproduce
-// runs bit for bit.
+// runs bit for bit; ensemble trial i derives its own seed from this base
+// deterministically, so ensembles are reproducible too.
 func WithSeed(seed uint64) Option { return func(s *settings) { s.seed = seed } }
 
 // WithMaxInteractions caps the simulation length (default: a generous
@@ -111,6 +136,16 @@ func WithMaxInteractions(max int64) Option { return func(s *settings) { s.maxI =
 // WithCheckEvery sets the convergence polling interval in interactions
 // (default n).
 func WithCheckEvery(interval int64) Option { return func(s *settings) { s.checkEvery = interval } }
+
+// WithConfirmWindow keeps a run going for window further interactions
+// after convergence is first observed and reports, via Result.Stable,
+// whether the desired configuration held throughout — the paper's
+// stabilization time T_S as opposed to the convergence time T_C
+// (Section 1.1). Result.Total then exceeds Result.Interactions by the
+// window length.
+func WithConfirmWindow(window int64) Option {
+	return func(s *settings) { s.confirmWindow = window }
+}
 
 // WithClockM sets the phase-clock constant m (Lemma 5); see DESIGN.md
 // for the calibration of the default.
@@ -123,14 +158,38 @@ func WithFastRounds(rounds int) Option { return func(s *settings) { s.fastRounds
 // (DESIGN.md, substitution 1).
 func WithShift(shift int) Option { return func(s *settings) { s.shift = shift } }
 
+// WithParallelism bounds the number of concurrently running trials in
+// RunEnsemble (default: one per CPU). It has no effect on single runs,
+// and no effect on results — ensembles are bit-for-bit reproducible at
+// any parallelism.
+func WithParallelism(workers int) Option {
+	return func(s *settings) { s.parallelism = workers }
+}
+
+// WithFaultInjection corrupts the search result of the stable protocol
+// variants (StableApproximate, StableCountExact), forcing their
+// error-detection → backup pipeline to engage — a demonstration and
+// testing knob for the machinery of Theorem 1.2 and Appendix F. Other
+// algorithms ignore it.
+func WithFaultInjection() Option { return func(s *settings) { s.faultInject = true } }
+
 // Result reports the outcome of a completed simulation.
 type Result struct {
 	// Converged reports whether the protocol reached its desired
 	// configuration within the interaction budget.
 	Converged bool
 	// Interactions is the number of interactions until convergence was
-	// detected (or the budget, if not converged).
+	// detected (or the budget, if not converged) — the convergence time
+	// T_C at CheckEvery granularity.
 	Interactions int64
+	// Total is the total number of interactions executed. It exceeds
+	// Interactions when a confirmation window was requested
+	// (WithConfirmWindow).
+	Total int64
+	// Stable reports whether the desired configuration held at every
+	// poll of the confirmation window after first convergence. Without a
+	// window it equals Converged.
+	Stable bool
 	// Output is agent 0's output; at convergence all agents agree. For
 	// the approximate protocols it is the log₂-estimate, for the exact
 	// protocols and baselines the population-size estimate itself.
@@ -165,23 +224,24 @@ func ExactSize(n int, opts ...Option) (Result, error) {
 	return Count(CountExact, n, opts...)
 }
 
-// Simulation is a stepwise-controlled protocol run.
-type Simulation struct {
-	alg Algorithm
-	p   sim.Protocol
-	r   *rng.Rand
-	set settings
-	t   int64
+// validate checks the algorithm/population pair without building the
+// O(n) protocol state.
+func validate(alg Algorithm, n int) error {
+	if n < 2 {
+		return fmt.Errorf("popcount: population size %d is below 2", n)
+	}
+	for _, a := range Algorithms() {
+		if a == alg {
+			return nil
+		}
+	}
+	return fmt.Errorf("popcount: unknown algorithm %v", alg)
 }
 
-// NewSimulation builds a protocol instance over n agents.
-func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("popcount: population size %d is below 2", n)
-	}
-	set := settings{seed: 1}
-	for _, o := range opts {
-		o(&set)
+// newProtocol builds the protocol instance for alg over n agents.
+func newProtocol(alg Algorithm, n int, set settings) (sim.Protocol, error) {
+	if err := validate(alg, n); err != nil {
+		return nil, err
 	}
 	cfg := core.Config{N: n, ClockM: set.clockM, FastRounds: set.fastRounds, Shift: set.shift}
 	var p sim.Protocol
@@ -191,9 +251,13 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 	case CountExact:
 		p = core.NewCountExact(cfg)
 	case StableApproximate:
-		p = core.NewStableApproximate(cfg)
+		sp := core.NewStableApproximate(cfg)
+		sp.FaultInjection = set.faultInject
+		p = sp
 	case StableCountExact:
-		p = core.NewStableCountExact(cfg)
+		sp := core.NewStableCountExact(cfg)
+		sp.FaultInjection = set.faultInject
+		p = sp
 	case TokenBag:
 		p = baseline.NewTokenBag(n)
 	case GeometricEstimate:
@@ -201,7 +265,45 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 	default:
 		return nil, fmt.Errorf("popcount: unknown algorithm %v", alg)
 	}
-	return &Simulation{alg: alg, p: p, r: rng.New(set.seed), set: set}, nil
+	return p, nil
+}
+
+// simConfig translates the settings into an engine configuration for one
+// trial, wiring the observer to the given protocol instance.
+func (set settings) simConfig(alg Algorithm, p sim.Protocol, trial int) sim.Config {
+	cfg := sim.Config{
+		Seed:            set.seed,
+		MaxInteractions: set.maxI,
+		CheckEvery:      set.checkEvery,
+		ConfirmWindow:   set.confirmWindow,
+		Scheduler:       set.newSimScheduler(),
+	}
+	if set.observer != nil {
+		cfg.Observe = set.snapshotObserver(alg, p, trial)
+	}
+	return cfg
+}
+
+// Simulation is a stepwise-controlled protocol run.
+type Simulation struct {
+	alg Algorithm
+	p   sim.Protocol
+	eng *sim.Engine
+}
+
+// NewSimulation builds a protocol instance over n agents, driven by the
+// shared simulation engine.
+func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
+	set := newSettings(opts)
+	p, err := newProtocol(alg, n, set)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(p, set.simConfig(alg, p, 0))
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{alg: alg, p: p, eng: eng}, nil
 }
 
 // N returns the population size.
@@ -210,23 +312,22 @@ func (s *Simulation) N() int { return s.p.N() }
 // Algorithm returns the algorithm under simulation.
 func (s *Simulation) Algorithm() Algorithm { return s.alg }
 
-// Step executes count scheduler steps (uniformly random ordered pairs).
-func (s *Simulation) Step(count int64) {
-	n := s.p.N()
-	for i := int64(0); i < count; i++ {
-		u, v := s.r.Pair(n)
-		s.p.Interact(u, v, s.r)
-	}
-	s.t += count
-}
+// Step executes count scheduler steps, using the engine's batched fast
+// path when the protocol supports it.
+func (s *Simulation) Step(count int64) { s.eng.Step(count) }
 
 // Interactions returns the number of interactions executed so far.
-func (s *Simulation) Interactions() int64 { return s.t }
+func (s *Simulation) Interactions() int64 { return s.eng.Interactions() }
 
 // Converged reports whether the protocol's desired configuration holds.
-func (s *Simulation) Converged() bool {
-	c, ok := s.p.(sim.Converger)
-	return ok && c.Converged()
+func (s *Simulation) Converged() bool { return s.eng.Converged() }
+
+// Errored reports whether a stable protocol variant has detected an
+// inconsistency and handed over to its backup (false for algorithms
+// without error detection).
+func (s *Simulation) Errored() bool {
+	e, ok := s.p.(interface{ Errored() bool })
+	return ok && e.Errored()
 }
 
 // Output returns agent i's current output.
@@ -241,38 +342,34 @@ func (s *Simulation) Output(i int) int64 {
 // Outputs returns the current outputs of all agents.
 func (s *Simulation) Outputs() []int64 { return sim.Outputs(s.p) }
 
-// RunToConvergence drives the simulation until convergence or the
-// interaction cap and packages the result.
+// RunToConvergence drives the simulation from its current position until
+// convergence (plus the optional confirmation window) or the interaction
+// cap, and packages the result. It honors prior Step calls.
 func (s *Simulation) RunToConvergence() (Result, error) {
-	n := s.p.N()
-	maxI := s.set.maxI
-	if maxI <= 0 {
-		maxI = sim.DefaultMaxInteractions(n)
+	res, err := s.eng.RunToConvergence()
+	if err != nil {
+		return Result{}, err
 	}
-	check := s.set.checkEvery
-	if check <= 0 {
-		check = int64(n)
-	}
-	for s.t < maxI && !s.Converged() {
-		batch := check
-		if rem := maxI - s.t; rem < batch {
-			batch = rem
-		}
-		s.Step(batch)
-	}
-	res := Result{
-		Converged:    s.Converged(),
-		Interactions: s.t,
+	return s.result(res), nil
+}
+
+// result converts an engine result into the public form.
+func (s *Simulation) result(res sim.Result) Result {
+	out := Result{
+		Converged:    res.Converged,
+		Interactions: res.Interactions,
+		Total:        res.Total,
+		Stable:       res.Stable,
 		Output:       s.Output(0),
 		Outputs:      s.Outputs(),
 	}
-	res.Estimate = s.estimate(res.Output)
-	return res, nil
+	out.Estimate = estimateFor(s.alg, out.Output)
+	return out
 }
 
-// estimate converts an output value into a population-size estimate.
-func (s *Simulation) estimate(out int64) int64 {
-	switch s.alg {
+// estimateFor converts an output value into a population-size estimate.
+func estimateFor(alg Algorithm, out int64) int64 {
+	switch alg {
 	case Approximate, StableApproximate, GeometricEstimate:
 		if out < 0 {
 			return 0

@@ -1,0 +1,149 @@
+package popcount
+
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// Rand is the deterministic random-number source the engine hands to
+// schedulers. It is implemented by the engine's internal xoshiro256++
+// generator; user-defined schedulers draw all their randomness from it so
+// runs stay bit-for-bit reproducible under equal seeds.
+type Rand interface {
+	// Uint64 returns the next 64 uniformly distributed bits.
+	Uint64() uint64
+	// Intn returns a uniform integer in [0, n); it panics for n ≤ 0.
+	Intn(n int) int
+	// Float64 returns a uniform float64 in [0, 1).
+	Float64() float64
+	// Bool returns a fair random bit.
+	Bool() bool
+	// Pair returns an ordered pair of distinct agent indices chosen
+	// uniformly at random from [0, n); n must be ≥ 2.
+	Pair(n int) (u, v int)
+	// Perm returns a uniformly random permutation of [0, n).
+	Perm(n int) []int
+}
+
+// Scheduler selects the ordered agent pair — initiator, responder — for
+// each interaction. The paper's probabilistic scheduler is UniformPairs;
+// BiasedPairs and RandomMatching bend the scheduling assumption to probe
+// protocol robustness (experiment E16), and user-defined implementations
+// can model any contact process. Schedulers may be stateful; the engine
+// builds a fresh one per trial via the factory given to WithScheduler.
+type Scheduler interface {
+	// Next returns the initiator and responder for the next interaction,
+	// distinct indices in [0, n).
+	Next(n int, r Rand) (u, v int)
+}
+
+// WithScheduler selects the interaction scheduler. The factory is invoked
+// once per trial — stateful schedulers are never shared across trials —
+// so both of these are valid:
+//
+//	popcount.Count(alg, n, popcount.WithScheduler(popcount.RandomMatching))
+//	popcount.RunEnsemble(ctx, alg, n, 32,
+//	    popcount.WithScheduler(func() popcount.Scheduler {
+//	        return popcount.BiasedPairs(0, 0.2)
+//	    }))
+//
+// A nil factory (the default) selects the paper's uniform scheduler.
+func WithScheduler(factory func() Scheduler) Option {
+	return func(s *settings) { s.mkSched = factory }
+}
+
+// UniformPairs returns the paper's scheduler: an ordered pair of distinct
+// agents chosen independently and uniformly at random. It is the default.
+func UniformPairs() Scheduler { return uniformSched{} }
+
+type uniformSched struct{}
+
+func (uniformSched) Next(n int, r Rand) (int, int) { return r.Pair(n) }
+
+// BiasedPairs returns a perturbed uniform scheduler: with probability
+// bias the initiator is the fixed agent hot (the responder stays
+// uniform). This models a "chatty" agent — a mild violation of the model
+// under which the w.h.p. analyses no longer apply verbatim. It panics
+// unless bias is in [0, 1) and hot is non-negative; hot must also be a
+// valid index of the simulated population.
+func BiasedPairs(hot int, bias float64) Scheduler {
+	if bias < 0 || bias >= 1 {
+		panic("popcount: BiasedPairs bias must be in [0, 1)")
+	}
+	if hot < 0 {
+		panic("popcount: BiasedPairs hot agent index must be non-negative")
+	}
+	return biasedSched{hot: hot, bias: bias}
+}
+
+type biasedSched struct {
+	hot  int
+	bias float64
+}
+
+func (s biasedSched) Next(n int, r Rand) (int, int) {
+	if r.Float64() < s.bias {
+		v := r.Intn(n - 1)
+		if v >= s.hot {
+			v++
+		}
+		return s.hot, v
+	}
+	return r.Pair(n)
+}
+
+// RandomMatching returns a scheduler that draws interactions from random
+// perfect matchings: each "round" it shuffles the population and plays
+// the ⌊n/2⌋ disjoint pairs in sequence before reshuffling. Every agent
+// interacts exactly once per round — a synchronous flavour common in
+// practical gossip systems. It is not the paper's model, but the
+// protocols' building blocks (epidemics, balancing, clocks) tolerate it
+// well. The returned scheduler is stateful.
+func RandomMatching() Scheduler { return &matchingSched{} }
+
+type matchingSched struct {
+	perm []int
+	pos  int
+}
+
+func (s *matchingSched) Next(n int, r Rand) (int, int) {
+	if s.perm == nil || len(s.perm) != n || s.pos+1 >= len(s.perm)-(n%2) {
+		s.perm = r.Perm(n)
+		s.pos = 0
+	}
+	u, v := s.perm[s.pos], s.perm[s.pos+1]
+	s.pos += 2
+	// Randomize the initiator/responder role within the matched pair.
+	if r.Bool() {
+		return v, u
+	}
+	return u, v
+}
+
+// newSimScheduler builds the engine-side scheduler for one trial. The
+// built-in schedulers map to the engine's native implementations — the
+// uniform one so the batched fast path can devirtualize pair drawing,
+// the others so that one certified implementation defines engine
+// behavior (TestPublicSchedulersMatchEngine pins the public types to
+// them). User-defined schedulers run through a thin adapter.
+func (s settings) newSimScheduler() sim.Scheduler {
+	if s.mkSched == nil {
+		return nil // engine default: uniform
+	}
+	switch sched := s.mkSched().(type) {
+	case uniformSched:
+		return sim.UniformScheduler{}
+	case biasedSched:
+		return sim.BiasedScheduler{Hot: sched.hot, Bias: sched.bias}
+	case *matchingSched:
+		return sim.NewMatchingScheduler()
+	default:
+		return schedAdapter{sched}
+	}
+}
+
+// schedAdapter lifts a public Scheduler into the engine's interface; the
+// engine's generator satisfies Rand directly.
+type schedAdapter struct{ s Scheduler }
+
+func (a schedAdapter) Next(n int, r *rng.Rand) (int, int) { return a.s.Next(n, r) }
