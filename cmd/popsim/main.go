@@ -8,9 +8,13 @@
 //	popsim -alg stable-exact -n 2000 -confirm 100000
 //	popsim -alg exact -n 4096 -trials 32 -par 8
 //	popsim -alg approximate -n 4096 -sched matching
+//	popsim -alg geometric -n 100000000 -engine count
 //
 // Algorithms: approximate, exact, stable-approximate, stable-exact,
 // tokenbag, geometric. Schedulers: uniform, biased, matching.
+// Engines: agent (default), count, auto — the count engine simulates
+// the configuration (per-state agent counts) directly, making population
+// sizes of 10⁸ and beyond practical for supported algorithms.
 package main
 
 import (
@@ -42,11 +46,16 @@ func run(args []string) error {
 		confirm  = fs.Int64("confirm", 0, "confirmation window in interactions (0 = none); reports stabilization")
 		trials   = fs.Int("trials", 1, "independent trials; >1 runs an ensemble and prints aggregate statistics")
 		par      = fs.Int("par", 0, "parallel trials for ensembles (0 = one per CPU)")
+		engineN  = fs.String("engine", "agent", "simulation engine: agent | count | auto (count simulates the configuration directly, enabling n >= 1e8 for supported algorithms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	alg, err := popcount.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	engine, err := popcount.ParseEngineKind(*engineN)
 	if err != nil {
 		return err
 	}
@@ -56,6 +65,7 @@ func run(args []string) error {
 		popcount.WithMaxInteractions(*maxI),
 		popcount.WithConfirmWindow(*confirm),
 		popcount.WithParallelism(*par),
+		popcount.WithEngine(engine),
 	}
 	switch *schedN {
 	case "uniform":
@@ -96,6 +106,7 @@ func run(args []string) error {
 	fmt.Printf("algorithm:    %s\n", alg)
 	fmt.Printf("population:   %d agents\n", *n)
 	fmt.Printf("scheduler:    %s\n", *schedN)
+	fmt.Printf("engine:       %s\n", engine)
 	fmt.Printf("converged:    %v\n", res.Converged)
 	fmt.Printf("interactions: %d\n", res.Interactions)
 	if *confirm > 0 {

@@ -26,6 +26,30 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 	}
 }
 
+func TestRunCountEngine(t *testing.T) {
+	if err := run([]string{"-alg", "geometric", "-n", "100000", "-engine", "count"}); err != nil {
+		t.Fatalf("count-engine run failed: %v", err)
+	}
+}
+
+func TestRunCountEngineEnsemble(t *testing.T) {
+	if err := run([]string{"-alg", "geometric", "-n", "4096", "-engine", "count", "-trials", "4"}); err != nil {
+		t.Fatalf("count-engine ensemble failed: %v", err)
+	}
+}
+
+func TestRunCountEngineUnsupportedAlgorithm(t *testing.T) {
+	if err := run([]string{"-alg", "exact", "-n", "64", "-engine", "count"}); err == nil {
+		t.Fatal("count engine accepted an algorithm without a count form")
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	if err := run([]string{"-alg", "geometric", "-n", "64", "-engine", "nope"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
 func TestRunEnsembleFlag(t *testing.T) {
 	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-trials", "4", "-par", "2"}); err != nil {
 		t.Fatalf("ensemble run failed: %v", err)

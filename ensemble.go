@@ -85,6 +85,13 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 	if err := validate(alg, n); err != nil {
 		return EnsembleResult{}, err
 	}
+	kind, err := resolveEngine(set.engine, alg)
+	if err != nil {
+		return EnsembleResult{}, err
+	}
+	if kind == EngineCount {
+		return runCountEnsemble(ctx, alg, n, trials, set)
+	}
 
 	// Per-trial observer closures, written by the factory and read by
 	// the observer hook — both run on the owning trial's goroutine.
@@ -138,8 +145,7 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 		return EnsembleResult{}, err
 	}
 
-	out := EnsembleResult{Trials: make([]Result, trials)}
-	var times, ests []float64
+	results := make([]Result, trials)
 	for i, tr := range runs {
 		r := Result{
 			Converged:    tr.Result.Converged,
@@ -152,7 +158,18 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 			r.Output = o.Output(0)
 		}
 		r.Estimate = estimateFor(alg, r.Output)
-		out.Trials[i] = r
+		results[i] = r
+	}
+	return aggregateEnsemble(results), nil
+}
+
+// aggregateEnsemble computes the ensemble statistics over per-trial
+// results — the one aggregation rule shared by the agent-engine and
+// count-engine trial paths.
+func aggregateEnsemble(results []Result) EnsembleResult {
+	out := EnsembleResult{Trials: results}
+	var times, ests []float64
+	for _, r := range results {
 		if r.Converged {
 			out.Stats.Converged++
 			times = append(times, float64(r.Interactions))
@@ -162,10 +179,83 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 			out.Stats.Stable++
 		}
 	}
+	trials := len(results)
 	out.Stats.Trials = trials
 	out.Stats.ConvergenceRate = float64(out.Stats.Converged) / float64(trials)
 	out.Stats.StableRate = float64(out.Stats.Stable) / float64(trials)
 	out.Stats.Interactions = summarize(times)
 	out.Stats.Estimates = summarize(ests)
-	return out, nil
+	return out
+}
+
+// runCountEnsemble is the count-engine trial path of RunEnsemble: same
+// seed derivation and aggregation, backed by sim.RunCountTrials.
+// Per-trial Outputs are nil (the configuration is aggregate) and Output
+// is the plurality state's output.
+func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, set settings) (EnsembleResult, error) {
+	if set.mkSched != nil {
+		if _, ok := set.newSimScheduler().(sim.UniformScheduler); !ok {
+			return EnsembleResult{}, sim.ErrCountScheduler
+		}
+	}
+	cfg := sim.Config{
+		Seed:            set.seed,
+		MaxInteractions: set.maxI,
+		CheckEvery:      set.checkEvery,
+		ConfirmWindow:   set.confirmWindow,
+		Interrupt: func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		},
+	}
+	par := set.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	topt := sim.CountTrialOptions{Parallelism: par}
+	if set.observer != nil {
+		// One throttled adapter per trial, created lazily on the trial's
+		// own goroutine — each trial only ever touches its own slot, so
+		// no lock is needed (mirroring the agent path's obsFns).
+		adapters := make([]func(sim.Observation), trials)
+		topt.Observe = func(trial int, e *sim.CountEngine, o sim.Observation) {
+			fn := adapters[trial]
+			if fn == nil {
+				fn = set.snapshotCountObserver(alg, func() *sim.CountEngine { return e }, trial)
+				adapters[trial] = fn
+			}
+			fn(o)
+		}
+	}
+	factory := func(int) sim.CountProtocol {
+		cp, _ := newCountProtocol(alg, n)
+		return cp
+	}
+	runs, err := sim.RunCountTrials(factory, trials, cfg, topt)
+	if err != nil {
+		return EnsembleResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return EnsembleResult{}, err
+	}
+
+	results := make([]Result, trials)
+	for i, tr := range runs {
+		r := Result{
+			Converged:    tr.Result.Converged,
+			Interactions: tr.Result.Interactions,
+			Total:        tr.Result.Total,
+			Stable:       tr.Result.Stable,
+		}
+		if outv, ok := tr.Engine.PluralityOutput(); ok {
+			r.Output = outv
+		}
+		r.Estimate = estimateFor(alg, r.Output)
+		results[i] = r
+	}
+	return aggregateEnsemble(results), nil
 }

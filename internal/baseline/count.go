@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// GeometricCounts is the configuration-level (count-based) form of
+// GeometricEstimate for sim.CountEngine. State code 0 is "not yet
+// sampled"; code 1+g is "sampled value g". First-interaction sampling
+// draws the geometric value from the engine's generator — the same
+// synthetic-coin distribution the agent form draws from the scheduler
+// stream — and the maximum then spreads by two-way epidemics over the at
+// most cap+2 states. Pairs of equal sampled values are certain no-ops
+// (sim.SelfLooper), which is the dominant pair class once the maximum
+// has spread, so runs at n = 10⁸ collapse to about n productive draws.
+type GeometricCounts struct {
+	n      int
+	maxCap int
+}
+
+// NewGeometricCounts returns the count form of the estimator over n
+// agents, with samples capped at 62 like the agent form.
+func NewGeometricCounts(n int) *GeometricCounts {
+	return &GeometricCounts{n: n, maxCap: 62}
+}
+
+// N returns the population size.
+func (p *GeometricCounts) N() int { return p.n }
+
+// InitCounts returns the initial configuration: everyone unsampled.
+func (p *GeometricCounts) InitCounts() map[uint64]int64 {
+	return map[uint64]int64{0: int64(p.n)}
+}
+
+// Delta samples unsampled endpoints (initiator first, then responder,
+// matching the agent form's coin order) and spreads the maximum.
+func (p *GeometricCounts) Delta(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+	if qu == 0 {
+		qu = 1 + uint64(r.Geometric(p.maxCap))
+	}
+	if qv == 0 {
+		qv = 1 + uint64(r.Geometric(p.maxCap))
+	}
+	if qu < qv {
+		return qv, qv
+	}
+	if qv < qu {
+		return qu, qu
+	}
+	return qu, qv
+}
+
+// SelfLoop reports the certainly inert pairs: both sampled with equal
+// values. Pairs involving an unsampled agent always change state (and
+// consume coins), so they are never skipped.
+func (p *GeometricCounts) SelfLoop(qu, qv uint64) bool {
+	return qu != 0 && qu == qv
+}
+
+// CountConverged reports whether all agents have sampled and agree on
+// the maximum — i.e. the configuration occupies exactly one sampled
+// state.
+func (p *GeometricCounts) CountConverged(c *sim.CountConfig) bool {
+	states := 0
+	sampled := true
+	c.ForEach(func(code uint64, _ int64) {
+		states++
+		if code == 0 {
+			sampled = false
+		}
+	})
+	return sampled && states == 1
+}
+
+// StateOutput returns the log-estimate of a state: value + 1, matching
+// GeometricEstimate.Output (which reports val+1 = 1 for agents that have
+// not sampled yet, val being zero-initialized).
+func (p *GeometricCounts) StateOutput(q uint64) int64 {
+	if q == 0 {
+		return 1
+	}
+	return int64(q)
+}

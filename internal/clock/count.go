@@ -1,0 +1,110 @@
+package clock
+
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// Counts is the configuration-level (count-based) form of Protocol for
+// sim.CountEngine: a phase clock driven by a fixed-size junta, with the
+// per-agent state reduced to (clock value, completed phases capped at
+// maxPhase, junta membership). The absolute phase counter is monotone
+// and the convergence predicate only asks whether it has reached
+// maxPhase, so capping it keeps the alphabet finite without changing
+// the dynamics. Junta membership is part of the state code — agents are
+// exchangeable only within the same membership class.
+//
+// The occupied alphabet (clock values spread over a moving window ×
+// phases × membership) is too large for the no-op bookkeeping of the
+// engine's skip path to pay off, so Counts deliberately does not
+// implement sim.SelfLooper; the engine's per-interaction categorical
+// sampling still runs in O(log k) per interaction, independent of n.
+type Counts struct {
+	clock     Clock
+	n         int
+	juntaSize int
+	maxPhase  uint32
+}
+
+// NewCounts returns the count form of a phase clock over n agents with m
+// hours, driven by a junta of juntaSize agents, converging when every
+// agent has completed maxPhase phases.
+func NewCounts(n, m, juntaSize, maxPhase int) *Counts {
+	if juntaSize < 1 || juntaSize > n {
+		panic("clock: junta size out of range")
+	}
+	return &Counts{clock: New(m), n: n, juntaSize: juntaSize, maxPhase: uint32(maxPhase)}
+}
+
+// span returns the extended circle size K·m of the underlying clock.
+func (p *Counts) span() uint64 { return uint64(p.clock.M) * uint64(p.clock.K) }
+
+// encode packs (val, phase, junta) into a state code.
+func (p *Counts) encode(val uint16, phase uint32, junta bool) uint64 {
+	c := uint64(phase)
+	c <<= 1
+	if junta {
+		c |= 1
+	}
+	return c*p.span() + uint64(val)
+}
+
+// decode unpacks a state code.
+func (p *Counts) decode(c uint64) (val uint16, phase uint32, junta bool) {
+	span := p.span()
+	val = uint16(c % span)
+	c /= span
+	junta = c&1 != 0
+	phase = uint32(c >> 1)
+	return
+}
+
+// N returns the population size.
+func (p *Counts) N() int { return p.n }
+
+// InitCounts returns the initial configuration: juntaSize junta members
+// and n−juntaSize plain agents, all at clock value 0, phase 0.
+func (p *Counts) InitCounts() map[uint64]int64 {
+	init := map[uint64]int64{p.encode(0, 0, true): int64(p.juntaSize)}
+	if rest := int64(p.n - p.juntaSize); rest > 0 {
+		init[p.encode(0, 0, false)] = rest
+	}
+	return init
+}
+
+// Delta applies the phase-clock tick to a state pair (deterministic; the
+// generator is unused).
+func (p *Counts) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+	uv, up, uj := p.decode(qu)
+	vv, vp, vj := p.decode(qv)
+	us, vs := State{Val: uv}, State{Val: vv}
+	p.clock.Tick(&us, &vs, uj, vj)
+	up = capPhase(up+us.Phase, p.maxPhase)
+	vp = capPhase(vp+vs.Phase, p.maxPhase)
+	return p.encode(us.Val, up, uj), p.encode(vs.Val, vp, vj)
+}
+
+func capPhase(ph, maxPhase uint32) uint32 {
+	if ph > maxPhase {
+		return maxPhase
+	}
+	return ph
+}
+
+// CountConverged reports whether every agent has completed maxPhase
+// phases.
+func (p *Counts) CountConverged(c *sim.CountConfig) bool {
+	done := true
+	c.ForEach(func(code uint64, _ int64) {
+		if _, phase, _ := p.decode(code); phase < p.maxPhase {
+			done = false
+		}
+	})
+	return done
+}
+
+// StateOutput returns a state's completed phase count.
+func (p *Counts) StateOutput(q uint64) int64 {
+	_, phase, _ := p.decode(q)
+	return int64(phase)
+}

@@ -1,0 +1,102 @@
+package epidemic
+
+import (
+	"sort"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// Counts is the configuration-level (count-based) form of Protocol for
+// sim.CountEngine: the same maximum-broadcast dynamics expressed over
+// value ranks instead of an agent array. State code r is the rank of a
+// value in the sorted distinct initial values, so the max rule is a
+// plain code comparison. Agents holding equal values are exchangeable,
+// which makes the count view exact.
+//
+// The protocol implements sim.SelfLooper: under the strict one-way rule
+// a pair is a certain no-op whenever the initiator's value is at least
+// the responder's, which is the overwhelming majority of draws once the
+// maximum has mostly spread — exactly the regime the engine's geometric
+// skip collapses.
+type Counts struct {
+	n      int
+	oneWay bool
+	vals   []int64          // ascending distinct values; code = rank
+	init   map[uint64]int64 // initial configuration over ranks
+}
+
+// NewCounts returns the count form of the broadcast protocol over the
+// given initial values (the multiset is copied into rank counts).
+func NewCounts(initial []int64, oneWay bool) *Counts {
+	distinct := make(map[int64]struct{}, len(initial))
+	for _, v := range initial {
+		distinct[v] = struct{}{}
+	}
+	vals := make([]int64, 0, len(distinct))
+	for v := range distinct {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	rank := make(map[int64]uint64, len(vals))
+	for i, v := range vals {
+		rank[v] = uint64(i)
+	}
+	init := make(map[uint64]int64, len(vals))
+	for _, v := range initial {
+		init[rank[v]]++
+	}
+	return &Counts{n: len(initial), oneWay: oneWay, vals: vals, init: init}
+}
+
+// NewSingleSourceCounts returns the count form of the basic broadcast
+// setting: one agent holds value 1, everyone else holds 0.
+func NewSingleSourceCounts(n int, oneWay bool) *Counts {
+	return &Counts{
+		n:      n,
+		oneWay: oneWay,
+		vals:   []int64{0, 1},
+		init:   map[uint64]int64{0: int64(n - 1), 1: 1},
+	}
+}
+
+// N returns the population size.
+func (p *Counts) N() int { return p.n }
+
+// InitCounts returns the initial configuration.
+func (p *Counts) InitCounts() map[uint64]int64 {
+	out := make(map[uint64]int64, len(p.init))
+	for k, v := range p.init {
+		out[k] = v
+	}
+	return out
+}
+
+// Delta applies the broadcast transition to a state pair.
+func (p *Counts) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+	if qv > qu {
+		return qv, qv
+	}
+	if !p.oneWay && qu > qv {
+		return qu, qu
+	}
+	return qu, qv
+}
+
+// SelfLoop reports the certainly inert pairs: equal values, and under
+// the one-way rule any pair whose initiator is already at least as
+// large.
+func (p *Counts) SelfLoop(qu, qv uint64) bool {
+	if p.oneWay {
+		return qu >= qv
+	}
+	return qu == qv
+}
+
+// CountConverged reports whether every agent holds the maximum value.
+func (p *Counts) CountConverged(c *sim.CountConfig) bool {
+	return c.Count(uint64(len(p.vals)-1)) == int64(p.n)
+}
+
+// StateOutput returns the value a state's agents hold.
+func (p *Counts) StateOutput(q uint64) int64 { return p.vals[q] }

@@ -1,0 +1,49 @@
+package exp
+
+import "sync/atomic"
+
+// Package-level run counters: every trial the harness executes is
+// tallied here, so cmd/popbench can report machine-readable
+// per-experiment metrics (trials, convergence rate, interactions,
+// interactions/sec) without each experiment carrying its own plumbing.
+// The counters are atomic — trials run concurrently.
+var (
+	ctrTrials       atomic.Int64
+	ctrConverged    atomic.Int64
+	ctrInteractions atomic.Int64
+)
+
+// Counters is a snapshot of the run counters.
+type Counters struct {
+	// Trials is the number of protocol runs executed.
+	Trials int64
+	// Converged is the number of runs whose protocol converged.
+	Converged int64
+	// Interactions is the total number of interactions simulated.
+	Interactions int64
+}
+
+// ResetCounters zeroes the run counters. Call before an experiment to
+// scope a CounterSnapshot to it.
+func ResetCounters() {
+	ctrTrials.Store(0)
+	ctrConverged.Store(0)
+	ctrInteractions.Store(0)
+}
+
+// CounterSnapshot returns the counters accumulated since the last
+// ResetCounters.
+func CounterSnapshot() Counters {
+	return Counters{
+		Trials:       ctrTrials.Load(),
+		Converged:    ctrConverged.Load(),
+		Interactions: ctrInteractions.Load(),
+	}
+}
+
+// countTrials tallies a batch of finished trials.
+func countTrials(trials, converged, interactions int64) {
+	ctrTrials.Add(trials)
+	ctrConverged.Add(converged)
+	ctrInteractions.Add(interactions)
+}

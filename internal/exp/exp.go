@@ -168,9 +168,15 @@ func runMany(factory func(trial int) sim.Protocol, trials int, cfg sim.Config, p
 		panic(err)
 	}
 	out := make([]trialOut, len(runs))
+	var converged, interactions int64
 	for i, tr := range runs {
 		out[i] = trialOut{p: tr.Protocol, res: tr.Result}
+		if tr.Result.Converged {
+			converged++
+		}
+		interactions += tr.Result.Total
 	}
+	countTrials(int64(len(runs)), converged, interactions)
 	return out
 }
 
@@ -261,6 +267,7 @@ func All(o Options) []Table {
 		E15Baselines(o),
 		E16SchedulerRobustness(o),
 		E17Stabilization(o),
+		E18CountEngine(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

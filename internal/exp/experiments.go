@@ -99,9 +99,15 @@ func E3PhaseClock(o Options) Table {
 			j := 2 * sim.Log2Ceil(n)
 			p := clock.NewProtocol(n, m, j, 6)
 			cfg := sim.Config{Seed: o.Seed + uint64(n*m), MaxInteractions: int64(n) * 20000}
-			if _, err := sim.Run(p, cfg); err != nil {
+			res, err := sim.Run(p, cfg)
+			if err != nil {
 				panic(err)
 			}
+			conv := int64(0)
+			if res.Converged {
+				conv = 1
+			}
+			countTrials(1, conv, res.Total)
 			var lens []float64
 			ok := 0
 			for i := 1; i <= 4; i++ {

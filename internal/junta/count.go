@@ -1,0 +1,109 @@
+package junta
+
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// State codes for the count form pack the (level, active, junta) triplet
+// into 8 bits: level in the low 6 (MaxLevel = 63), then the active and
+// junta flags.
+const (
+	codeActive = 1 << 6
+	codeJunta  = 1 << 7
+)
+
+// encode packs an agent state into its count-form code.
+func encode(s State) uint64 {
+	c := uint64(s.Level)
+	if s.Active {
+		c |= codeActive
+	}
+	if s.Junta {
+		c |= codeJunta
+	}
+	return c
+}
+
+// decode unpacks a count-form code.
+func decode(c uint64) State {
+	return State{
+		Level:  uint8(c & (codeActive - 1)),
+		Active: c&codeActive != 0,
+		Junta:  c&codeJunta != 0,
+	}
+}
+
+// Counts is the configuration-level (count-based) form of Protocol for
+// sim.CountEngine. The junta transition is deterministic and depends
+// only on the two (level, active, junta) triplets, so agents sharing a
+// triplet are exchangeable and the count view is exact. The occupied
+// alphabet stays tiny — levels reach log log n + O(1) — and pairs of
+// inactive agents on equal levels are certain no-ops, so the protocol
+// implements sim.SelfLooper.
+type Counts struct{ n int }
+
+// NewCounts returns the count form of the junta process over n agents.
+func NewCounts(n int) *Counts { return &Counts{n: n} }
+
+// N returns the population size.
+func (p *Counts) N() int { return p.n }
+
+// InitCounts returns the initial configuration: every agent active on
+// level 0 with the junta bit set.
+func (p *Counts) InitCounts() map[uint64]int64 {
+	return map[uint64]int64{encode(InitState()): int64(p.n)}
+}
+
+// Delta applies the junta transition to a state pair (it is
+// deterministic; the generator is unused).
+func (p *Counts) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+	su, sv := decode(qu), decode(qv)
+	Interact(&su, &sv)
+	return encode(su), encode(sv)
+}
+
+// SelfLoop reports whether the (deterministic) transition leaves both
+// states unchanged.
+func (p *Counts) SelfLoop(qu, qv uint64) bool {
+	a, b := p.Delta(qu, qv, nil)
+	return a == qu && b == qv
+}
+
+// CountConverged reports whether all agents are inactive.
+func (p *Counts) CountConverged(c *sim.CountConfig) bool {
+	done := true
+	c.ForEach(func(code uint64, _ int64) {
+		if code&codeActive != 0 {
+			done = false
+		}
+	})
+	return done
+}
+
+// MaxLevelInConfig returns the maximal level over a configuration's
+// occupied states (the count-form analogue of Protocol.MaxLevelReached).
+func MaxLevelInConfig(c *sim.CountConfig) int {
+	m := 0
+	c.ForEach(func(code uint64, _ int64) {
+		if l := int(decode(code).Level); l > m {
+			m = l
+		}
+	})
+	return m
+}
+
+// JuntaSizeInConfig returns the number of agents on the maximal level
+// with the junta bit set (the count-form analogue of
+// Protocol.JuntaSize).
+func JuntaSizeInConfig(c *sim.CountConfig) int64 {
+	m := MaxLevelInConfig(c)
+	var sz int64
+	c.ForEach(func(code uint64, cnt int64) {
+		s := decode(code)
+		if int(s.Level) == m && s.Junta {
+			sz += cnt
+		}
+	})
+	return sz
+}

@@ -1,0 +1,201 @@
+package leader
+
+import (
+	"popcount/internal/clock"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// cstate is the per-agent state tuple of the count form of leader_elect:
+// the inner phase-clock value, the election state, the outer clock value
+// with its phase counter capped at 1 (only Outer.Phase ≥ 1 is ever read
+// — it raises leaderDone), and the fixed junta membership. The inner
+// clock's absolute phase counter is never read by the election (only
+// FirstTick and the value-derived phase index are), so it is not part of
+// the code and the alphabet stays finite.
+type cstate struct {
+	innerVal   uint16
+	tag        uint8
+	bit        uint8
+	seenMax    uint8
+	isLeader   bool
+	done       bool
+	outerVal   uint16
+	outerPhase uint8 // capped at 1
+	junta      bool
+}
+
+// Counts is the configuration-level (count-based) form of Protocol for
+// sim.CountEngine: leader_elect over a real inner phase clock driven by
+// a fixed junta. Agents are exchangeable given the full tuple above, so
+// the count view is exact; the engine discovers the occupied alphabet
+// (clock values cluster in a moving window, so it stays far below the
+// full product space) lazily. Coins for the per-phase leader bits are
+// drawn from the engine's generator exactly as the agent form draws them
+// from the scheduler stream.
+//
+// Like the clock's count form, Counts does not implement sim.SelfLooper:
+// with a moving clock window most pairs change state anyway, and the
+// no-op bookkeeping would cost more than it saves.
+type Counts struct {
+	elect     Election
+	n         int
+	juntaSize int
+	spanIn    uint64
+	spanOut   uint64
+}
+
+// NewCounts returns the count form of leader_elect over n agents with an
+// inner clock of m hours and a fixed junta of juntaSize agents —
+// the configuration-level twin of NewProtocol.
+func NewCounts(n, m, juntaSize int) *Counts {
+	if juntaSize < 1 || juntaSize > n {
+		panic("leader: junta size out of range")
+	}
+	inner := clock.New(m)
+	e := NewElection(inner, m)
+	return &Counts{
+		elect:     e,
+		n:         n,
+		juntaSize: juntaSize,
+		spanIn:    uint64(inner.M) * uint64(inner.K),
+		spanOut:   uint64(e.Outer.M) * uint64(e.Outer.K),
+	}
+}
+
+// encode packs a cstate into a code by mixed-radix composition.
+func (p *Counts) encode(s cstate) uint64 {
+	c := uint64(s.innerVal)
+	c = c*uint64(p.elect.Inner.K) + uint64(s.tag)
+	c = c*2 + uint64(s.bit)
+	c = c*2 + uint64(s.seenMax)
+	c = c * 2
+	if s.isLeader {
+		c++
+	}
+	c = c * 2
+	if s.done {
+		c++
+	}
+	c = c*p.spanOut + uint64(s.outerVal)
+	c = c*2 + uint64(s.outerPhase)
+	c = c * 2
+	if s.junta {
+		c++
+	}
+	return c
+}
+
+// decode unpacks a code.
+func (p *Counts) decode(c uint64) cstate {
+	var s cstate
+	s.junta = c&1 != 0
+	c >>= 1
+	s.outerPhase = uint8(c & 1)
+	c >>= 1
+	s.outerVal = uint16(c % p.spanOut)
+	c /= p.spanOut
+	s.done = c&1 != 0
+	c >>= 1
+	s.isLeader = c&1 != 0
+	c >>= 1
+	s.seenMax = uint8(c & 1)
+	c >>= 1
+	s.bit = uint8(c & 1)
+	c >>= 1
+	s.tag = uint8(c % uint64(p.elect.Inner.K))
+	c /= uint64(p.elect.Inner.K)
+	s.innerVal = uint16(c)
+	return s
+}
+
+// N returns the population size.
+func (p *Counts) N() int { return p.n }
+
+// InitCounts returns the initial configuration: every agent a leader
+// contender at clock value 0, juntaSize of them junta members.
+func (p *Counts) InitCounts() map[uint64]int64 {
+	member := cstate{isLeader: true, junta: true}
+	plain := cstate{isLeader: true}
+	init := map[uint64]int64{p.encode(member): int64(p.juntaSize)}
+	if rest := int64(p.n - p.juntaSize); rest > 0 {
+		init[p.encode(plain)] = rest
+	}
+	return init
+}
+
+// Delta applies one leader_elect transition — inner clock tick, then
+// election step — to a state pair, mirroring Protocol.Interact.
+func (p *Counts) Delta(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+	su, sv := p.decode(qu), p.decode(qv)
+	uc := clock.State{Val: su.innerVal}
+	vc := clock.State{Val: sv.innerVal}
+	p.elect.Inner.Tick(&uc, &vc, su.junta, sv.junta)
+	us := State{
+		IsLeader: su.isLeader, Done: su.done, Bit: su.bit, SeenMax: su.seenMax,
+		Tag: su.tag, Outer: clock.State{Val: su.outerVal, Phase: uint32(su.outerPhase)},
+	}
+	vs := State{
+		IsLeader: sv.isLeader, Done: sv.done, Bit: sv.bit, SeenMax: sv.seenMax,
+		Tag: sv.tag, Outer: clock.State{Val: sv.outerVal, Phase: uint32(sv.outerPhase)},
+	}
+	p.elect.Interact(&us, &vs, uc, vc, su.junta, sv.junta, r)
+	return p.encode(p.pack(us, uc, su.junta)), p.encode(p.pack(vs, vc, sv.junta))
+}
+
+// pack rebuilds a cstate from the post-interaction election and clock
+// states, re-capping the outer phase counter.
+func (p *Counts) pack(s State, c clock.State, junta bool) cstate {
+	op := uint8(0)
+	if s.Outer.Phase >= 1 {
+		op = 1
+	}
+	return cstate{
+		innerVal:   c.Val,
+		tag:        s.Tag,
+		bit:        s.Bit,
+		seenMax:    s.SeenMax,
+		isLeader:   s.IsLeader,
+		done:       s.Done,
+		outerVal:   s.Outer.Val,
+		outerPhase: op,
+		junta:      junta,
+	}
+}
+
+// CountConverged reports whether exactly one leader contender remains
+// and every agent has leaderDone set.
+func (p *Counts) CountConverged(c *sim.CountConfig) bool {
+	var leaders int64
+	done := true
+	c.ForEach(func(code uint64, cnt int64) {
+		s := p.decode(code)
+		if s.isLeader {
+			leaders += cnt
+		}
+		if !s.done {
+			done = false
+		}
+	})
+	return leaders == 1 && done
+}
+
+// LeadersInConfig returns the number of leader contenders in a
+// configuration (the count-form analogue of Protocol.Leaders).
+func LeadersInConfig(p *Counts, c *sim.CountConfig) int64 {
+	var leaders int64
+	c.ForEach(func(code uint64, cnt int64) {
+		if p.decode(code).isLeader {
+			leaders += cnt
+		}
+	})
+	return leaders
+}
+
+// StateOutput returns 1 for leader states and 0 otherwise.
+func (p *Counts) StateOutput(q uint64) int64 {
+	if p.decode(q).isLeader {
+		return 1
+	}
+	return 0
+}

@@ -7,6 +7,8 @@
 // concurrent use; create one generator per goroutine (see Split).
 package rng
 
+import "math/bits"
+
 // Rand is a xoshiro256++ pseudo-random number generator.
 //
 // The zero value is not usable; construct instances with New.
@@ -98,6 +100,25 @@ func (r *Rand) Intn(n int) int {
 			return int(v % maxv)
 		}
 	}
+}
+
+// Int64n returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless method over the full 64-bit
+// range, so it stays exact for the pair-weight totals of the count-based
+// engine (up to n·(n−1) ≈ 10¹⁶).
+func (r *Rand) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64n with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int64(hi)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

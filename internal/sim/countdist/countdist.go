@@ -1,0 +1,114 @@
+// Package countdist provides an incrementally repaired categorical
+// sampler over non-negative integer weights — the count-vector analogue
+// of drawing a uniformly random agent. The count-based simulation engine
+// keeps one Sampler over the per-state agent counts (and a second one
+// over per-state productive pair weights): drawing a state with
+// probability proportional to its weight is then a single Find call, and
+// a transition that moves one agent between states repairs the cached
+// cumulative structure with two Add calls instead of rebuilding a prefix
+// table.
+//
+// The implementation is a Fenwick (binary indexed) tree, so Add, Prefix
+// and Find all cost O(log k) for k slots, and Total is O(1). Slots are
+// append-only: the engine discovers protocol states lazily and never
+// removes one (a vacated state simply keeps weight zero).
+package countdist
+
+// Sampler is a Fenwick-tree cumulative sampler over int64 weights.
+//
+// The zero value is an empty sampler ready for Append.
+type Sampler struct {
+	tree  []int64 // 1-based Fenwick tree over cap slots
+	w     []int64 // plain weights, for O(1) Weight queries
+	total int64
+	cap   int // power-of-two capacity of tree (len(tree) == cap+1)
+}
+
+// NewSampler returns an empty sampler sized for about hint slots.
+func NewSampler(hint int) *Sampler {
+	s := &Sampler{}
+	if hint > 0 {
+		s.grow(hint)
+	}
+	return s
+}
+
+// Len returns the number of slots.
+func (s *Sampler) Len() int { return len(s.w) }
+
+// Total returns the sum of all weights.
+func (s *Sampler) Total() int64 { return s.total }
+
+// Weight returns the weight of slot i.
+func (s *Sampler) Weight(i int) int64 { return s.w[i] }
+
+// Append adds a new slot with weight w and returns its index.
+func (s *Sampler) Append(w int64) int {
+	i := len(s.w)
+	if i >= s.cap {
+		s.grow(i + 1)
+	}
+	s.w = append(s.w, 0)
+	if w != 0 {
+		s.Add(i, w)
+	}
+	return i
+}
+
+// Add adjusts slot i's weight by d. The resulting weight must stay
+// non-negative; the sampler does not check.
+func (s *Sampler) Add(i int, d int64) {
+	if d == 0 {
+		return
+	}
+	s.w[i] += d
+	s.total += d
+	for j := i + 1; j <= s.cap; j += j & -j {
+		s.tree[j] += d
+	}
+}
+
+// Prefix returns the sum of the weights of slots 0..i-1.
+func (s *Sampler) Prefix(i int) int64 {
+	var sum int64
+	for j := i; j > 0; j -= j & -j {
+		sum += s.tree[j]
+	}
+	return sum
+}
+
+// Find returns the slot i holding cumulative position x, i.e. the unique
+// i with Prefix(i) <= x < Prefix(i)+Weight(i). x must be in [0, Total());
+// out-of-range x yields an arbitrary slot.
+func (s *Sampler) Find(x int64) int {
+	pos := 0
+	for step := s.cap; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= s.cap && s.tree[next] <= x {
+			x -= s.tree[next]
+			pos = next
+		}
+	}
+	// pos is the count of slots whose cumulative weight is <= x, i.e.
+	// the 0-based index of the slot containing x.
+	if pos >= len(s.w) {
+		pos = len(s.w) - 1
+	}
+	return pos
+}
+
+// grow rebuilds the tree with capacity at least need (rounded up to a
+// power of two).
+func (s *Sampler) grow(need int) {
+	c := 1
+	for c < need {
+		c <<= 1
+	}
+	s.cap = c
+	s.tree = make([]int64, c+1)
+	for i, w := range s.w {
+		for j := i + 1; j <= c; j += j & -j {
+			s.tree[j] += w
+		}
+	}
+}

@@ -1,0 +1,611 @@
+// Count-based simulation: the CountEngine simulates a population
+// protocol directly on its configuration — the vector of per-state agent
+// counts — instead of on an array of n agents.
+//
+// For protocols whose agents are exchangeable given their state (the
+// configuration view of the population-protocol Markov chain), one
+// interaction of the paper's uniform scheduler draws an ordered pair of
+// distinct agents uniformly at random; projected onto states, the
+// initiator/responder state pair (i, j) occurs with probability
+// proportional to c[i]·c[j] for i ≠ j and c[i]·(c[i]−1) on the diagonal.
+// The CountEngine samples exactly that distribution from a cached
+// cumulative (Fenwick) sampler over the counts that is incrementally
+// repaired as transitions move agents between states, so memory is
+// O(|occupied states|) and a step costs O(log k) — independent of n.
+//
+// Protocols that additionally implement SelfLooper get a second fast
+// path: pairs whose transition is certainly the identity ("certain
+// no-ops", which dominate late in epidemic-style runs) are never drawn
+// individually. The engine tracks the total weight of certain-no-op
+// pairs, advances the interaction clock over whole runs of them with one
+// geometric jump, and then draws the next pair conditioned on being
+// productive. A run is then dominated by the number of state-changing
+// interactions (e.g. exactly n−1 for a one-way epidemic) rather than by
+// the Θ(n log n) scheduler draws of the agent-array engine.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim/countdist"
+)
+
+// CountProtocol is a population protocol in configuration (count) form:
+// a finite state alphabet, an initial configuration, and a transition
+// function over state codes. State codes are opaque uint64 values chosen
+// by the protocol; the engine discovers the occupied alphabet lazily.
+type CountProtocol interface {
+	// N returns the population size.
+	N() int
+	// InitCounts returns the initial configuration as a map from state
+	// code to multiplicity. Multiplicities must be positive and sum to
+	// N().
+	InitCounts() map[uint64]int64
+	// Delta applies the transition δ(qu, qv) for an interaction whose
+	// initiator is in state qu and responder in state qv, returning the
+	// successor states. The generator provides synthetic coins; the
+	// engine calls Delta once per state-changing interaction candidate.
+	Delta(qu, qv uint64, r *rng.Rand) (qu2, qv2 uint64)
+}
+
+// CountConverger is implemented by count protocols that can report
+// whether a configuration is a desired (converged) one. The engine calls
+// it only every Config.CheckEvery interactions; the check may scan all
+// occupied states.
+type CountConverger interface {
+	CountConverged(c *CountConfig) bool
+}
+
+// CountOutputter is implemented by count protocols whose states produce
+// an integer output (the output function ω of the paper, per state
+// rather than per agent).
+type CountOutputter interface {
+	StateOutput(q uint64) int64
+}
+
+// SelfLooper is the optional CountProtocol fast path. SelfLoop reports
+// whether δ(qu, qv) is *certainly* the identity — same successor states,
+// no synthetic coins consumed. It must be sound (never true for a pair
+// that could change state or draw randomness) but may be incomplete:
+// returning false for an actual no-op only costs the engine an explicit
+// draw. Protocols with small occupied alphabets and no-op-dominated
+// equilibria (epidemics, junta processes) gain the most; protocols with
+// large alphabets (phase clocks, leader election) typically should not
+// implement it — maintaining the no-op pair weights costs more than the
+// skipped draws save.
+type SelfLooper interface {
+	SelfLoop(qu, qv uint64) bool
+}
+
+// ErrCountScheduler is returned when a CountEngine is configured with a
+// non-uniform scheduler: the configuration view is only equivalent to
+// the agent view under the paper's uniform random scheduler (agents in
+// the same state must be exchangeable, which a biased or matching
+// scheduler breaks).
+var ErrCountScheduler = errors.New("sim: count engine supports only the uniform scheduler")
+
+// MaxCountPopulation bounds the count engine's population size: the
+// engine's pair-weight arithmetic works in int64 over n·(n−1) ordered
+// pairs, so n is capped at 2³¹ — overflow would otherwise silently
+// disable the self-loop skip and corrupt sampling bounds rather than
+// fail loudly.
+const MaxCountPopulation = 1 << 31
+
+// CountConfig is a population configuration: the multiset of agent
+// states, stored as counts over the occupied alphabet. It is owned and
+// mutated by a CountEngine; protocols receive it read-only in their
+// convergence predicates.
+type CountConfig struct {
+	codes  []uint64       // dense index -> state code, in discovery order
+	counts []int64        // dense index -> number of agents in the state
+	index  map[uint64]int // state code -> dense index
+	n      int64
+	s      *countdist.Sampler // cumulative sampler over counts
+}
+
+// N returns the population size.
+func (c *CountConfig) N() int64 { return c.n }
+
+// Count returns the number of agents in the state with the given code
+// (zero for states never occupied).
+func (c *CountConfig) Count(code uint64) int64 {
+	if i, ok := c.index[code]; ok {
+		return c.counts[i]
+	}
+	return 0
+}
+
+// ForEach calls f for every currently occupied state.
+func (c *CountConfig) ForEach(f func(code uint64, count int64)) {
+	for i, cnt := range c.counts {
+		if cnt > 0 {
+			f(c.codes[i], cnt)
+		}
+	}
+}
+
+// States returns the number of currently occupied states.
+func (c *CountConfig) States() int {
+	k := 0
+	for _, cnt := range c.counts {
+		if cnt > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// Sum returns the total agent count Σ counts. It equals N() at all times
+// — population protocols conserve agents — and exists so tests and fuzz
+// targets can assert the invariant.
+func (c *CountConfig) Sum() int64 {
+	var s int64
+	for _, cnt := range c.counts {
+		s += cnt
+	}
+	return s
+}
+
+// CountEngine simulates a CountProtocol on its configuration. It shares
+// Config/Result semantics and the convergence-driving loop with the
+// agent-array Engine: MaxInteractions, CheckEvery, Observe, Interrupt
+// and ConfirmWindow all behave identically, and Config.DisableBatch
+// disables the self-loop skip path (for differential testing), leaving
+// the per-interaction categorical sampling path.
+type CountEngine struct {
+	engineCore
+	p    CountProtocol
+	conv CountConverger // nil when the protocol has no predicate
+	sl   SelfLooper     // nil when unsupported or disabled
+	r    *rng.Rand
+	c    *CountConfig
+	n    int64 // population size
+
+	// Self-loop skip state (allocated only when sl != nil). For each
+	// dense state index i:
+	//   noopRow[i] = Σ_j SelfLoop(i,j)·counts[j]
+	//   diag[i]    = SelfLoop(i,i)
+	//   elig(i)    = n−1 − noopRow[i] + diag[i]   (eligible responders)
+	// and rowW holds counts[i]·elig(i), so rowW.Total() is the weight of
+	// productive ordered pairs. noopOut[i]/noopIn[i] are the sorted
+	// adjacency lists of the (sparse) certain-no-op relation.
+	rowW    *countdist.Sampler
+	noopRow []int64
+	diag    []bool
+	noopOut [][]int32
+	noopIn  [][]int32
+}
+
+// NewCountEngine validates p and cfg and returns a count engine
+// positioned at interaction 0. cfg.Scheduler must be nil or the uniform
+// scheduler (ErrCountScheduler otherwise).
+func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
+	n := p.N()
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	if int64(n) > MaxCountPopulation {
+		return nil, fmt.Errorf("sim: count engine population %d exceeds %d (int64 pair-weight bound)", n, int64(MaxCountPopulation))
+	}
+	if cfg.Scheduler != nil {
+		if _, ok := cfg.Scheduler.(UniformScheduler); !ok {
+			return nil, ErrCountScheduler
+		}
+	}
+	cfg = normalizeConfig(cfg, n)
+	e := &CountEngine{
+		engineCore: engineCore{cfg: cfg, convAt: -1},
+		p:          p,
+		r:          rng.New(cfg.Seed),
+		n:          int64(n),
+	}
+	if !cfg.DisableBatch {
+		e.sl, _ = p.(SelfLooper)
+	}
+	e.conv, _ = p.(CountConverger)
+	if e.sl != nil {
+		e.rowW = countdist.NewSampler(8)
+	}
+
+	init := p.InitCounts()
+	codes := make([]uint64, 0, len(init))
+	var sum int64
+	for code, cnt := range init {
+		if cnt <= 0 {
+			return nil, fmt.Errorf("sim: count protocol initial count %d for state %#x", cnt, code)
+		}
+		codes = append(codes, code)
+		sum += cnt
+	}
+	if sum != e.n {
+		return nil, fmt.Errorf("sim: count protocol initial counts sum to %d, want n=%d", sum, n)
+	}
+	// Map iteration order is randomized; sort so state discovery — and
+	// with it the engine's sampling stream — is deterministic per seed.
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	e.c = &CountConfig{
+		index: make(map[uint64]int, len(codes)),
+		n:     e.n,
+		s:     countdist.NewSampler(len(codes)),
+	}
+	for _, code := range codes {
+		e.shift(e.stateIndex(code), init[code])
+	}
+	return e, nil
+}
+
+// Protocol returns the protocol under simulation.
+func (e *CountEngine) Protocol() CountProtocol { return e.p }
+
+// Counts returns the current configuration. The caller must not retain
+// it across Step calls if it mutates the engine concurrently; within one
+// goroutine, reading it between steps is the intended use.
+func (e *CountEngine) Counts() *CountConfig { return e.c }
+
+// Converged reports whether the protocol's convergence predicate holds
+// for the current configuration (false for protocols without one).
+func (e *CountEngine) Converged() bool {
+	return e.conv != nil && e.conv.CountConverged(e.c)
+}
+
+// PluralityOutput returns the output of the most populated state — at
+// convergence, the consensus output. ok is false when the protocol has
+// no output function.
+func (e *CountEngine) PluralityOutput() (out int64, ok bool) {
+	o, isOut := e.p.(CountOutputter)
+	if !isOut {
+		return 0, false
+	}
+	best := int64(-1)
+	var bestCode uint64
+	for i, cnt := range e.c.counts {
+		if cnt > best {
+			best = cnt
+			bestCode = e.c.codes[i]
+		}
+	}
+	if best <= 0 {
+		return 0, false
+	}
+	return o.StateOutput(bestCode), true
+}
+
+// RunToConvergence drives the simulation from its current position until
+// the convergence predicate holds (plus the optional confirmation
+// window), the interaction cap is reached, or Interrupt fires.
+func (e *CountEngine) RunToConvergence() (Result, error) {
+	return e.runToConvergence(e)
+}
+
+// Step executes exactly count interactions without convergence checks.
+func (e *CountEngine) Step(count int64) {
+	if count <= 0 {
+		return
+	}
+	if e.sl != nil {
+		e.stepSkip(count)
+	} else {
+		e.stepEach(count)
+	}
+}
+
+// stepEach is the per-interaction path: one categorical pair draw and
+// one Delta call per interaction.
+func (e *CountEngine) stepEach(count int64) {
+	for k := int64(0); k < count; k++ {
+		i, j := e.samplePair()
+		a, b := e.p.Delta(e.c.codes[i], e.c.codes[j], e.r)
+		e.apply(i, j, a, b)
+	}
+	e.t += count
+}
+
+// stepSkip is the self-loop skip path: runs of certain-no-op
+// interactions are applied as one geometric jump of the interaction
+// clock, and only productive pair candidates are drawn explicitly.
+func (e *CountEngine) stepSkip(count int64) {
+	rem := count
+	total := e.n * (e.n - 1)
+	for rem > 0 {
+		wProd := e.rowW.Total()
+		if wProd <= 0 {
+			// Every pair is a certain no-op: the configuration is
+			// frozen, the remaining interactions pass in one jump.
+			e.t += rem
+			return
+		}
+		if wProd < total {
+			skip := geomSkip(e.r, float64(wProd)/float64(total))
+			if skip >= rem {
+				e.t += rem
+				return
+			}
+			e.t += skip
+			rem -= skip
+		}
+		// One pair, conditioned on not being a certain no-op. The row
+		// weight counts[i]·elig(i) factorizes, so one draw selects both
+		// the initiator state and the responder's eligible slot.
+		z := e.r.Int64n(wProd)
+		i := e.rowW.Find(z)
+		y := (z - e.rowW.Prefix(i)) % e.elig(i)
+		j := e.sampleResponder(i, y)
+		a, b := e.p.Delta(e.c.codes[i], e.c.codes[j], e.r)
+		e.apply(i, j, a, b)
+		e.t++
+		rem--
+	}
+}
+
+// geomSkip samples the number of consecutive certain-no-op interactions
+// before the next productive candidate: a Geometric(p) failure count,
+// where p is the probability that a uniform pair draw is productive.
+// Requires 0 < p <= 1.
+func geomSkip(r *rng.Rand, p float64) int64 {
+	lnq := math.Log1p(-p)
+	if lnq == 0 {
+		return 0 // p ≈ 1: no room for no-ops
+	}
+	u := (float64(r.Uint64()>>11) + 1) / (1 << 53) // uniform in (0, 1]
+	k := math.Log(u) / lnq
+	if !(k < math.MaxInt64/2) { // also catches NaN/+Inf
+		return math.MaxInt64 / 2
+	}
+	return int64(k)
+}
+
+// samplePair draws the initiator and responder states of one uniform
+// ordered pair of distinct agents, returned as dense indices. The
+// responder is drawn uniformly among the n−1 agents other than the
+// initiator: positions below the initiator's block are unchanged, the
+// initiator's block loses one slot, positions above shift by one.
+func (e *CountEngine) samplePair() (int, int) {
+	c := e.c
+	i := c.s.Find(e.r.Int64n(e.n))
+	y := e.r.Int64n(e.n - 1)
+	pre := c.s.Prefix(i)
+	var j int
+	switch {
+	case y < pre:
+		j = c.s.Find(y)
+	case y < pre+c.counts[i]-1:
+		j = i
+	default:
+		j = c.s.Find(y + 1)
+	}
+	return i, j
+}
+
+// sampleResponder maps y — uniform over the elig(i) eligible responder
+// slots for an initiator in state i — to the responder's dense state
+// index. Eligible slots are the full count ordering minus the exclusion
+// intervals: the blocks of states that certainly no-op with i, plus one
+// slot of i's own block for the initiator itself (already covered when
+// SelfLoop(i,i)). Exclusions are walked in dense order; each either
+// absorbs y (y falls before it) or shifts the remaining positions.
+func (e *CountEngine) sampleResponder(i int, y int64) int {
+	c := e.c
+	var removed int64
+	selfDone := e.diag[i]
+	selfStart := c.s.Prefix(i) + c.counts[i] - 1
+	for _, jj := range e.noopOut[i] {
+		j := int(jj)
+		if !selfDone && j > i {
+			if y < selfStart-removed {
+				return c.s.Find(y + removed)
+			}
+			removed++
+			selfDone = true
+		}
+		start := c.s.Prefix(j)
+		if y < start-removed {
+			return c.s.Find(y + removed)
+		}
+		removed += c.counts[j]
+	}
+	if !selfDone {
+		if y < selfStart-removed {
+			return c.s.Find(y + removed)
+		}
+		removed++
+	}
+	return c.s.Find(y + removed)
+}
+
+// apply moves the interaction's two agents from their old states to the
+// successor states returned by Delta. Successor codes are resolved
+// against the two source states first — adoption-style transitions
+// (initiator takes the responder's state and vice versa) then never
+// touch the code index map — and the four ±1 deltas are netted so each
+// affected slot is repaired once.
+func (e *CountEngine) apply(i, j int, a, b uint64) {
+	c := e.c
+	if a == c.codes[i] && b == c.codes[j] {
+		return
+	}
+	ia := e.lookup(a, i, j)
+	ib := e.lookup(b, i, j)
+	var idxs [4]int
+	var ds [4]int64
+	k := 0
+	net := func(idx int, d int64) {
+		for m := 0; m < k; m++ {
+			if idxs[m] == idx {
+				ds[m] += d
+				return
+			}
+		}
+		idxs[k], ds[k] = idx, d
+		k++
+	}
+	net(i, -1)
+	net(j, -1)
+	net(ia, 1)
+	net(ib, 1)
+	for m := 0; m < k; m++ {
+		if ds[m] != 0 {
+			e.shift(idxs[m], ds[m])
+		}
+	}
+}
+
+// lookup resolves a successor state code to its dense index, checking
+// the interaction's two source states before the map.
+func (e *CountEngine) lookup(code uint64, i, j int) int {
+	c := e.c
+	if code == c.codes[i] {
+		return i
+	}
+	if code == c.codes[j] {
+		return j
+	}
+	return e.stateIndex(code)
+}
+
+// elig returns the eligible (non-certain-no-op) responder weight for an
+// initiator in dense state i.
+func (e *CountEngine) elig(i int) int64 {
+	el := e.n - 1 - e.noopRow[i]
+	if e.diag[i] {
+		el++
+	}
+	return el
+}
+
+// shift adjusts state idx's count by d, repairing the cumulative sampler
+// and — on the skip path — the no-op aggregates of every affected row.
+func (e *CountEngine) shift(idx int, d int64) {
+	c := e.c
+	if e.sl == nil {
+		c.counts[idx] += d
+		c.s.Add(idx, d)
+		return
+	}
+	e.rowW.Add(idx, -c.counts[idx]*e.elig(idx))
+	for _, ii := range e.noopIn[idx] {
+		i := int(ii)
+		if i == idx {
+			e.noopRow[idx] += d
+			continue
+		}
+		// Row i loses/gains d eligible responders in state idx.
+		e.rowW.Add(i, -c.counts[i]*d)
+		e.noopRow[i] += d
+	}
+	c.counts[idx] += d
+	c.s.Add(idx, d)
+	e.rowW.Add(idx, c.counts[idx]*e.elig(idx))
+}
+
+// stateIndex returns the dense index for a state code, registering the
+// state on first sight.
+func (e *CountEngine) stateIndex(code uint64) int {
+	c := e.c
+	if i, ok := c.index[code]; ok {
+		return i
+	}
+	idx := len(c.codes)
+	c.codes = append(c.codes, code)
+	c.counts = append(c.counts, 0)
+	c.index[code] = idx
+	c.s.Append(0)
+	if e.sl != nil {
+		e.extendNoop(code, idx)
+	}
+	return idx
+}
+
+// extendNoop grows the certain-no-op relation by the freshly discovered
+// state. The new state has count 0, so no aggregate weights change yet;
+// only the adjacency lists and the new row's sums are built. Appending
+// keeps the lists sorted: idx is the largest dense index so far.
+func (e *CountEngine) extendNoop(code uint64, idx int) {
+	c := e.c
+	e.noopRow = append(e.noopRow, 0)
+	e.diag = append(e.diag, false)
+	e.noopOut = append(e.noopOut, nil)
+	e.noopIn = append(e.noopIn, nil)
+	e.rowW.Append(0)
+	for j, cj := range c.codes {
+		if e.sl.SelfLoop(code, cj) {
+			e.noopOut[idx] = append(e.noopOut[idx], int32(j))
+			e.noopIn[j] = append(e.noopIn[j], int32(idx))
+			e.noopRow[idx] += c.counts[j]
+			if j == idx {
+				e.diag[idx] = true
+			}
+		}
+		if j != idx && e.sl.SelfLoop(cj, code) {
+			e.noopOut[j] = append(e.noopOut[j], int32(idx))
+			e.noopIn[idx] = append(e.noopIn[idx], int32(j))
+		}
+	}
+}
+
+// RunCount simulates p under cfg on the count engine until it converges
+// or the interaction cap is reached.
+func RunCount(p CountProtocol, cfg Config) (Result, error) {
+	e, err := NewCountEngine(p, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.RunToConvergence()
+}
+
+// CountFactory builds a fresh count protocol instance for trial number
+// trial. The factory must return an independent instance every call.
+type CountFactory func(trial int) CountProtocol
+
+// CountTrialRun couples a trial's finished engine with its result, so
+// callers can read the final configuration after the run.
+type CountTrialRun struct {
+	Engine *CountEngine
+	Result Result
+}
+
+// CountTrialOptions configures RunCountTrials beyond the per-run Config.
+type CountTrialOptions struct {
+	// Parallelism bounds concurrent trials (≤ 0 selects 1).
+	Parallelism int
+	// Observe, if non-nil, receives every trial's observations tagged
+	// with the trial index and engine. It overrides Config.Observe and
+	// must be safe for concurrent use when Parallelism > 1.
+	Observe func(trial int, e *CountEngine, obs Observation)
+}
+
+// RunCountTrials runs independent trials of a count protocol in parallel
+// and returns the per-trial runs in trial order. Trial i uses seed
+// TrialSeed(cfg.Seed, i), exactly like RunTrials, so agent-engine and
+// count-engine ensembles line up trial for trial.
+func RunCountTrials(f CountFactory, trials int, cfg Config, opt CountTrialOptions) ([]CountTrialRun, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	runs := make([]CountTrialRun, trials)
+	observe := opt.Observe
+	err := forEachTrial(trials, opt.Parallelism, func(i int) error {
+		c := cfg
+		c.Seed = TrialSeed(cfg.Seed, i)
+		// The observer closure is wired before the engine exists, so it
+		// captures the engine variable rather than the engine.
+		var eng *CountEngine
+		if observe != nil {
+			c.Observe = func(obs Observation) { observe(i, eng, obs) }
+		}
+		eng, err := NewCountEngine(f(i), c)
+		if err != nil {
+			return err
+		}
+		res, err := eng.RunToConvergence()
+		runs[i] = CountTrialRun{Engine: eng, Result: res}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

@@ -1,0 +1,118 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popcount/internal/baseline"
+	"popcount/internal/epidemic"
+	"popcount/internal/junta"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// fuzzTable is a CountProtocol with an arbitrary deterministic
+// transition table over a tiny alphabet, derived from fuzz input. It
+// exercises the engine's bookkeeping — state discovery, sampler repair,
+// no-op adjacency — on transition structures no hand-written protocol
+// has.
+type fuzzTable struct {
+	n     int
+	k     uint64
+	table []uint8 // table[qu*k+qv] packs (qu2, qv2) as qu2*k+qv2
+}
+
+func newFuzzTable(n int, k uint64, raw []byte) *fuzzTable {
+	t := &fuzzTable{n: n, k: k, table: make([]uint8, k*k)}
+	for i := range t.table {
+		var b uint8
+		if len(raw) > 0 {
+			b = raw[i%len(raw)]
+		}
+		t.table[i] = uint8(uint64(b) % (k * k))
+	}
+	return t
+}
+
+func (t *fuzzTable) N() int { return t.n }
+
+func (t *fuzzTable) InitCounts() map[uint64]int64 {
+	// Spread the population over the alphabet, all states occupied.
+	init := make(map[uint64]int64, t.k)
+	per := int64(t.n) / int64(t.k)
+	rem := int64(t.n) - per*int64(t.k)
+	for q := uint64(0); q < t.k; q++ {
+		c := per
+		if q == 0 {
+			c += rem
+		}
+		if c > 0 {
+			init[q] = c
+		}
+	}
+	return init
+}
+
+func (t *fuzzTable) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+	packed := uint64(t.table[qu*t.k+qv])
+	return packed / t.k, packed % t.k
+}
+
+func (t *fuzzTable) SelfLoop(qu, qv uint64) bool {
+	a, b := t.Delta(qu, qv, nil)
+	return a == qu && b == qv
+}
+
+// FuzzCountConservation asserts the agent-conservation invariant
+// Σ counts == n after every batch, across the hand-written count
+// protocols and random transition tables, on both engine paths.
+func FuzzCountConservation(f *testing.F) {
+	f.Add(uint64(1), uint16(64), uint16(500), uint8(0), []byte{0x5a})
+	f.Add(uint64(42), uint16(2), uint16(1), uint8(1), []byte{})
+	f.Add(uint64(7), uint16(300), uint16(9999), uint8(2), []byte{1, 2, 3, 4})
+	f.Add(uint64(9), uint16(33), uint16(256), uint8(3), []byte{0xff, 0x00})
+	f.Add(uint64(3), uint16(17), uint16(77), uint8(4), []byte{0x10, 0x9c, 0x33})
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, stepsRaw uint16, sel uint8, raw []byte) {
+		n := int(nRaw)%1022 + 2 // [2, 1023]
+		steps := int64(stepsRaw)%5000 + 1
+		var p sim.CountProtocol
+		switch sel % 5 {
+		case 0:
+			p = epidemic.NewSingleSourceCounts(n, true)
+		case 1:
+			p = epidemic.NewSingleSourceCounts(n, false)
+		case 2:
+			p = junta.NewCounts(n)
+		case 3:
+			p = baseline.NewGeometricCounts(n)
+		default:
+			k := uint64(len(raw))%5 + 2 // alphabet size [2, 6]
+			p = newFuzzTable(n, k, raw)
+		}
+		for _, disable := range []bool{false, true} {
+			e, err := sim.NewCountEngine(p, sim.Config{Seed: seed, DisableBatch: disable})
+			if err != nil {
+				t.Fatalf("NewCountEngine: %v", err)
+			}
+			var done int64
+			for batch := int64(1); done < steps; batch = batch*3 + 1 {
+				if batch > steps-done {
+					batch = steps - done
+				}
+				e.Step(batch)
+				done += batch
+				if got := e.Counts().Sum(); got != int64(n) {
+					t.Fatalf("Σ counts = %d after %d interactions (disableSkip=%v), want %d",
+						got, done, disable, n)
+				}
+				e.Counts().ForEach(func(code uint64, cnt int64) {
+					if cnt < 0 {
+						t.Fatalf("negative count %d for state %#x", cnt, code)
+					}
+				})
+				if e.Interactions() != done {
+					t.Fatalf("Interactions = %d, want %d", e.Interactions(), done)
+				}
+			}
+		}
+	})
+}

@@ -167,19 +167,146 @@ func Log2Floor(n int) int {
 	return k
 }
 
+// engineOps is the stepping surface the shared convergence driver runs
+// over: the agent-array Engine and the count-based CountEngine both
+// implement it, so RunToConvergence and the confirmation window have a
+// single definition.
+type engineOps interface {
+	// Step executes exactly count interactions and advances the
+	// embedded engineCore's interaction counter.
+	Step(count int64)
+	// Converged reports whether the protocol's convergence predicate
+	// currently holds (false for protocols without one).
+	Converged() bool
+}
+
+// engineCore is the engine state shared by the agent-array and
+// count-based engines: the normalized configuration, the interaction
+// counter, and the convergence-driving loop.
+type engineCore struct {
+	cfg    Config // normalized: MaxInteractions and CheckEvery filled in
+	t      int64
+	convAt int64 // interactions at first observed convergence, -1 before
+}
+
+// normalizeConfig fills in the defaults that depend on the population
+// size.
+func normalizeConfig(cfg Config, n int) Config {
+	if cfg.MaxInteractions <= 0 {
+		cfg.MaxInteractions = DefaultMaxInteractions(n)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = int64(n)
+	}
+	return cfg
+}
+
+// Interactions returns the number of interactions executed so far.
+func (c *engineCore) Interactions() int64 { return c.t }
+
+// poll runs one convergence poll: it records first convergence, notifies
+// the observer, and returns the predicate's value.
+func (c *engineCore) poll(ops engineOps) bool {
+	conv := ops.Converged()
+	if conv && c.convAt < 0 {
+		c.convAt = c.t
+	}
+	if c.cfg.Observe != nil {
+		c.cfg.Observe(Observation{Interactions: c.t, Converged: conv})
+	}
+	return conv
+}
+
+// interrupted polls the Interrupt hook.
+func (c *engineCore) interrupted() bool {
+	return c.cfg.Interrupt != nil && c.cfg.Interrupt()
+}
+
+// result packages the engine's current progress. The first-convergence
+// time is only meaningful on a converged result: a predicate that held
+// once and flapped out before the budget ran out must report the
+// budget, per the Interactions contract.
+func (c *engineCore) result(converged, stable, interrupted bool) Result {
+	first := c.t
+	if converged && c.convAt >= 0 {
+		first = c.convAt
+	}
+	return Result{
+		Interactions: first,
+		Total:        c.t,
+		Converged:    converged,
+		Stable:       stable,
+		Interrupted:  interrupted,
+	}
+}
+
+// runToConvergence drives ops from its current position until the
+// convergence predicate holds (plus the optional confirmation window),
+// the interaction cap is reached, or Interrupt fires.
+func (c *engineCore) runToConvergence(ops engineOps) (Result, error) {
+	maxI, check := c.cfg.MaxInteractions, c.cfg.CheckEvery
+	converged := ops.Converged()
+	if converged && c.convAt < 0 {
+		c.convAt = c.t
+	}
+	for !converged && c.t < maxI {
+		if c.interrupted() {
+			return c.result(false, false, true), nil
+		}
+		batch := check
+		if rem := maxI - c.t; rem < batch {
+			batch = rem
+		}
+		ops.Step(batch)
+		converged = c.poll(ops)
+	}
+	if !converged {
+		return c.result(false, false, false), nil
+	}
+	if c.cfg.ConfirmWindow <= 0 {
+		return c.result(true, true, false), nil
+	}
+	return c.confirm(ops)
+}
+
+// confirm continues the run for cfg.ConfirmWindow interactions after
+// first convergence and reports whether the predicate held at every
+// poll (the stabilization check of Section 1.1). Result.Converged stays
+// true — it records that convergence was observed, even if the window
+// then catches the configuration flapping out of the desired set.
+func (c *engineCore) confirm(ops engineOps) (Result, error) {
+	check := c.cfg.CheckEvery
+	stable := true
+	end := c.t + c.cfg.ConfirmWindow
+	for c.t < end {
+		if c.interrupted() {
+			return c.result(true, false, true), nil
+		}
+		batch := check
+		if rem := end - c.t; rem < batch {
+			batch = rem
+		}
+		ops.Step(batch)
+		if !c.poll(ops) {
+			stable = false
+		}
+	}
+	return c.result(true, stable, false), nil
+}
+
 // Engine is a resumable simulation of one protocol instance: stepwise
 // control (Step) plus convergence driving (RunToConvergence) over the
 // same interaction counter, scheduler, and RNG stream. Mixing the two is
 // legal — RunToConvergence picks up wherever manual stepping left off.
 type Engine struct {
-	p      Protocol
-	bi     BatchInteractor // nil when unsupported or disabled
-	conv   Converger       // nil when the protocol has no predicate
-	sched  Scheduler
-	r      *rng.Rand
-	cfg    Config // normalized: MaxInteractions and CheckEvery filled in
-	t      int64
-	convAt int64 // interactions at first observed convergence, -1 before
+	engineCore
+	p       Protocol
+	bi      BatchInteractor // nil when unsupported or disabled
+	conv    Converger       // nil when the protocol has no predicate
+	sched   Scheduler
+	uniform bool // sched is the uniform scheduler: draw pairs directly
+	n       int  // cached p.N(), hoisted out of the scalar step loop
+	r       *rng.Rand
 }
 
 // NewEngine validates p and cfg and returns an engine positioned at
@@ -189,22 +316,21 @@ func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 	if n < 2 {
 		return nil, ErrTooSmall
 	}
-	if cfg.MaxInteractions <= 0 {
-		cfg.MaxInteractions = DefaultMaxInteractions(n)
-	}
-	if cfg.CheckEvery <= 0 {
-		cfg.CheckEvery = int64(n)
-	}
+	cfg = normalizeConfig(cfg, n)
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = UniformScheduler{}
 	}
 	e := &Engine{
-		p:      p,
-		sched:  cfg.Scheduler,
-		r:      rng.New(cfg.Seed),
-		cfg:    cfg,
-		convAt: -1,
+		engineCore: engineCore{cfg: cfg, convAt: -1},
+		p:          p,
+		sched:      cfg.Scheduler,
+		n:          n,
+		r:          rng.New(cfg.Seed),
 	}
+	// The scheduler type assertion is done once here rather than per
+	// scalar Step iteration: the uniform scheduler's Next is exactly
+	// r.Pair, so the hot loop can call the generator directly.
+	_, e.uniform = cfg.Scheduler.(UniformScheduler)
 	if !cfg.DisableBatch {
 		e.bi, _ = p.(BatchInteractor)
 	}
@@ -214,9 +340,6 @@ func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 
 // Protocol returns the protocol under simulation.
 func (e *Engine) Protocol() Protocol { return e.p }
-
-// Interactions returns the number of interactions executed so far.
-func (e *Engine) Interactions() int64 { return e.t }
 
 // Converged reports whether the protocol's convergence predicate
 // currently holds (false for protocols without one).
@@ -228,106 +351,30 @@ func (e *Engine) Step(count int64) {
 	if count <= 0 {
 		return
 	}
-	if e.bi != nil {
+	switch {
+	case e.bi != nil:
 		e.bi.InteractBatch(count, e.sched, e.r)
-	} else {
-		n := e.p.N()
+	case e.uniform:
+		// Devirtualized scalar loop: the uniform scheduler's Next is
+		// r.Pair, bit for bit.
 		for i := int64(0); i < count; i++ {
-			u, v := e.sched.Next(n, e.r)
+			u, v := e.r.Pair(e.n)
+			e.p.Interact(u, v, e.r)
+		}
+	default:
+		for i := int64(0); i < count; i++ {
+			u, v := e.sched.Next(e.n, e.r)
 			e.p.Interact(u, v, e.r)
 		}
 	}
 	e.t += count
 }
 
-// poll runs one convergence poll: it records first convergence, notifies
-// the observer, and returns the predicate's value.
-func (e *Engine) poll() bool {
-	conv := e.Converged()
-	if conv && e.convAt < 0 {
-		e.convAt = e.t
-	}
-	if e.cfg.Observe != nil {
-		e.cfg.Observe(Observation{Interactions: e.t, Converged: conv})
-	}
-	return conv
-}
-
-// interrupted polls the Interrupt hook.
-func (e *Engine) interrupted() bool {
-	return e.cfg.Interrupt != nil && e.cfg.Interrupt()
-}
-
-// result packages the engine's current progress. The first-convergence
-// time is only meaningful on a converged result: a predicate that held
-// once and flapped out before the budget ran out must report the
-// budget, per the Interactions contract.
-func (e *Engine) result(converged, stable, interrupted bool) Result {
-	first := e.t
-	if converged && e.convAt >= 0 {
-		first = e.convAt
-	}
-	return Result{
-		Interactions: first,
-		Total:        e.t,
-		Converged:    converged,
-		Stable:       stable,
-		Interrupted:  interrupted,
-	}
-}
-
 // RunToConvergence drives the simulation from its current position until
 // the convergence predicate holds (plus the optional confirmation
 // window), the interaction cap is reached, or Interrupt fires.
 func (e *Engine) RunToConvergence() (Result, error) {
-	maxI, check := e.cfg.MaxInteractions, e.cfg.CheckEvery
-	converged := e.Converged()
-	if converged && e.convAt < 0 {
-		e.convAt = e.t
-	}
-	for !converged && e.t < maxI {
-		if e.interrupted() {
-			return e.result(false, false, true), nil
-		}
-		batch := check
-		if rem := maxI - e.t; rem < batch {
-			batch = rem
-		}
-		e.Step(batch)
-		converged = e.poll()
-	}
-	if !converged {
-		return e.result(false, false, false), nil
-	}
-	if e.cfg.ConfirmWindow <= 0 {
-		return e.result(true, true, false), nil
-	}
-	return e.confirm()
-}
-
-// confirm continues the run for cfg.ConfirmWindow interactions after
-// first convergence and reports whether the predicate held at every
-// poll (the stabilization check of Section 1.1). Result.Converged stays
-// true — it records that convergence was observed, even if the window
-// then catches the configuration flapping out of the desired set.
-func (e *Engine) confirm() (Result, error) {
-	check := e.cfg.CheckEvery
-	stable := true
-	end := e.t + e.cfg.ConfirmWindow
-	for e.t < end {
-		if e.interrupted() {
-			return e.result(true, false, true), nil
-		}
-		batch := check
-		if rem := end - e.t; rem < batch {
-			batch = rem
-		}
-		e.Step(batch)
-		if !e.poll() {
-			stable = false
-		}
-	}
-	return e.result(true, stable, false), nil
+	return e.runToConvergence(e)
 }
 
 // Run simulates p under cfg until it converges or the interaction cap is
@@ -383,21 +430,17 @@ func TrialSeed(base uint64, trial int) uint64 {
 	return base + uint64(trial)*0x9e3779b97f4a7c15
 }
 
-// RunTrials runs independent trials of a protocol in parallel and returns
-// the per-trial runs in trial order. Trial i uses seed TrialSeed(cfg.Seed,
-// i), so results are bit-for-bit reproducible regardless of parallelism.
-func RunTrials(f Factory, trials int, cfg Config, opt TrialOptions) ([]TrialRun, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
-	}
-	parallelism := opt.Parallelism
+// forEachTrial runs trial indices 0..trials-1 over a bounded worker
+// pool and returns the first error (all trials run to completion
+// regardless). It is the one trial-parallelism scaffold shared by the
+// agent-engine and count-engine trial drivers.
+func forEachTrial(trials, parallelism int, run func(trial int) error) error {
 	if parallelism <= 0 {
 		parallelism = 1
 	}
 	if parallelism > trials {
 		parallelism = trials
 	}
-	runs := make([]TrialRun, trials)
 	errs := make([]error, trials)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -406,18 +449,7 @@ func RunTrials(f Factory, trials int, cfg Config, opt TrialOptions) ([]TrialRun,
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				c := cfg
-				c.Seed = TrialSeed(cfg.Seed, i)
-				if opt.MakeScheduler != nil {
-					c.Scheduler = opt.MakeScheduler()
-				}
-				if opt.Observe != nil {
-					trial := i
-					c.Observe = func(obs Observation) { opt.Observe(trial, obs) }
-				}
-				p := f(i)
-				res, err := Run(p, c)
-				runs[i], errs[i] = TrialRun{Protocol: p, Result: res}, err
+				errs[i] = run(i)
 			}
 		}()
 	}
@@ -428,8 +460,38 @@ func RunTrials(f Factory, trials int, cfg Config, opt TrialOptions) ([]TrialRun,
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// RunTrials runs independent trials of a protocol in parallel and returns
+// the per-trial runs in trial order. Trial i uses seed TrialSeed(cfg.Seed,
+// i), so results are bit-for-bit reproducible regardless of parallelism.
+func RunTrials(f Factory, trials int, cfg Config, opt TrialOptions) ([]TrialRun, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	runs := make([]TrialRun, trials)
+	mkSched, observe := opt.MakeScheduler, opt.Observe
+	err := forEachTrial(trials, opt.Parallelism, func(i int) error {
+		c := cfg
+		c.Seed = TrialSeed(cfg.Seed, i)
+		if mkSched != nil {
+			c.Scheduler = mkSched()
+		}
+		if observe != nil {
+			// No closure is allocated on the common nil-observer path.
+			c.Observe = func(obs Observation) { observe(i, obs) }
+		}
+		p := f(i)
+		res, err := Run(p, c)
+		runs[i] = TrialRun{Protocol: p, Result: res}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return runs, nil
 }

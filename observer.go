@@ -13,7 +13,8 @@ type Snapshot struct {
 	// Converged reports whether the protocol's desired configuration
 	// held at this poll.
 	Converged bool
-	// Output is agent 0's current output.
+	// Output is agent 0's current output (on the count engine: the most
+	// populated state's output).
 	Output int64
 	// Estimate is the population-size estimate implied by Output.
 	Estimate int64
@@ -40,6 +41,35 @@ func WithObserver(obs Observer) Option {
 // each interval boundary.
 func WithObserveEvery(interval int64) Option {
 	return func(s *settings) { s.observeEvery = interval }
+}
+
+// snapshotCountObserver adapts the public observer to the count
+// engine's hook for one trial. The engine is resolved through a getter
+// because the observer closure must be wired into the engine's Config
+// before the engine exists. Snapshots report the plurality state's
+// output — the consensus output once converged.
+func (set settings) snapshotCountObserver(alg Algorithm, eng func() *sim.CountEngine, trial int) func(sim.Observation) {
+	interval := set.observeEvery
+	obs := set.observer
+	var last int64
+	return func(o sim.Observation) {
+		if interval > 0 && o.Interactions-last < interval {
+			return
+		}
+		last = o.Interactions
+		snap := Snapshot{
+			Trial:        trial,
+			Interactions: o.Interactions,
+			Converged:    o.Converged,
+		}
+		if e := eng(); e != nil {
+			if out, ok := e.PluralityOutput(); ok {
+				snap.Output = out
+				snap.Estimate = estimateFor(alg, out)
+			}
+		}
+		obs(snap)
+	}
 }
 
 // snapshotObserver adapts the public observer to the engine's hook for

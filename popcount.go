@@ -98,6 +98,61 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("popcount: unknown algorithm %q", name)
 }
 
+// EngineKind selects the simulation engine backing a run.
+type EngineKind int
+
+const (
+	// EngineAgent is the agent-array engine: O(n) memory, one scheduler
+	// draw and transition per interaction. It works for every algorithm
+	// and every scheduler, and is the default.
+	EngineAgent EngineKind = iota
+	// EngineCount is the count-based engine: the configuration is
+	// simulated directly on per-state agent counts, with O(|states|)
+	// memory and amortized ~O(1) cost per interaction — population
+	// sizes of 10⁸ and beyond become practical. Only algorithms whose
+	// per-agent state space does not grow with n support it (currently
+	// GeometricEstimate; the Õ(n)-state counting protocols must stay
+	// agent-level, see DESIGN.md), and only under the default uniform
+	// scheduler.
+	EngineCount
+	// EngineAuto picks EngineCount when the algorithm supports it and
+	// EngineAgent otherwise.
+	EngineAuto
+)
+
+// String returns the engine kind's name.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAgent:
+		return "agent"
+	case EngineCount:
+		return "count"
+	case EngineAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// ParseEngineKind resolves an engine kind by its String name.
+func ParseEngineKind(name string) (EngineKind, error) {
+	for _, k := range []EngineKind{EngineAgent, EngineCount, EngineAuto} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("popcount: unknown engine %q", name)
+}
+
+// WithEngine selects the simulation engine (default EngineAgent).
+// EngineCount returns an error from the run constructors when the
+// algorithm has no count-based form or a non-uniform scheduler was
+// requested. Count-engine results carry no per-agent output vector
+// (Result.Outputs is nil): the configuration is aggregate, and
+// Result.Output reports the output of the most populated state — at
+// convergence, the consensus output.
+func WithEngine(kind EngineKind) Option { return func(s *settings) { s.engine = kind } }
+
 // Option customizes a simulation or ensemble.
 type Option func(*settings)
 
@@ -110,6 +165,7 @@ type settings struct {
 	fastRounds    int
 	shift         int
 	parallelism   int
+	engine        EngineKind
 	mkSched       func() Scheduler
 	observer      Observer
 	observeEvery  int64
@@ -192,12 +248,17 @@ type Result struct {
 	Stable bool
 	// Output is agent 0's output; at convergence all agents agree. For
 	// the approximate protocols it is the log₂-estimate, for the exact
-	// protocols and baselines the population-size estimate itself.
+	// protocols and baselines the population-size estimate itself. On
+	// the count engine (WithEngine) agents have no identity and Output
+	// is the most populated state's output — the consensus output once
+	// converged.
 	Output int64
 	// Estimate is the population-size estimate implied by Output (2^k
 	// for the approximate protocols, Output itself otherwise).
 	Estimate int64
-	// Outputs holds every agent's output.
+	// Outputs holds every agent's output. It is nil on the count engine
+	// (WithEngine), whose configuration is aggregate — materializing n
+	// entries would defeat its O(states) memory footprint.
 	Outputs []int64
 }
 
@@ -268,6 +329,46 @@ func newProtocol(alg Algorithm, n int, set settings) (sim.Protocol, error) {
 	return p, nil
 }
 
+// newCountProtocol builds the count-based form of alg over n agents, or
+// reports that the algorithm has none. Only algorithms whose per-agent
+// state space is independent of n have a count form; the Õ(n)-state
+// counting protocols (Approximate, CountExact and their stable hybrids)
+// and the Θ(n²)-state TokenBag baseline must stay agent-level.
+func newCountProtocol(alg Algorithm, n int) (sim.CountProtocol, bool) {
+	switch alg {
+	case GeometricEstimate:
+		return baseline.NewGeometricCounts(n), true
+	default:
+		return nil, false
+	}
+}
+
+// resolveEngine maps the requested engine kind to a concrete one for
+// alg, erroring when EngineCount was requested for an algorithm without
+// a count form.
+func resolveEngine(kind EngineKind, alg Algorithm) (EngineKind, error) {
+	supported := false
+	if _, ok := newCountProtocol(alg, 2); ok {
+		supported = true
+	}
+	switch kind {
+	case EngineAgent:
+		return EngineAgent, nil
+	case EngineCount:
+		if !supported {
+			return 0, fmt.Errorf("popcount: algorithm %v has no count-based form (its per-agent state space grows with n; see DESIGN.md)", alg)
+		}
+		return EngineCount, nil
+	case EngineAuto:
+		if supported {
+			return EngineCount, nil
+		}
+		return EngineAgent, nil
+	default:
+		return 0, fmt.Errorf("popcount: unknown engine kind %v", kind)
+	}
+}
+
 // simConfig translates the settings into an engine configuration for one
 // trial, wiring the observer to the given protocol instance.
 func (set settings) simConfig(alg Algorithm, p sim.Protocol, trial int) sim.Config {
@@ -284,17 +385,54 @@ func (set settings) simConfig(alg Algorithm, p sim.Protocol, trial int) sim.Conf
 	return cfg
 }
 
-// Simulation is a stepwise-controlled protocol run.
+// Simulation is a stepwise-controlled protocol run, backed by either the
+// agent-array engine or the count-based engine (WithEngine).
 type Simulation struct {
 	alg Algorithm
-	p   sim.Protocol
-	eng *sim.Engine
+	n   int
+	// Exactly one of the two engines is non-nil.
+	p    sim.Protocol // agent path only
+	eng  *sim.Engine
+	ceng *sim.CountEngine
 }
 
 // NewSimulation builds a protocol instance over n agents, driven by the
-// shared simulation engine.
+// selected simulation engine.
 func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 	set := newSettings(opts)
+	kind, err := resolveEngine(set.engine, alg)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(alg, n); err != nil {
+		return nil, err
+	}
+	if kind == EngineCount {
+		if set.mkSched != nil {
+			// Surface the incompatibility through the engine's canonical
+			// error by handing the scheduler down.
+			if _, ok := set.newSimScheduler().(sim.UniformScheduler); !ok {
+				return nil, sim.ErrCountScheduler
+			}
+		}
+		cp, _ := newCountProtocol(alg, n)
+		s := &Simulation{alg: alg, n: n}
+		cfg := sim.Config{
+			Seed:            set.seed,
+			MaxInteractions: set.maxI,
+			CheckEvery:      set.checkEvery,
+			ConfirmWindow:   set.confirmWindow,
+		}
+		if set.observer != nil {
+			cfg.Observe = set.snapshotCountObserver(alg, func() *sim.CountEngine { return s.ceng }, 0)
+		}
+		ceng, err := sim.NewCountEngine(cp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.ceng = ceng
+		return s, nil
+	}
 	p, err := newProtocol(alg, n, set)
 	if err != nil {
 		return nil, err
@@ -303,24 +441,49 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{alg: alg, p: p, eng: eng}, nil
+	return &Simulation{alg: alg, n: n, p: p, eng: eng}, nil
 }
 
 // N returns the population size.
-func (s *Simulation) N() int { return s.p.N() }
+func (s *Simulation) N() int { return s.n }
 
 // Algorithm returns the algorithm under simulation.
 func (s *Simulation) Algorithm() Algorithm { return s.alg }
 
-// Step executes count scheduler steps, using the engine's batched fast
-// path when the protocol supports it.
-func (s *Simulation) Step(count int64) { s.eng.Step(count) }
+// Engine returns the engine kind backing the simulation.
+func (s *Simulation) Engine() EngineKind {
+	if s.ceng != nil {
+		return EngineCount
+	}
+	return EngineAgent
+}
+
+// Step executes count scheduler steps, using the engine's fast paths
+// when available (batched interactions on the agent engine, self-loop
+// skipping on the count engine).
+func (s *Simulation) Step(count int64) {
+	if s.ceng != nil {
+		s.ceng.Step(count)
+		return
+	}
+	s.eng.Step(count)
+}
 
 // Interactions returns the number of interactions executed so far.
-func (s *Simulation) Interactions() int64 { return s.eng.Interactions() }
+func (s *Simulation) Interactions() int64 {
+	if s.ceng != nil {
+		return s.ceng.Interactions()
+	}
+	return s.eng.Interactions()
+}
 
 // Converged reports whether the protocol's desired configuration holds.
-func (s *Simulation) Converged() bool { return s.eng.Converged() }
+func (s *Simulation) Converged() bool {
+	if s.ceng != nil {
+		return s.ceng.Converged()
+	}
+	return s.eng.Converged()
+}
 
 // Errored reports whether a stable protocol variant has detected an
 // inconsistency and handed over to its backup (false for algorithms
@@ -330,8 +493,14 @@ func (s *Simulation) Errored() bool {
 	return ok && e.Errored()
 }
 
-// Output returns agent i's current output.
+// Output returns agent i's current output. On the count engine agents
+// have no identity; every i reports the output of the most populated
+// state (the consensus output once converged).
 func (s *Simulation) Output(i int) int64 {
+	if s.ceng != nil {
+		out, _ := s.ceng.PluralityOutput()
+		return out
+	}
 	o, ok := s.p.(sim.Outputter)
 	if !ok {
 		return 0
@@ -339,14 +508,27 @@ func (s *Simulation) Output(i int) int64 {
 	return o.Output(i)
 }
 
-// Outputs returns the current outputs of all agents.
-func (s *Simulation) Outputs() []int64 { return sim.Outputs(s.p) }
+// Outputs returns the current outputs of all agents. It is nil on the
+// count engine, whose configuration is aggregate — materializing n
+// entries would defeat its O(|states|) memory footprint.
+func (s *Simulation) Outputs() []int64 {
+	if s.ceng != nil {
+		return nil
+	}
+	return sim.Outputs(s.p)
+}
 
 // RunToConvergence drives the simulation from its current position until
 // convergence (plus the optional confirmation window) or the interaction
 // cap, and packages the result. It honors prior Step calls.
 func (s *Simulation) RunToConvergence() (Result, error) {
-	res, err := s.eng.RunToConvergence()
+	var res sim.Result
+	var err error
+	if s.ceng != nil {
+		res, err = s.ceng.RunToConvergence()
+	} else {
+		res, err = s.eng.RunToConvergence()
+	}
 	if err != nil {
 		return Result{}, err
 	}
