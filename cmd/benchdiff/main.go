@@ -1,0 +1,196 @@
+// Command benchdiff compares two popbench -json metric files and fails
+// on throughput regressions — the CI perf gate.
+//
+// Usage:
+//
+//	popbench -exp E1,E18,E19 -trials 16 -json current.json
+//	benchdiff -baseline bench/baseline.json -current current.json
+//	benchdiff -baseline bench/baseline.json -current a.json,b.json,c.json
+//	benchdiff -baseline bench/baseline.json -current current.json -ids E1,E18 -threshold 0.4
+//	benchdiff -baseline bench/baseline.json -current current.json -update
+//
+// The files hold the []experimentMetrics records popbench emits. For
+// every selected experiment id present in the baseline, benchdiff
+// compares interactions_per_sec and exits non-zero when the current
+// value has regressed by more than the threshold (default 0.25, i.e.
+// current < 75% of baseline). Experiments missing from the current
+// metrics fail the gate outright — a silently dropped experiment is a
+// regression too. -update rewrites the baseline from the current
+// metrics instead of comparing (run it on the reference machine when a
+// PR legitimately shifts throughput, and commit the result).
+//
+// Scheduler noise on shared runners is one-sided — contention only ever
+// slows a measurement down — so -current accepts several
+// comma-separated files (popbench runs repeated in one job) and gates
+// on each experiment's best run. Combined with a baseline recorded the
+// same way and the loose default threshold, the gate catches
+// algorithmic regressions (a 2× slowdown from a lost fast path), not
+// machine variance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// metrics mirrors popbench's experimentMetrics JSON records.
+type metrics struct {
+	ID                 string  `json:"id"`
+	Title              string  `json:"title"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	Trials             int64   `json:"trials"`
+	Converged          int64   `json:"converged"`
+	ConvergenceRate    float64 `json:"convergence_rate"`
+	Interactions       int64   `json:"interactions"`
+	InteractionsPerSec float64 `json:"interactions_per_sec"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]metrics, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []metrics
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]metrics, len(list))
+	order := make([]string, 0, len(list))
+	for _, m := range list {
+		if _, dup := out[m.ID]; dup {
+			return nil, nil, fmt.Errorf("%s: duplicate experiment id %q", path, m.ID)
+		}
+		out[m.ID] = m
+		order = append(order, m.ID)
+	}
+	return out, order, nil
+}
+
+// loadBest merges several metrics files, keeping each experiment's
+// fastest record — the repeated-run noise filter of the gate.
+func loadBest(paths []string) (map[string]metrics, []string, error) {
+	best := make(map[string]metrics)
+	var order []string
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		m, o, err := load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range o {
+			prev, seen := best[id]
+			if !seen {
+				order = append(order, id)
+			}
+			if !seen || m[id].InteractionsPerSec > prev.InteractionsPerSec {
+				best[id] = m[id]
+			}
+		}
+	}
+	if len(best) == 0 {
+		return nil, nil, fmt.Errorf("no metrics in %s", strings.Join(paths, ","))
+	}
+	return best, order, nil
+}
+
+func run(args []string, w *os.File) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("baseline", "bench/baseline.json", "committed baseline metrics (popbench -json format)")
+		curPath   = fs.String("current", "", "current metrics to gate; comma-separated popbench -json files gate on each experiment's best run")
+		ids       = fs.String("ids", "", "comma-separated experiment ids to gate; empty = every id in the baseline")
+		threshold = fs.Float64("threshold", 0.25, "maximum tolerated relative drop in interactions_per_sec")
+		update    = fs.Bool("update", false, "rewrite the baseline from -current (best run per experiment) instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *curPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		return fmt.Errorf("-threshold %v out of range (0, 1)", *threshold)
+	}
+
+	cur, curOrder, err := loadBest(strings.Split(*curPath, ","))
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		list := make([]metrics, 0, len(cur))
+		for _, id := range curOrder {
+			list = append(list, cur[id])
+		}
+		data, err := json.MarshalIndent(list, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchdiff: baseline %s updated from %s\n", *basePath, *curPath)
+		return nil
+	}
+
+	base, order, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+
+	selected := order
+	if *ids != "" {
+		selected = nil
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := base[id]; !ok {
+				return fmt.Errorf("experiment %q not in baseline %s", id, *basePath)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	var failures []string
+	fmt.Fprintf(w, "%-5s  %14s  %14s  %8s  %s\n", "id", "baseline ips", "current ips", "ratio", "verdict")
+	for _, id := range selected {
+		b := base[id]
+		c, ok := cur[id]
+		if !ok {
+			fmt.Fprintf(w, "%-5s  %14.3g  %14s  %8s  MISSING\n", id, b.InteractionsPerSec, "-", "-")
+			failures = append(failures, fmt.Sprintf("%s: missing from current metrics", id))
+			continue
+		}
+		if b.InteractionsPerSec <= 0 {
+			fmt.Fprintf(w, "%-5s  %14.3g  %14.3g  %8s  SKIP (no baseline rate)\n",
+				id, b.InteractionsPerSec, c.InteractionsPerSec, "-")
+			continue
+		}
+		ratio := c.InteractionsPerSec / b.InteractionsPerSec
+		verdict := "ok"
+		if ratio < 1-*threshold {
+			verdict = fmt.Sprintf("REGRESSION (>%.0f%% drop)", 100**threshold)
+			failures = append(failures, fmt.Sprintf("%s: interactions/sec %.3g -> %.3g (ratio %.2f)",
+				id, b.InteractionsPerSec, c.InteractionsPerSec, ratio))
+		}
+		fmt.Fprintf(w, "%-5s  %14.3g  %14.3g  %8.2f  %s\n",
+			id, b.InteractionsPerSec, c.InteractionsPerSec, ratio, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d experiment(s) regressed:\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

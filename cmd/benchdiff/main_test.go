@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeMetrics writes a popbench-format metrics file and returns its
+// path.
+func writeMetrics(t *testing.T, dir, name string, ms []metrics) string {
+	t.Helper()
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func m(id string, ips float64) metrics {
+	return metrics{ID: id, Title: id, InteractionsPerSec: ips, Trials: 2, Converged: 2}
+}
+
+// TestGatePasses pins the accept path: rates within the threshold —
+// including improvements — pass.
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100), m("E18", 1e9), m("E19", 1e11)})
+	cur := writeMetrics(t, dir, "cur.json", []metrics{m("E1", 90), m("E18", 2e9), m("E19", 0.8e11)})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err != nil {
+		t.Fatalf("gate failed on tolerable drift: %v", err)
+	}
+}
+
+// TestGateFailsOnSyntheticRegression pins the reject path: a synthetic
+// >25% interactions/sec regression must fail the gate.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100), m("E18", 1e9), m("E19", 1e11)})
+	cur := writeMetrics(t, dir, "cur.json", []metrics{m("E1", 100), m("E18", 0.74e9), m("E19", 1e11)})
+	err := run([]string{"-baseline", base, "-current", cur}, os.Stdout)
+	if err == nil {
+		t.Fatal("gate passed a 26% regression")
+	}
+	if !strings.Contains(err.Error(), "E18") {
+		t.Fatalf("failure does not name the regressed experiment: %v", err)
+	}
+	// A drop exactly at the boundary (25%) still passes.
+	cur = writeMetrics(t, dir, "cur2.json", []metrics{m("E1", 100), m("E18", 0.76e9), m("E19", 1e11)})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err != nil {
+		t.Fatalf("gate failed a 24%% drop inside the threshold: %v", err)
+	}
+}
+
+// TestGateFailsOnMissingExperiment pins that silently dropping a gated
+// experiment fails.
+func TestGateFailsOnMissingExperiment(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100), m("E19", 1e11)})
+	cur := writeMetrics(t, dir, "cur.json", []metrics{m("E1", 100)})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err == nil {
+		t.Fatal("gate passed with E19 missing from current metrics")
+	}
+}
+
+// TestGateIDSelection pins -ids: only the named experiments gate.
+func TestGateIDSelection(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100), m("E18", 1e9)})
+	cur := writeMetrics(t, dir, "cur.json", []metrics{m("E1", 100), m("E18", 1)})
+	if err := run([]string{"-baseline", base, "-current", cur, "-ids", "E1"}, os.Stdout); err != nil {
+		t.Fatalf("gate inspected an unselected experiment: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-ids", "E1,E18"}, os.Stdout); err == nil {
+		t.Fatal("gate missed a selected regression")
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-ids", "E7"}, os.Stdout); err == nil {
+		t.Fatal("gate accepted an id absent from the baseline")
+	}
+}
+
+// TestGateBestOfRuns pins the repeated-run noise filter: several
+// -current files gate on each experiment's best run, so one
+// contention-slowed run does not fail the gate.
+func TestGateBestOfRuns(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100), m("E18", 1e9)})
+	slow := writeMetrics(t, dir, "slow.json", []metrics{m("E1", 40), m("E18", 1e9)})
+	good := writeMetrics(t, dir, "good.json", []metrics{m("E1", 98), m("E18", 0.9e9)})
+	if err := run([]string{"-baseline", base, "-current", slow + "," + good}, os.Stdout); err != nil {
+		t.Fatalf("best-of gate failed despite one clean run: %v", err)
+	}
+	// Both runs slow: a real regression still fails.
+	slow2 := writeMetrics(t, dir, "slow2.json", []metrics{m("E1", 45), m("E18", 1e9)})
+	if err := run([]string{"-baseline", base, "-current", slow + "," + slow2}, os.Stdout); err == nil {
+		t.Fatal("best-of gate passed a regression present in every run")
+	}
+}
+
+// TestGateThresholdFlag pins the-threshold knob.
+func TestGateThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100)})
+	cur := writeMetrics(t, dir, "cur.json", []metrics{m("E1", 60)})
+	if err := run([]string{"-baseline", base, "-current", cur, "-threshold", "0.5"}, os.Stdout); err != nil {
+		t.Fatalf("40%% drop failed a 50%% threshold: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-threshold", "0.2"}, os.Stdout); err == nil {
+		t.Fatal("40% drop passed a 20% threshold")
+	}
+}
+
+// TestUpdateRewritesBaseline pins -update.
+func TestUpdateRewritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeMetrics(t, dir, "base.json", []metrics{m("E1", 100)})
+	cur := writeMetrics(t, dir, "cur.json", []metrics{m("E1", 500), m("E18", 1e9)})
+	if err := run([]string{"-baseline", base, "-current", cur, "-update"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["E1"].InteractionsPerSec != 500 || len(got) != 2 {
+		t.Fatalf("baseline not rewritten: %+v", got)
+	}
+}

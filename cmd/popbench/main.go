@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E18 and
+// Command popbench runs the reproduction experiment suite (E1–E19 and
 // ablations A1–A3 from DESIGN.md) and prints the result tables that
 // EXPERIMENTS.md records.
 //
@@ -9,6 +9,7 @@
 //	popbench -exp E8,E12     # selected experiments only
 //	popbench -trials 20 -par 8
 //	popbench -exp E18 -full  # count-engine scaling up to n = 1e8
+//	popbench -exp E19 -full  # batched stepping up to n = 1e9
 //	popbench -json bench.json            # machine-readable metrics
 //	popbench -cpuprofile cpu.pprof       # pprof evidence for perf PRs
 package main
@@ -47,7 +48,7 @@ var experiments = []struct {
 	{"E10", exp.E10ApproxStage}, {"E11", exp.E11Refine}, {"E12", exp.E12CountExact},
 	{"E13", exp.E13BackupApprox}, {"E14", exp.E14BackupExact}, {"E15", exp.E15Baselines},
 	{"E16", exp.E16SchedulerRobustness}, {"E17", exp.E17Stabilization},
-	{"E18", exp.E18CountEngine},
+	{"E18", exp.E18CountEngine}, {"E19", exp.E19BatchedEngine},
 	{"A1", exp.A1ClockPeriod}, {"A2", exp.A2Shift}, {"A3", exp.A3FastLeaderRounds},
 }
 

@@ -9,12 +9,16 @@
 //	popsim -alg exact -n 4096 -trials 32 -par 8
 //	popsim -alg approximate -n 4096 -sched matching
 //	popsim -alg geometric -n 100000000 -engine count
+//	popsim -alg geometric -n 100000000 -engine count-batched
 //
 // Algorithms: approximate, exact, stable-approximate, stable-exact,
 // tokenbag, geometric. Schedulers: uniform, biased, matching.
-// Engines: agent (default), count, auto — the count engine simulates
-// the configuration (per-state agent counts) directly, making population
-// sizes of 10⁸ and beyond practical for supported algorithms.
+// Engines: agent (default), count, count-batched, auto — the count
+// engine simulates the configuration (per-state agent counts) directly,
+// making population sizes of 10⁸ and beyond practical for supported
+// algorithms; count-batched additionally steps the configuration in
+// multinomial epochs (drift-bounded τ-leaping, distributionally
+// faithful but not exact), unlocking n ≥ 10⁹.
 package main
 
 import (
@@ -46,7 +50,8 @@ func run(args []string) error {
 		confirm  = fs.Int64("confirm", 0, "confirmation window in interactions (0 = none); reports stabilization")
 		trials   = fs.Int("trials", 1, "independent trials; >1 runs an ensemble and prints aggregate statistics")
 		par      = fs.Int("par", 0, "parallel trials for ensembles (0 = one per CPU)")
-		engineN  = fs.String("engine", "agent", "simulation engine: agent | count | auto (count simulates the configuration directly, enabling n >= 1e8 for supported algorithms)")
+		engineN  = fs.String("engine", "agent", "simulation engine: agent | count | count-batched | auto (count simulates the configuration directly, enabling n >= 1e8 for supported algorithms; count-batched steps it in drift-bounded multinomial epochs for o(1) amortized cost per interaction — approximate, see DESIGN.md)")
+		batchR   = fs.Int("batch-rounds", 0, "count-batched: cap one batch epoch at this many rounds of n interactions (0 = engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +71,9 @@ func run(args []string) error {
 		popcount.WithConfirmWindow(*confirm),
 		popcount.WithParallelism(*par),
 		popcount.WithEngine(engine),
+	}
+	if *batchR > 0 {
+		opts = append(opts, popcount.WithBatchRounds(*batchR))
 	}
 	switch *schedN {
 	case "uniform":

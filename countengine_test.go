@@ -52,6 +52,12 @@ func meanAgent(t *testing.T, name string, factory func(int) sim.Protocol, cfg si
 	return sum / equivTrials
 }
 
+// batched returns cfg with the multinomial batch-stepping mode enabled.
+func batched(cfg sim.Config) sim.Config {
+	cfg.BatchSteps = true
+	return cfg
+}
+
 // meanCount is meanAgent for the count form.
 func meanCount(t *testing.T, name string, factory func(int) sim.CountProtocol, cfg sim.Config) float64 {
 	t.Helper()
@@ -82,20 +88,24 @@ func checkEquivalence(t *testing.T, name string, agent, count float64) {
 
 func TestCountEngineEquivalenceEpidemic(t *testing.T) {
 	cfg := sim.Config{Seed: 0xE1, CheckEvery: equivN / 8}
+	factory := func(int) sim.CountProtocol { return epidemic.NewSingleSourceCounts(equivN, true) }
 	agent := meanAgent(t, "epidemic",
 		func(int) sim.Protocol { return epidemic.NewSingleSource(equivN, true) }, cfg)
-	count := meanCount(t, "epidemic",
-		func(int) sim.CountProtocol { return epidemic.NewSingleSourceCounts(equivN, true) }, cfg)
+	count := meanCount(t, "epidemic", factory, cfg)
 	checkEquivalence(t, "epidemic", agent, count)
+	checkEquivalence(t, "epidemic batched", agent,
+		meanCount(t, "epidemic batched", factory, batched(cfg)))
 }
 
 func TestCountEngineEquivalenceJunta(t *testing.T) {
 	cfg := sim.Config{Seed: 0xE2, CheckEvery: equivN / 8}
+	factory := func(int) sim.CountProtocol { return junta.NewCounts(equivN) }
 	agent := meanAgent(t, "junta",
 		func(int) sim.Protocol { return junta.New(equivN) }, cfg)
-	count := meanCount(t, "junta",
-		func(int) sim.CountProtocol { return junta.NewCounts(equivN) }, cfg)
+	count := meanCount(t, "junta", factory, cfg)
 	checkEquivalence(t, "junta", agent, count)
+	checkEquivalence(t, "junta batched", agent,
+		meanCount(t, "junta batched", factory, batched(cfg)))
 }
 
 func TestCountEngineEquivalenceLeader(t *testing.T) {
@@ -104,31 +114,37 @@ func TestCountEngineEquivalenceLeader(t *testing.T) {
 	}
 	js := 2 * sim.Log2Ceil(equivN)
 	cfg := sim.Config{Seed: 0xE4, CheckEvery: equivN}
+	factory := func(int) sim.CountProtocol { return leader.NewCounts(equivN, clock.DefaultM, js) }
 	agent := meanAgent(t, "leader",
 		func(int) sim.Protocol { return leader.NewProtocol(equivN, clock.DefaultM, js) }, cfg)
-	count := meanCount(t, "leader",
-		func(int) sim.CountProtocol { return leader.NewCounts(equivN, clock.DefaultM, js) }, cfg)
+	count := meanCount(t, "leader", factory, cfg)
 	checkEquivalence(t, "leader", agent, count)
+	checkEquivalence(t, "leader batched", agent,
+		meanCount(t, "leader batched", factory, batched(cfg)))
 }
 
 func TestCountEngineEquivalenceClock(t *testing.T) {
 	const maxPhase = 3
 	js := 2 * sim.Log2Ceil(equivN)
 	cfg := sim.Config{Seed: 0xE3, CheckEvery: equivN}
+	factory := func(int) sim.CountProtocol { return clock.NewCounts(equivN, clock.DefaultM, js, maxPhase) }
 	agent := meanAgent(t, "clock",
 		func(int) sim.Protocol { return clock.NewProtocol(equivN, clock.DefaultM, js, maxPhase) }, cfg)
-	count := meanCount(t, "clock",
-		func(int) sim.CountProtocol { return clock.NewCounts(equivN, clock.DefaultM, js, maxPhase) }, cfg)
+	count := meanCount(t, "clock", factory, cfg)
 	checkEquivalence(t, "clock", agent, count)
+	checkEquivalence(t, "clock batched", agent,
+		meanCount(t, "clock batched", factory, batched(cfg)))
 }
 
 func TestCountEngineEquivalenceGeometric(t *testing.T) {
 	cfg := sim.Config{Seed: 0xE5, CheckEvery: equivN / 8}
+	factory := func(int) sim.CountProtocol { return baseline.NewGeometricCounts(equivN) }
 	agent := meanAgent(t, "geometric",
 		func(int) sim.Protocol { return baseline.NewGeometricEstimate(equivN) }, cfg)
-	count := meanCount(t, "geometric",
-		func(int) sim.CountProtocol { return baseline.NewGeometricCounts(equivN) }, cfg)
+	count := meanCount(t, "geometric", factory, cfg)
 	checkEquivalence(t, "geometric", agent, count)
+	checkEquivalence(t, "geometric batched", agent,
+		meanCount(t, "geometric batched", factory, batched(cfg)))
 }
 
 // TestWithEngineCount exercises the public engine selection: the count
@@ -184,6 +200,105 @@ func TestWithEngineCount(t *testing.T) {
 	}
 }
 
+// TestWithEngineCountBatched exercises the public batched mode: it runs
+// supported algorithms at populations beyond the exact count engine's
+// comfort, accepts the WithBatchRounds knob, reports its concrete kind,
+// and is subject to the same restrictions as EngineCount.
+func TestWithEngineCountBatched(t *testing.T) {
+	const n = 1 << 22 // 4M agents
+	res, err := popcount.Count(popcount.GeometricEstimate, n,
+		popcount.WithEngine(popcount.EngineCountBatched),
+		popcount.WithBatchRounds(4), popcount.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("batched count-engine run did not converge")
+	}
+	if res.Outputs != nil {
+		t.Fatalf("batched count-engine result carries per-agent outputs (%d entries)", len(res.Outputs))
+	}
+	// The max of n Geometric(1/2) samples is log2 n + Θ(1) w.h.p.
+	if res.Output < 15 || res.Output > 45 {
+		t.Fatalf("log-estimate %d implausible for n=2^22", res.Output)
+	}
+
+	k, err := popcount.ParseEngineKind("count-batched")
+	if err != nil || k != popcount.EngineCountBatched {
+		t.Fatalf("ParseEngineKind(count-batched) = %v, %v", k, err)
+	}
+	s, err := popcount.NewSimulation(popcount.GeometricEstimate, 1024,
+		popcount.WithEngine(popcount.EngineCountBatched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine() != popcount.EngineCountBatched {
+		t.Fatalf("Engine() = %v, want count-batched", s.Engine())
+	}
+
+	if _, err := popcount.Count(popcount.CountExact, 64,
+		popcount.WithEngine(popcount.EngineCountBatched)); err == nil {
+		t.Fatal("EngineCountBatched accepted an algorithm without a count form")
+	}
+	if _, err := popcount.NewSimulation(popcount.GeometricEstimate, 1024,
+		popcount.WithEngine(popcount.EngineCountBatched),
+		popcount.WithScheduler(popcount.RandomMatching)); err != sim.ErrCountScheduler {
+		t.Fatalf("batched engine with non-uniform scheduler: got %v, want ErrCountScheduler", err)
+	}
+}
+
+// TestEngineSchedulerValidation pins the construction-time validation
+// of engine × scheduler combinations: explicit count-engine requests
+// with a non-uniform scheduler fail from NewSimulation and RunEnsemble
+// (not at Run time), and EngineAuto falls back to the agent engine
+// instead of erroring.
+func TestEngineSchedulerValidation(t *testing.T) {
+	// EngineAuto + non-uniform scheduler: the count engine is ruled out,
+	// so auto must resolve to the agent engine and run fine.
+	s, err := popcount.NewSimulation(popcount.GeometricEstimate, 256,
+		popcount.WithEngine(popcount.EngineAuto),
+		popcount.WithScheduler(popcount.RandomMatching))
+	if err != nil {
+		t.Fatalf("EngineAuto with matching scheduler errored: %v", err)
+	}
+	if s.Engine() != popcount.EngineAgent {
+		t.Fatalf("EngineAuto with matching scheduler picked %v, want agent", s.Engine())
+	}
+	res, err := popcount.Count(popcount.GeometricEstimate, 256,
+		popcount.WithEngine(popcount.EngineAuto),
+		popcount.WithScheduler(popcount.RandomMatching))
+	if err != nil || !res.Converged {
+		t.Fatalf("EngineAuto fallback run failed: %v (converged=%v)", err, res.Converged)
+	}
+	if _, err := popcount.RunEnsemble(context.Background(),
+		popcount.GeometricEstimate, 256, 4,
+		popcount.WithEngine(popcount.EngineAuto),
+		popcount.WithScheduler(popcount.RandomMatching)); err != nil {
+		t.Fatalf("EngineAuto ensemble with matching scheduler errored: %v", err)
+	}
+
+	// An explicit count-engine request with the same scheduler must
+	// surface ErrCountScheduler from the constructors.
+	if _, err := popcount.NewSimulation(popcount.GeometricEstimate, 256,
+		popcount.WithEngine(popcount.EngineCount),
+		popcount.WithScheduler(popcount.RandomMatching)); err != sim.ErrCountScheduler {
+		t.Fatalf("NewSimulation: got %v, want ErrCountScheduler", err)
+	}
+	if _, err := popcount.RunEnsemble(context.Background(),
+		popcount.GeometricEstimate, 256, 4,
+		popcount.WithEngine(popcount.EngineCount),
+		popcount.WithScheduler(popcount.RandomMatching)); err != sim.ErrCountScheduler {
+		t.Fatalf("RunEnsemble: got %v, want ErrCountScheduler", err)
+	}
+
+	// A uniform scheduler registered explicitly stays compatible.
+	if _, err := popcount.NewSimulation(popcount.GeometricEstimate, 256,
+		popcount.WithEngine(popcount.EngineCount),
+		popcount.WithScheduler(popcount.UniformPairs)); err != nil {
+		t.Fatalf("uniform scheduler rejected: %v", err)
+	}
+}
+
 // TestRunEnsembleCountEngine pins the ensemble path: reproducible at any
 // parallelism, aggregate statistics filled, observers fired.
 func TestRunEnsembleCountEngine(t *testing.T) {
@@ -220,5 +335,21 @@ func TestRunEnsembleCountEngine(t *testing.T) {
 	}
 	if snaps.Load() == 0 {
 		t.Fatal("ensemble observer never fired on the count engine")
+	}
+
+	// The batched mode shares the ensemble path — and its bit-for-bit
+	// reproducibility across parallelism.
+	runBatched := func(par int) popcount.EnsembleResult {
+		ens, err := popcount.RunEnsemble(context.Background(),
+			popcount.GeometricEstimate, n, 8,
+			popcount.WithEngine(popcount.EngineCountBatched),
+			popcount.WithSeed(79), popcount.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ens
+	}
+	if !reflect.DeepEqual(runBatched(1), runBatched(3)) {
+		t.Fatal("batched count-engine ensemble is not reproducible across parallelism")
 	}
 }

@@ -81,16 +81,17 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 		ctx = context.Background()
 	}
 	set := newSettings(opts)
-	// Validate once up front so the trial factory cannot fail mid-run.
+	// Validate once up front so the trial factory cannot fail mid-run;
+	// engine × algorithm × scheduler incompatibilities error here.
 	if err := validate(alg, n); err != nil {
 		return EnsembleResult{}, err
 	}
-	kind, err := resolveEngine(set.engine, alg)
+	kind, err := set.resolveEngine(alg)
 	if err != nil {
 		return EnsembleResult{}, err
 	}
-	if kind == EngineCount {
-		return runCountEnsemble(ctx, alg, n, trials, set)
+	if kind == EngineCount || kind == EngineCountBatched {
+		return runCountEnsemble(ctx, alg, n, trials, kind, set)
 	}
 
 	// Per-trial observer closures, written by the factory and read by
@@ -192,25 +193,15 @@ func aggregateEnsemble(results []Result) EnsembleResult {
 // seed derivation and aggregation, backed by sim.RunCountTrials.
 // Per-trial Outputs are nil (the configuration is aggregate) and Output
 // is the plurality state's output.
-func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, set settings) (EnsembleResult, error) {
-	if set.mkSched != nil {
-		if _, ok := set.newSimScheduler().(sim.UniformScheduler); !ok {
-			return EnsembleResult{}, sim.ErrCountScheduler
+func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, kind EngineKind, set settings) (EnsembleResult, error) {
+	cfg := set.countSimConfig(kind)
+	cfg.Interrupt = func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
 		}
-	}
-	cfg := sim.Config{
-		Seed:            set.seed,
-		MaxInteractions: set.maxI,
-		CheckEvery:      set.checkEvery,
-		ConfirmWindow:   set.confirmWindow,
-		Interrupt: func() bool {
-			select {
-			case <-ctx.Done():
-				return true
-			default:
-				return false
-			}
-		},
 	}
 	par := set.parallelism
 	if par <= 0 {

@@ -51,6 +51,19 @@ func (p *GeometricCounts) Delta(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
 	return qu, qv
 }
 
+// DeltaDet exposes the transition matrix for batch stepping
+// (sim.DeterministicDelta): pairs of sampled agents spread the maximum
+// deterministically; pairs involving an unsampled agent draw their
+// geometric sample from the generator and stay on the per-interaction
+// path.
+func (p *GeometricCounts) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	if qu == 0 || qv == 0 {
+		return 0, 0, false
+	}
+	a, b := p.Delta(qu, qv, nil)
+	return a, b, true
+}
+
 // SelfLoop reports the certainly inert pairs: both sampled with equal
 // values. Pairs involving an unsampled agent always change state (and
 // consume coins), so they are never skipped.

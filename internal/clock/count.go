@@ -84,6 +84,14 @@ func (p *Counts) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
 	return p.encode(us.Val, up, uj), p.encode(vs.Val, vp, vj)
 }
 
+// DeltaDet exposes the transition matrix for batch stepping
+// (sim.DeterministicDelta): the phase-clock tick is deterministic and
+// coin-free for every pair.
+func (p *Counts) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	a, b := p.Delta(qu, qv, nil)
+	return a, b, true
+}
+
 func capPhase(ph, maxPhase uint32) uint32 {
 	if ph > maxPhase {
 		return maxPhase

@@ -83,6 +83,14 @@ func (p *Counts) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
 	return qu, qv
 }
 
+// DeltaDet exposes the transition matrix for batch stepping
+// (sim.DeterministicDelta): the broadcast rule is deterministic and
+// coin-free for every pair.
+func (p *Counts) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	a, b := p.Delta(qu, qv, nil)
+	return a, b, true
+}
+
 // SelfLoop reports the certainly inert pairs: equal values, and under
 // the one-way rule any pair whose initiator is already at least as
 // large.

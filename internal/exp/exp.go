@@ -268,6 +268,7 @@ func All(o Options) []Table {
 		E16SchedulerRobustness(o),
 		E17Stabilization(o),
 		E18CountEngine(o),
+		E19BatchedEngine(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

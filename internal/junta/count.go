@@ -63,6 +63,14 @@ func (p *Counts) Delta(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
 	return encode(su), encode(sv)
 }
 
+// DeltaDet exposes the transition matrix for batch stepping
+// (sim.DeterministicDelta): the junta transition is deterministic and
+// coin-free for every pair.
+func (p *Counts) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	a, b := p.Delta(qu, qv, nil)
+	return a, b, true
+}
+
 // SelfLoop reports whether the (deterministic) transition leaves both
 // states unchanged.
 func (p *Counts) SelfLoop(qu, qv uint64) bool {

@@ -143,6 +143,26 @@ func (p *Counts) Delta(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
 	return p.encode(p.pack(us, uc, su.junta)), p.encode(p.pack(vs, vc, sv.junta))
 }
 
+// DeltaDet exposes the transition matrix for batch stepping
+// (sim.DeterministicDelta). The only randomness in leader_elect is the
+// per-phase leader coin, drawn when a still-contending, not-yet-done
+// endpoint crosses a phase boundary (Election.boundary); every other
+// pair transitions deterministically. The boundary condition is
+// re-derived from a dry run of the inner clock tick, conservatively
+// treating a pre-retirement contender as a coin consumer.
+func (p *Counts) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	su, sv := p.decode(qu), p.decode(qv)
+	uc := clock.State{Val: su.innerVal}
+	vc := clock.State{Val: sv.innerVal}
+	p.elect.Inner.Tick(&uc, &vc, su.junta, sv.junta)
+	if (uc.FirstTick && su.isLeader && !su.done) ||
+		(vc.FirstTick && sv.isLeader && !sv.done) {
+		return 0, 0, false
+	}
+	a, b := p.Delta(qu, qv, nil)
+	return a, b, true
+}
+
 // pack rebuilds a cstate from the post-interaction election and clock
 // states, re-capping the outer phase counter.
 func (p *Counts) pack(s State, c clock.State, junta bool) cstate {

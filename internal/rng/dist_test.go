@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// binMoments draws trials Binomial(n, p) variates and returns their
+// sample mean and variance, checking every draw stays in [0, n].
+func binMoments(t *testing.T, r *Rand, n int64, p float64, trials int) (mean, variance float64) {
+	t.Helper()
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		k := r.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial(%d, %g) = %d out of range", n, p, k)
+		}
+		x := float64(k)
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(trials)
+	variance = sumSq/float64(trials) - mean*mean
+	return mean, variance
+}
+
+// TestBinomialMoments checks sample mean and variance against n·p and
+// n·p·q across both sampler regimes (inversion and BTRS) and the
+// mirrored p > 1/2 path. Tolerances are ~6 standard errors.
+func TestBinomialMoments(t *testing.T) {
+	r := New(1)
+	const trials = 20000
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{10, 0.3},        // inversion
+		{1000, 0.004},    // inversion, larger n
+		{1000, 0.3},      // BTRS
+		{1 << 20, 0.25},  // BTRS, large n
+		{1 << 20, 0.75},  // mirrored BTRS
+		{50, 0.9},        // mirrored inversion
+		{1 << 30, 1e-06}, // tiny p at huge n
+	}
+	for _, c := range cases {
+		mean, variance := binMoments(t, r, c.n, c.p, trials)
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		seMean := math.Sqrt(wantVar / trials)
+		if d := math.Abs(mean - wantMean); d > 6*seMean+1e-9 {
+			t.Errorf("Binomial(%d, %g): mean %.2f, want %.2f ± %.2f",
+				c.n, c.p, mean, wantMean, 6*seMean)
+		}
+		// Var of the sample variance ≈ 2σ⁴/trials for near-normal data.
+		seVar := wantVar * math.Sqrt(2.0/trials)
+		if d := math.Abs(variance - wantVar); wantVar > 1 && d > 8*seVar {
+			t.Errorf("Binomial(%d, %g): variance %.2f, want %.2f ± %.2f",
+				c.n, c.p, variance, wantVar, 8*seVar)
+		}
+	}
+}
+
+// TestBinomialEdges pins the degenerate parameters.
+func TestBinomialEdges(t *testing.T) {
+	r := New(2)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := r.Binomial(100, 0); got != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", got)
+	}
+	if got := r.Binomial(100, 1); got != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", got)
+	}
+	if got := r.Binomial(100, -0.5); got != 0 {
+		t.Fatalf("Binomial(100, -0.5) = %d", got)
+	}
+	if got := r.Binomial(100, 1.5); got != 100 {
+		t.Fatalf("Binomial(100, 1.5) = %d", got)
+	}
+}
+
+// TestHypergeometricMoments checks sample mean and variance against the
+// exact hypergeometric moments across the symmetry-reduction branches.
+func TestHypergeometricMoments(t *testing.T) {
+	r := New(3)
+	const trials = 20000
+	cases := []struct {
+		sample, good, total int64
+	}{
+		{10, 50, 100},
+		{80, 50, 100},      // sample > total/2: complement branch
+		{10, 90, 100},      // good > total/2: mirror branch
+		{500, 5000, 10000}, // larger scale
+		{1000, 999999, 1 << 20},
+		{3, 4, 8},
+	}
+	for _, c := range cases {
+		var sum, sumSq float64
+		lo := c.sample + c.good - c.total
+		if lo < 0 {
+			lo = 0
+		}
+		hi := c.sample
+		if c.good < hi {
+			hi = c.good
+		}
+		for i := 0; i < trials; i++ {
+			k := r.Hypergeometric(c.sample, c.good, c.total)
+			if k < lo || k > hi {
+				t.Fatalf("Hypergeometric(%d, %d, %d) = %d outside [%d, %d]",
+					c.sample, c.good, c.total, k, lo, hi)
+			}
+			x := float64(k)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		s, g, n := float64(c.sample), float64(c.good), float64(c.total)
+		wantMean := s * g / n
+		wantVar := s * (g / n) * (1 - g/n) * (n - s) / (n - 1)
+		seMean := math.Sqrt(wantVar / trials)
+		if d := math.Abs(mean - wantMean); d > 6*seMean+1e-9 {
+			t.Errorf("Hypergeometric(%d, %d, %d): mean %.2f, want %.2f ± %.2f",
+				c.sample, c.good, c.total, mean, wantMean, 6*seMean)
+		}
+		seVar := wantVar * math.Sqrt(2.0/trials)
+		if d := math.Abs(variance - wantVar); wantVar > 1 && d > 8*seVar {
+			t.Errorf("Hypergeometric(%d, %d, %d): variance %.2f, want %.2f ± %.2f",
+				c.sample, c.good, c.total, variance, wantVar, 8*seVar)
+		}
+	}
+}
+
+// TestHypergeometricEdges pins degenerate supports and panics.
+func TestHypergeometricEdges(t *testing.T) {
+	r := New(4)
+	if got := r.Hypergeometric(0, 5, 10); got != 0 {
+		t.Fatalf("sample=0: got %d", got)
+	}
+	if got := r.Hypergeometric(10, 10, 10); got != 10 {
+		t.Fatalf("all good, full sample: got %d", got)
+	}
+	if got := r.Hypergeometric(4, 0, 10); got != 0 {
+		t.Fatalf("no good items: got %d", got)
+	}
+	if got := r.Hypergeometric(10, 7, 10); got != 7 {
+		t.Fatalf("full sample: got %d, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range parameters did not panic")
+		}
+	}()
+	r.Hypergeometric(11, 5, 10)
+}
+
+// TestBinomialDeterministic pins seed reproducibility across both
+// sampler regimes.
+func TestBinomialDeterministic(t *testing.T) {
+	draw := func() []int64 {
+		r := New(99)
+		out := make([]int64, 0, 40)
+		for i := 0; i < 10; i++ {
+			out = append(out,
+				r.Binomial(1000, 0.3),
+				r.Binomial(20, 0.2),
+				r.Hypergeometric(100, 300, 1000),
+				r.Hypergeometric(3, 5, 9))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -178,6 +178,10 @@ type CountEngine struct {
 	diag    []bool
 	noopOut [][]int32
 	noopIn  [][]int32
+
+	// Batch-stepping state (allocated only when Config.BatchSteps): the
+	// multinomial epoch planner of countbatch.go.
+	bp *batchPlanner
 }
 
 // NewCountEngine validates p and cfg and returns a count engine
@@ -209,6 +213,9 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 	e.conv, _ = p.(CountConverger)
 	if e.sl != nil {
 		e.rowW = countdist.NewSampler(8)
+	}
+	if cfg.BatchSteps {
+		e.bp = newBatchPlanner(p, cfg, e.n)
 	}
 
 	init := p.InitCounts()
@@ -281,16 +288,18 @@ func (e *CountEngine) RunToConvergence() (Result, error) {
 	return e.runToConvergence(e)
 }
 
-// Step executes exactly count interactions without convergence checks.
+// Step executes exactly count interactions without convergence checks,
+// in multinomial epochs when batch stepping is enabled (Config.
+// BatchSteps) and per interaction otherwise.
 func (e *CountEngine) Step(count int64) {
 	if count <= 0 {
 		return
 	}
-	if e.sl != nil {
-		e.stepSkip(count)
-	} else {
-		e.stepEach(count)
+	if e.bp != nil {
+		e.stepBatched(count)
+		return
 	}
+	e.stepExact(count)
 }
 
 // stepEach is the per-interaction path: one categorical pair draw and

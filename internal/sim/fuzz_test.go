@@ -62,6 +62,31 @@ func (t *fuzzTable) SelfLoop(qu, qv uint64) bool {
 	return a == qu && b == qv
 }
 
+// DeltaDet exposes the fuzz table's (deterministic) transition matrix
+// so the batched path exercises the bulk-apply route, not just the
+// per-interaction fallback.
+func (t *fuzzTable) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	a, b := t.Delta(qu, qv, nil)
+	return a, b, true
+}
+
+// fuzzProto builds the count protocol selected by a fuzz input byte.
+func fuzzProto(sel uint8, n int, raw []byte) sim.CountProtocol {
+	switch sel % 5 {
+	case 0:
+		return epidemic.NewSingleSourceCounts(n, true)
+	case 1:
+		return epidemic.NewSingleSourceCounts(n, false)
+	case 2:
+		return junta.NewCounts(n)
+	case 3:
+		return baseline.NewGeometricCounts(n)
+	default:
+		k := uint64(len(raw))%5 + 2 // alphabet size [2, 6]
+		return newFuzzTable(n, k, raw)
+	}
+}
+
 // FuzzCountConservation asserts the agent-conservation invariant
 // Σ counts == n after every batch, across the hand-written count
 // protocols and random transition tables, on both engine paths.
@@ -74,20 +99,7 @@ func FuzzCountConservation(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed uint64, nRaw, stepsRaw uint16, sel uint8, raw []byte) {
 		n := int(nRaw)%1022 + 2 // [2, 1023]
 		steps := int64(stepsRaw)%5000 + 1
-		var p sim.CountProtocol
-		switch sel % 5 {
-		case 0:
-			p = epidemic.NewSingleSourceCounts(n, true)
-		case 1:
-			p = epidemic.NewSingleSourceCounts(n, false)
-		case 2:
-			p = junta.NewCounts(n)
-		case 3:
-			p = baseline.NewGeometricCounts(n)
-		default:
-			k := uint64(len(raw))%5 + 2 // alphabet size [2, 6]
-			p = newFuzzTable(n, k, raw)
-		}
+		p := fuzzProto(sel, n, raw)
 		for _, disable := range []bool{false, true} {
 			e, err := sim.NewCountEngine(p, sim.Config{Seed: seed, DisableBatch: disable})
 			if err != nil {
@@ -113,6 +125,89 @@ func FuzzCountConservation(f *testing.F) {
 					t.Fatalf("Interactions = %d, want %d", e.Interactions(), done)
 				}
 			}
+		}
+	})
+}
+
+// FuzzCountBatchEquivalence fuzzes the multinomial batch-stepping mode:
+// arbitrary interleavings of batch sizes must conserve Σ counts == n
+// with non-negative counts and an exact interaction counter, and — the
+// exact-fallback contract — a batch-mode engine stepped only below the
+// batching threshold must stay bit-for-bit equal to a seed-matched
+// sequential count engine.
+func FuzzCountBatchEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint16(1000), uint8(0), []byte{0x5a})
+	f.Add(uint64(42), uint16(2), uint16(1), uint8(1), []byte{})
+	f.Add(uint64(7), uint16(800), uint16(60000), uint8(2), []byte{1, 2, 3, 4})
+	f.Add(uint64(9), uint16(64), uint16(256), uint8(3), []byte{0xff, 0x00})
+	f.Add(uint64(3), uint16(17), uint16(77), uint8(4), []byte{0x10, 0x9c, 0x33})
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, stepsRaw uint16, sel uint8, raw []byte) {
+		n := int(nRaw)%1022 + 2 // [2, 1023]
+		steps := int64(stepsRaw)%60000 + 1
+		e, err := sim.NewCountEngine(fuzzProto(sel, n, raw),
+			sim.Config{Seed: seed, BatchSteps: true})
+		if err != nil {
+			t.Fatalf("NewCountEngine: %v", err)
+		}
+		// Uneven interleaving of batch sizes straddling the batching
+		// threshold, derived from the raw bytes.
+		var done int64
+		for i := 0; done < steps; i++ {
+			batch := int64(1)
+			if len(raw) > 0 {
+				batch += int64(raw[i%len(raw)]) * (1 + int64(i)%97)
+			} else {
+				batch += int64(i) % 257
+			}
+			if batch > steps-done {
+				batch = steps - done
+			}
+			e.Step(batch)
+			done += batch
+			if got := e.Counts().Sum(); got != int64(n) {
+				t.Fatalf("Σ counts = %d after %d interactions, want %d", got, done, n)
+			}
+			e.Counts().ForEach(func(code uint64, cnt int64) {
+				if cnt < 0 {
+					t.Fatalf("negative count %d for state %#x", cnt, code)
+				}
+			})
+			if e.Interactions() != done {
+				t.Fatalf("Interactions = %d, want %d", e.Interactions(), done)
+			}
+		}
+
+		// Exact-fallback contract: below-threshold stepping is bit-for-bit
+		// the sequential engine.
+		batched, err := sim.NewCountEngine(fuzzProto(sel, n, raw),
+			sim.Config{Seed: seed, BatchSteps: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := sim.NewCountEngine(fuzzProto(sel, n, raw), sim.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var small int64
+		for i := 0; small < 500; i++ {
+			// Unsigned arithmetic: a seed >= 2^63 must not flip the
+			// modulo negative. step stays in [1, 63] < batchMinTau.
+			step := int64(1 + (seed+uint64(i)*7)%63)
+			batched.Step(step)
+			seq.Step(step)
+			small += step
+		}
+		want := map[uint64]int64{}
+		seq.Counts().ForEach(func(code uint64, cnt int64) { want[code] = cnt })
+		states := 0
+		batched.Counts().ForEach(func(code uint64, cnt int64) {
+			states++
+			if want[code] != cnt {
+				t.Fatalf("state %#x: batched count %d, sequential %d", code, cnt, want[code])
+			}
+		})
+		if states != len(want) {
+			t.Fatalf("occupied states differ: batched %d vs sequential %d", states, len(want))
 		}
 	})
 }

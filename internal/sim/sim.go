@@ -108,6 +108,23 @@ type Config struct {
 	// equivalent; the switch exists for differential tests and for
 	// benchmarking one path against the other.
 	DisableBatch bool
+	// BatchSteps enables multinomial batch stepping on the count engine:
+	// whole epochs of interactions are projected onto ordered state
+	// pairs with conditional binomial draws and applied to the
+	// configuration in bulk (see countbatch.go). The mode is a
+	// τ-leaping approximation — distributionally faithful within the
+	// BatchDrift bound, not bit-for-bit comparable to sequential
+	// stepping. The agent-array Engine ignores it.
+	BatchSteps bool
+	// BatchMaxRounds caps one batch epoch at BatchMaxRounds·n
+	// interactions (zero selects 1 round). Only read when BatchSteps is
+	// set.
+	BatchMaxRounds int
+	// BatchDrift is the per-state relative drift bound of one batch
+	// epoch: an epoch whose net count change on any touched state
+	// exceeds max(1, BatchDrift·count) is split and retried at half
+	// size. Zero selects 0.125. Only read when BatchSteps is set.
+	BatchDrift float64
 }
 
 // Result reports the outcome of a run.
