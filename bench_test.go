@@ -56,7 +56,7 @@ func nLn2N(n int) float64 { l := math.Log(float64(n)); return float64(n) * l * l
 // BenchmarkE1Broadcast — Lemma 3: T_bc = O(n log n).
 func BenchmarkE1Broadcast(b *testing.B) {
 	const n = 4096
-	runNorm(b, func(int) sim.Protocol { return epidemic.NewSingleSource(n, true) },
+	runNorm(b, func(int) sim.Protocol { return sim.NewSpecAgent(epidemic.NewSingleSourceSpec(n, true)) },
 		sim.Config{Seed: 1, CheckEvery: n / 4}, nLnN(n), "T/(n·ln·n)")
 }
 
@@ -320,14 +320,14 @@ const throughputN = 1 << 20
 // by far more than 100x (EXPERIMENTS.md records the measured numbers).
 func BenchmarkEpidemicAgentEngine(b *testing.B) {
 	benchEngineConvergence(b, func(seed uint64) (sim.Result, error) {
-		return sim.Run(epidemic.NewSingleSource(throughputN, true),
+		return sim.Run(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(throughputN, true)),
 			sim.Config{Seed: seed})
 	})
 }
 
 func BenchmarkEpidemicCountEngine(b *testing.B) {
 	benchEngineConvergence(b, func(seed uint64) (sim.Result, error) {
-		return sim.RunCount(epidemic.NewSingleSourceCounts(throughputN, true),
+		return sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(throughputN, true)),
 			sim.Config{Seed: seed})
 	})
 }
@@ -339,7 +339,7 @@ func BenchmarkEpidemicCountEngine(b *testing.B) {
 // disappears and a full n ≈ 10⁶ run costs a fraction of a millisecond.
 func BenchmarkEpidemicCountBatched(b *testing.B) {
 	benchEngineConvergence(b, func(seed uint64) (sim.Result, error) {
-		return sim.RunCount(epidemic.NewSingleSourceCounts(throughputN, true),
+		return sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(throughputN, true)),
 			sim.Config{Seed: seed, BatchSteps: true})
 	})
 }
@@ -359,7 +359,7 @@ func BenchmarkLeaderAgentEngine(b *testing.B) {
 func BenchmarkLeaderCountEngine(b *testing.B) {
 	const n = 1 << 14
 	benchEngineConvergence(b, func(seed uint64) (sim.Result, error) {
-		return sim.RunCount(leader.NewCounts(n, clock.DefaultM, 2*sim.Log2Ceil(n)),
+		return sim.RunCount(sim.NewSpecCount(leader.NewSpec(n, clock.DefaultM, 2*sim.Log2Ceil(n))),
 			sim.Config{Seed: seed})
 	})
 }
@@ -368,7 +368,7 @@ func BenchmarkLeaderCountEngine(b *testing.B) {
 // the epidemic pair this covers both skip-path protocols at scale.
 func BenchmarkJuntaCountEngine(b *testing.B) {
 	benchEngineConvergence(b, func(seed uint64) (sim.Result, error) {
-		return sim.RunCount(junta.NewCounts(throughputN), sim.Config{Seed: seed})
+		return sim.RunCount(sim.NewSpecCount(junta.NewSpec(throughputN)), sim.Config{Seed: seed})
 	})
 }
 
@@ -382,7 +382,7 @@ func BenchmarkJuntaCountEngine(b *testing.B) {
 // horizon runs at n = 10⁸ affordable, and it exceeds the agent engine's
 // rate by far more than 100x (see EXPERIMENTS.md for recorded numbers).
 func BenchmarkEpidemicStepAgent(b *testing.B) {
-	e, err := sim.NewEngine(epidemic.NewSingleSource(throughputN, true), sim.Config{Seed: 1})
+	e, err := sim.NewEngine(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(throughputN, true)), sim.Config{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func BenchmarkEpidemicStepAgent(b *testing.B) {
 }
 
 func BenchmarkEpidemicStepCount(b *testing.B) {
-	e, err := sim.NewCountEngine(epidemic.NewSingleSourceCounts(throughputN, true), sim.Config{Seed: 1})
+	e, err := sim.NewCountEngine(sim.NewSpecCount(epidemic.NewSingleSourceSpec(throughputN, true)), sim.Config{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func BenchmarkEpidemicStepCount(b *testing.B) {
 // acceptance bar is ≥10× BenchmarkEpidemicStepCount; measured is
 // ~500× (see EXPERIMENTS.md).
 func BenchmarkEpidemicStepCountBatched(b *testing.B) {
-	e, err := sim.NewCountEngine(epidemic.NewSingleSourceCounts(throughputN, true),
+	e, err := sim.NewCountEngine(sim.NewSpecCount(epidemic.NewSingleSourceSpec(throughputN, true)),
 		sim.Config{Seed: 1, BatchSteps: true})
 	if err != nil {
 		b.Fatal(err)

@@ -1,5 +1,5 @@
 // Command benchdiff compares two popbench -json metric files and fails
-// on throughput regressions — the CI perf gate.
+// on regressions — the CI perf gate.
 //
 // Usage:
 //
@@ -7,25 +7,38 @@
 //	benchdiff -baseline bench/baseline.json -current current.json
 //	benchdiff -baseline bench/baseline.json -current a.json,b.json,c.json
 //	benchdiff -baseline bench/baseline.json -current current.json -ids E1,E18 -threshold 0.4
+//	benchdiff -baseline bench/baseline.json -current current.json -counters=false
 //	benchdiff -baseline bench/baseline.json -current current.json -update
 //
 // The files hold the []experimentMetrics records popbench emits. For
-// every selected experiment id present in the baseline, benchdiff
-// compares interactions_per_sec and exits non-zero when the current
-// value has regressed by more than the threshold (default 0.25, i.e.
-// current < 75% of baseline). Experiments missing from the current
-// metrics fail the gate outright — a silently dropped experiment is a
-// regression too. -update rewrites the baseline from the current
-// metrics instead of comparing (run it on the reference machine when a
-// PR legitimately shifts throughput, and commit the result).
+// every selected experiment id present in the baseline, benchdiff gates
+// two independent properties:
+//
+//   - Machine-independent counters: trials, interactions, delta_calls
+//     and epochs are deterministic functions of the experiment's seeds
+//     — they must match the baseline exactly on any machine, so any
+//     difference is real dynamics drift (a changed rule, a changed
+//     sampler, a lost fast path), never runner noise. Disable with
+//     -counters=false when diffing across intentionally different
+//     configurations.
+//   - Wall-clock throughput: interactions_per_sec may regress by at
+//     most the threshold (default 0.25, i.e. current < 75% of
+//     baseline).
+//
+// Experiments missing from the current metrics fail the gate outright —
+// a silently dropped experiment is a regression too. -update rewrites
+// the baseline from the current metrics instead of comparing (run it on
+// the reference machine when a PR legitimately shifts throughput or
+// dynamics, and commit the result).
 //
 // Scheduler noise on shared runners is one-sided — contention only ever
 // slows a measurement down — so -current accepts several
 // comma-separated files (popbench runs repeated in one job) and gates
 // on each experiment's best run. Combined with a baseline recorded the
-// same way and the loose default threshold, the gate catches
+// same way and the loose default threshold, the wall-clock gate catches
 // algorithmic regressions (a 2× slowdown from a lost fast path), not
-// machine variance.
+// machine variance; the counter gate is exact and carries none of that
+// residual machine-class risk.
 package main
 
 import (
@@ -46,6 +59,22 @@ type metrics struct {
 	ConvergenceRate    float64 `json:"convergence_rate"`
 	Interactions       int64   `json:"interactions"`
 	InteractionsPerSec float64 `json:"interactions_per_sec"`
+	DeltaCalls         int64   `json:"delta_calls,omitempty"`
+	Epochs             int64   `json:"epochs,omitempty"`
+}
+
+// counterChecks enumerates the machine-independent counters gated for
+// exact equality. A zero baseline value skips its check — older
+// baselines predate some counters, and agent-only experiments report no
+// delta_calls at all.
+var counterChecks = []struct {
+	name string
+	get  func(m metrics) int64
+}{
+	{"trials", func(m metrics) int64 { return m.Trials }},
+	{"interactions", func(m metrics) int64 { return m.Interactions }},
+	{"delta_calls", func(m metrics) int64 { return m.DeltaCalls }},
+	{"epochs", func(m metrics) int64 { return m.Epochs }},
 }
 
 func main() {
@@ -113,6 +142,7 @@ func run(args []string, w *os.File) error {
 		curPath   = fs.String("current", "", "current metrics to gate; comma-separated popbench -json files gate on each experiment's best run")
 		ids       = fs.String("ids", "", "comma-separated experiment ids to gate; empty = every id in the baseline")
 		threshold = fs.Float64("threshold", 0.25, "maximum tolerated relative drop in interactions_per_sec")
+		counters  = fs.Bool("counters", true, "gate the machine-independent counters (trials, interactions, delta_calls, epochs) for exact equality")
 		update    = fs.Bool("update", false, "rewrite the baseline from -current (best run per experiment) instead of comparing")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -184,6 +214,16 @@ func run(args []string, w *os.File) error {
 			verdict = fmt.Sprintf("REGRESSION (>%.0f%% drop)", 100**threshold)
 			failures = append(failures, fmt.Sprintf("%s: interactions/sec %.3g -> %.3g (ratio %.2f)",
 				id, b.InteractionsPerSec, c.InteractionsPerSec, ratio))
+		}
+		if *counters {
+			for _, ck := range counterChecks {
+				want, got := ck.get(b), ck.get(c)
+				if want != 0 && got != want {
+					verdict = "COUNTER DRIFT"
+					failures = append(failures, fmt.Sprintf("%s: %s %d -> %d (machine-independent counter must match exactly)",
+						id, ck.name, want, got))
+				}
+			}
 		}
 		fmt.Fprintf(w, "%-5s  %14.3g  %14.3g  %8.2f  %s\n",
 			id, b.InteractionsPerSec, c.InteractionsPerSec, ratio, verdict)

@@ -116,6 +116,71 @@ func TestGateThresholdFlag(t *testing.T) {
 	}
 }
 
+// TestGateCountersExact pins the machine-independent counter gate:
+// interactions, delta_calls, epochs and trials are deterministic per
+// seed, so any mismatch with the baseline fails regardless of how fast
+// the runner is — and -counters=false restores the wall-clock-only
+// behaviour.
+func TestGateCountersExact(t *testing.T) {
+	dir := t.TempDir()
+	withCounters := func(mm metrics, interactions, deltaCalls, epochs int64) metrics {
+		mm.Interactions = interactions
+		mm.DeltaCalls = deltaCalls
+		mm.Epochs = epochs
+		return mm
+	}
+	base := writeMetrics(t, dir, "base.json", []metrics{
+		withCounters(m("E18", 1e9), 500000, 120000, 0),
+		withCounters(m("E19", 1e11), 900000, 3000, 750),
+	})
+
+	// Identical counters at much slower wall-clock within threshold: ok.
+	cur := writeMetrics(t, dir, "cur.json", []metrics{
+		withCounters(m("E18", 0.8e9), 500000, 120000, 0),
+		withCounters(m("E19", 0.9e11), 900000, 3000, 750),
+	})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err != nil {
+		t.Fatalf("gate failed on matching counters: %v", err)
+	}
+
+	// Drifted delta_calls at identical wall-clock: counter gate fails
+	// and names the counter.
+	drift := writeMetrics(t, dir, "drift.json", []metrics{
+		withCounters(m("E18", 1e9), 500000, 119999, 0),
+		withCounters(m("E19", 1e11), 900000, 3000, 750),
+	})
+	err := run([]string{"-baseline", base, "-current", drift}, os.Stdout)
+	if err == nil {
+		t.Fatal("gate passed drifted delta_calls")
+	}
+	if !strings.Contains(err.Error(), "delta_calls") {
+		t.Fatalf("failure does not name the drifted counter: %v", err)
+	}
+	// -counters=false falls back to the wall-clock gate alone.
+	if err := run([]string{"-baseline", base, "-current", drift, "-counters=false"}, os.Stdout); err != nil {
+		t.Fatalf("-counters=false still failed: %v", err)
+	}
+
+	// Drifted epochs likewise fail.
+	edrift := writeMetrics(t, dir, "edrift.json", []metrics{
+		withCounters(m("E18", 1e9), 500000, 120000, 0),
+		withCounters(m("E19", 1e11), 900000, 3000, 751),
+	})
+	if err := run([]string{"-baseline", base, "-current", edrift}, os.Stdout); err == nil {
+		t.Fatal("gate passed drifted epochs")
+	}
+
+	// A zero baseline counter (older baseline, agent-only experiment)
+	// skips that check.
+	zbase := writeMetrics(t, dir, "zbase.json", []metrics{m("E1", 100)})
+	zcur := writeMetrics(t, dir, "zcur.json", []metrics{
+		withCounters(m("E1", 100), 123456, 99, 7),
+	})
+	if err := run([]string{"-baseline", zbase, "-current", zcur}, os.Stdout); err != nil {
+		t.Fatalf("zero-baseline counters were gated: %v", err)
+	}
+}
+
 // TestUpdateRewritesBaseline pins -update.
 func TestUpdateRewritesBaseline(t *testing.T) {
 	dir := t.TempDir()

@@ -63,7 +63,11 @@ func runnerFor(id string) (func(exp.Options) exp.Table, bool) {
 }
 
 // experimentMetrics is the machine-readable per-experiment record
-// emitted by -json.
+// emitted by -json. Trials, Converged, Interactions, DeltaCalls and
+// Epochs are deterministic functions of the experiment's seeds —
+// cmd/benchdiff gates on them exactly, independent of the runner's
+// machine class; only WallSeconds and InteractionsPerSec vary with the
+// machine.
 type experimentMetrics struct {
 	ID                 string  `json:"id"`
 	Title              string  `json:"title"`
@@ -73,6 +77,8 @@ type experimentMetrics struct {
 	ConvergenceRate    float64 `json:"convergence_rate"`
 	Interactions       int64   `json:"interactions"`
 	InteractionsPerSec float64 `json:"interactions_per_sec"`
+	DeltaCalls         int64   `json:"delta_calls,omitempty"`
+	Epochs             int64   `json:"epochs,omitempty"`
 }
 
 func run(args []string) error {
@@ -185,6 +191,8 @@ func run(args []string) error {
 			Trials:       c.Trials,
 			Converged:    c.Converged,
 			Interactions: c.Interactions,
+			DeltaCalls:   c.DeltaCalls,
+			Epochs:       c.Epochs,
 		}
 		if c.Trials > 0 {
 			m.ConvergenceRate = float64(c.Converged) / float64(c.Trials)

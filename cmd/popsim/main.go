@@ -107,14 +107,18 @@ func run(args []string) error {
 		return runEnsemble(alg, *n, *trials, *confirm, opts)
 	}
 
-	res, err := popcount.Count(alg, *n, opts...)
+	s, err := popcount.NewSimulation(alg, *n, opts...)
+	if err != nil {
+		return err
+	}
+	res, err := s.RunToConvergence()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("algorithm:    %s\n", alg)
 	fmt.Printf("population:   %d agents\n", *n)
 	fmt.Printf("scheduler:    %s\n", *schedN)
-	fmt.Printf("engine:       %s\n", engine)
+	fmt.Printf("engine:       %s\n", s.Engine())
 	fmt.Printf("converged:    %v\n", res.Converged)
 	fmt.Printf("interactions: %d\n", res.Interactions)
 	if *confirm > 0 {
@@ -123,6 +127,16 @@ func run(args []string) error {
 	}
 	fmt.Printf("output:       %d\n", res.Output)
 	fmt.Printf("estimate:     %d agents\n", res.Estimate)
+	// The count engines carry deterministic run counters (equal seeds
+	// reproduce them exactly on any machine; cmd/benchdiff gates CI on
+	// the same quantities).
+	if st := s.Stats(); s.Engine() != popcount.EngineAgent {
+		fmt.Printf("delta calls:  %d\n", st.DeltaCalls)
+		if s.Engine() == popcount.EngineCountBatched {
+			fmt.Printf("epochs:       %d (safety-net violations %d, half-epochs reused %d, re-planned %d)\n",
+				st.Epochs, st.Violations, st.HalfReuses, st.HalfDiscards)
+		}
+	}
 	if !res.Converged {
 		return fmt.Errorf("no convergence within the interaction cap")
 	}

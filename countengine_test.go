@@ -88,9 +88,10 @@ func checkEquivalence(t *testing.T, name string, agent, count float64) {
 
 func TestCountEngineEquivalenceEpidemic(t *testing.T) {
 	cfg := sim.Config{Seed: 0xE1, CheckEvery: equivN / 8}
-	factory := func(int) sim.CountProtocol { return epidemic.NewSingleSourceCounts(equivN, true) }
+	spec := func() *sim.Spec { return epidemic.NewSingleSourceSpec(equivN, true) }
+	factory := func(int) sim.CountProtocol { return sim.NewSpecCount(spec()) }
 	agent := meanAgent(t, "epidemic",
-		func(int) sim.Protocol { return epidemic.NewSingleSource(equivN, true) }, cfg)
+		func(int) sim.Protocol { return sim.NewSpecAgent(spec()) }, cfg)
 	count := meanCount(t, "epidemic", factory, cfg)
 	checkEquivalence(t, "epidemic", agent, count)
 	checkEquivalence(t, "epidemic batched", agent,
@@ -99,7 +100,7 @@ func TestCountEngineEquivalenceEpidemic(t *testing.T) {
 
 func TestCountEngineEquivalenceJunta(t *testing.T) {
 	cfg := sim.Config{Seed: 0xE2, CheckEvery: equivN / 8}
-	factory := func(int) sim.CountProtocol { return junta.NewCounts(equivN) }
+	factory := func(int) sim.CountProtocol { return sim.NewSpecCount(junta.NewSpec(equivN)) }
 	agent := meanAgent(t, "junta",
 		func(int) sim.Protocol { return junta.New(equivN) }, cfg)
 	count := meanCount(t, "junta", factory, cfg)
@@ -114,7 +115,7 @@ func TestCountEngineEquivalenceLeader(t *testing.T) {
 	}
 	js := 2 * sim.Log2Ceil(equivN)
 	cfg := sim.Config{Seed: 0xE4, CheckEvery: equivN}
-	factory := func(int) sim.CountProtocol { return leader.NewCounts(equivN, clock.DefaultM, js) }
+	factory := func(int) sim.CountProtocol { return sim.NewSpecCount(leader.NewSpec(equivN, clock.DefaultM, js)) }
 	agent := meanAgent(t, "leader",
 		func(int) sim.Protocol { return leader.NewProtocol(equivN, clock.DefaultM, js) }, cfg)
 	count := meanCount(t, "leader", factory, cfg)
@@ -127,7 +128,9 @@ func TestCountEngineEquivalenceClock(t *testing.T) {
 	const maxPhase = 3
 	js := 2 * sim.Log2Ceil(equivN)
 	cfg := sim.Config{Seed: 0xE3, CheckEvery: equivN}
-	factory := func(int) sim.CountProtocol { return clock.NewCounts(equivN, clock.DefaultM, js, maxPhase) }
+	factory := func(int) sim.CountProtocol {
+		return sim.NewSpecCount(clock.NewSpec(equivN, clock.DefaultM, js, maxPhase))
+	}
 	agent := meanAgent(t, "clock",
 		func(int) sim.Protocol { return clock.NewProtocol(equivN, clock.DefaultM, js, maxPhase) }, cfg)
 	count := meanCount(t, "clock", factory, cfg)
@@ -138,9 +141,10 @@ func TestCountEngineEquivalenceClock(t *testing.T) {
 
 func TestCountEngineEquivalenceGeometric(t *testing.T) {
 	cfg := sim.Config{Seed: 0xE5, CheckEvery: equivN / 8}
-	factory := func(int) sim.CountProtocol { return baseline.NewGeometricCounts(equivN) }
+	spec := func() *sim.Spec { return baseline.NewGeometricSpec(equivN) }
+	factory := func(int) sim.CountProtocol { return sim.NewSpecCount(spec()) }
 	agent := meanAgent(t, "geometric",
-		func(int) sim.Protocol { return baseline.NewGeometricEstimate(equivN) }, cfg)
+		func(int) sim.Protocol { return sim.NewSpecAgent(spec()) }, cfg)
 	count := meanCount(t, "geometric", factory, cfg)
 	checkEquivalence(t, "geometric", agent, count)
 	checkEquivalence(t, "geometric batched", agent,

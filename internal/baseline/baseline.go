@@ -9,14 +9,18 @@
 // (bag × maximum), the baseline CountExact improves on by a factor of
 // ≈ n / log n.
 //
-// GeometricEstimate is a uniform O(log n)-state estimator in the spirit
-// of Alistarh et al. [1] (see Section 1.2): every agent samples a
-// geometric random value on its first interaction (via synthetic coins)
-// and the maximum spreads by one-way epidemics. The maximum of n
-// Geometric(1/2) samples is log₂ n + Θ(1) w.h.p., giving an estimate of
-// the population size within a polynomial factor in O(n log n)
-// interactions — much weaker than protocol Approximate's ⌊log n⌋/⌈log n⌉
-// guarantee, which experiment E15 quantifies.
+// GeometricEstimate (NewGeometricSpec) is a uniform O(log n)-state
+// estimator in the spirit of Alistarh et al. [1] (see Section 1.2):
+// every agent samples a geometric random value on its first interaction
+// (via synthetic coins) and the maximum spreads by epidemics. The
+// maximum of n Geometric(1/2) samples is log₂ n + Θ(1) w.h.p., giving
+// an estimate of the population size within a polynomial factor in
+// O(n log n) interactions — much weaker than protocol Approximate's
+// ⌊log n⌋/⌈log n⌉ guarantee, which experiment E15 quantifies. It is
+// defined as a transition spec (spec.go), so all three engine forms
+// derive from one rule; TokenBag has no spec — its per-agent state
+// space is Θ(n²), which is exactly what rules a configuration-level
+// form out.
 package baseline
 
 import (
@@ -112,54 +116,3 @@ func (p *TokenBag) TotalTokens() int64 {
 	}
 	return s
 }
-
-// GeometricEstimate is the O(log n)-state polynomial-factor estimator.
-type GeometricEstimate struct {
-	sampled []bool
-	val     []int16
-	maxCap  int16
-}
-
-// NewGeometricEstimate returns the estimator over n agents. Samples are
-// capped at 62 to bound the state space.
-func NewGeometricEstimate(n int) *GeometricEstimate {
-	return &GeometricEstimate{
-		sampled: make([]bool, n),
-		val:     make([]int16, n),
-		maxCap:  62,
-	}
-}
-
-// N returns the population size.
-func (p *GeometricEstimate) N() int { return len(p.sampled) }
-
-// Interact samples on first activation and spreads the maximum.
-func (p *GeometricEstimate) Interact(u, v int, r *rng.Rand) {
-	for _, w := range [2]int{u, v} {
-		if !p.sampled[w] {
-			p.sampled[w] = true
-			p.val[w] = int16(r.Geometric(int(p.maxCap)))
-		}
-	}
-	if p.val[u] < p.val[v] {
-		p.val[u] = p.val[v]
-	} else if p.val[v] < p.val[u] {
-		p.val[v] = p.val[u]
-	}
-}
-
-// Converged reports whether all agents have sampled and agree on the
-// maximum.
-func (p *GeometricEstimate) Converged() bool {
-	m := p.val[0]
-	for i := range p.val {
-		if !p.sampled[i] || p.val[i] != m {
-			return false
-		}
-	}
-	return true
-}
-
-// Output returns agent i's log-estimate (max geometric value + 1,
-// approximating log₂ n).
-func (p *GeometricEstimate) Output(i int) int64 { return int64(p.val[i]) + 1 }

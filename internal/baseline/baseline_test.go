@@ -63,7 +63,7 @@ func TestGeometricEstimateApproximatesLogN(t *testing.T) {
 	// window of ±6 as the baseline only promises a polynomial-factor
 	// approximation.
 	for _, n := range []int{1 << 8, 1 << 12, 1 << 15} {
-		p := NewGeometricEstimate(n)
+		p := sim.NewSpecAgent(NewGeometricSpec(n))
 		res, err := sim.Run(p, sim.Config{Seed: uint64(n)})
 		if err != nil {
 			t.Fatal(err)
@@ -81,7 +81,7 @@ func TestGeometricEstimateApproximatesLogN(t *testing.T) {
 
 func TestGeometricEstimateAgreement(t *testing.T) {
 	n := 512
-	p := NewGeometricEstimate(n)
+	p := sim.NewSpecAgent(NewGeometricSpec(n))
 	if _, err := sim.Run(p, sim.Config{Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
@@ -89,6 +89,39 @@ func TestGeometricEstimateAgreement(t *testing.T) {
 	for i := 1; i < n; i++ {
 		if p.Output(i) != want {
 			t.Fatalf("agents disagree: %d vs %d", p.Output(i), want)
+		}
+	}
+}
+
+// TestGeometricInitSamplerDistribution pins the multinomial coin-phase
+// sampler against the classical per-agent Geometric(1/2) draw: over one
+// large population the pre-sampled value histogram must match the
+// geometric pmf (conditional-binomial halving is exactly flipping every
+// remaining agent's next coin at once).
+func TestGeometricInitSamplerDistribution(t *testing.T) {
+	const n = 1 << 20
+	spec := NewGeometricSpec(n)
+	init := spec.InitSample(n, rng.New(11))
+	var sum int64
+	for code, cnt := range init {
+		if code&1 != 0 {
+			t.Fatalf("init sampler produced an activated state %#x", code)
+		}
+		if cnt <= 0 {
+			t.Fatalf("non-positive count %d for state %#x", cnt, code)
+		}
+		sum += cnt
+	}
+	if sum != n {
+		t.Fatalf("init counts sum to %d, want %d", sum, n)
+	}
+	// P[value = g] = 2^-(g+1): the first few bins are large enough at
+	// n = 2^20 for a tight relative check (binomial std ≈ 0.1–0.2%).
+	for g := 0; g < 6; g++ {
+		want := float64(n) / float64(int64(1)<<uint(g+1))
+		got := float64(init[uint64(g)<<1])
+		if d := (got - want) / want; d < -0.02 || d > 0.02 {
+			t.Errorf("value %d: sampled %0.f agents, want ≈%.0f (relative gap %.3f)", g, got, want, d)
 		}
 	}
 }

@@ -1,0 +1,110 @@
+package clock
+
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// specCodec packs the phase-clock agent tuple (clock value, completed
+// phases capped at maxPhase, junta membership) into spec state codes.
+// The absolute phase counter is monotone and the convergence predicate
+// only asks whether it has reached maxPhase, so capping it keeps the
+// alphabet finite without changing the dynamics. Junta membership is
+// part of the code — agents are exchangeable only within the same
+// membership class.
+type specCodec struct {
+	clock    Clock
+	maxPhase uint32
+}
+
+// span returns the extended circle size K·m of the underlying clock.
+func (c specCodec) span() uint64 { return uint64(c.clock.M) * uint64(c.clock.K) }
+
+// encode packs (val, phase, junta) into a state code.
+func (c specCodec) encode(val uint16, phase uint32, junta bool) uint64 {
+	code := uint64(phase)
+	code <<= 1
+	if junta {
+		code |= 1
+	}
+	return code*c.span() + uint64(val)
+}
+
+// decode unpacks a state code.
+func (c specCodec) decode(code uint64) (val uint16, phase uint32, junta bool) {
+	span := c.span()
+	val = uint16(code % span)
+	code /= span
+	junta = code&1 != 0
+	phase = uint32(code >> 1)
+	return
+}
+
+func capPhase(ph, maxPhase uint32) uint32 {
+	if ph > maxPhase {
+		return maxPhase
+	}
+	return ph
+}
+
+// NewSpec returns the canonical transition spec of a phase clock over n
+// agents with m hours, driven by a fixed junta of juntaSize agents
+// (laid out first, like NewProtocol), converging when every agent has
+// completed maxPhase phases.
+//
+// The occupied alphabet (clock values spread over a moving window ×
+// phases × membership) is too large for the no-op bookkeeping of the
+// count engine's skip path to pay off, so the spec deliberately does
+// not opt in; the engine's per-interaction categorical sampling still
+// runs in O(log k) per interaction, independent of n.
+func NewSpec(n, m, juntaSize, maxPhase int) *sim.Spec {
+	if juntaSize < 1 || juntaSize > n {
+		panic("clock: junta size out of range")
+	}
+	c := specCodec{clock: New(m), maxPhase: uint32(maxPhase)}
+	return &sim.Spec{
+		Name: "clock",
+		N:    n,
+		Init: func() map[uint64]int64 {
+			init := map[uint64]int64{c.encode(0, 0, true): int64(juntaSize)}
+			if rest := int64(n - juntaSize); rest > 0 {
+				init[c.encode(0, 0, false)] = rest
+			}
+			return init
+		},
+		Layout: func() []uint64 {
+			layout := make([]uint64, n)
+			member, plain := c.encode(0, 0, true), c.encode(0, 0, false)
+			for i := range layout {
+				if i < juntaSize {
+					layout[i] = member
+				} else {
+					layout[i] = plain
+				}
+			}
+			return layout
+		},
+		Delta: func(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+			uv, up, uj := c.decode(qu)
+			vv, vp, vj := c.decode(qv)
+			us, vs := State{Val: uv}, State{Val: vv}
+			c.clock.Tick(&us, &vs, uj, vj)
+			up = capPhase(up+us.Phase, c.maxPhase)
+			vp = capPhase(vp+vs.Phase, c.maxPhase)
+			return c.encode(us.Val, up, uj), c.encode(vs.Val, vp, vj)
+		},
+		Converged: func(v sim.ConfigView) bool {
+			done := true
+			v.ForEach(func(code uint64, _ int64) {
+				if _, phase, _ := c.decode(code); phase < c.maxPhase {
+					done = false
+				}
+			})
+			return done
+		},
+		Output: func(q uint64) int64 {
+			_, phase, _ := c.decode(q)
+			return int64(phase)
+		},
+	}
+}

@@ -5,11 +5,13 @@
 // responder's value if it is larger. Starting from at least one agent
 // holding the maximum value, the maximum spreads to all agents within
 // O(n log n) interactions w.h.p. (Lemma 3).
+//
+// The rule is written down once, as a transition spec (NewSpec): the
+// agent-array, count-based and batched engine forms all derive from it.
+// Update and UpdateBoth expose the bare value rule for the composed
+// protocols in internal/core, which run broadcast as one ingredient of a
+// richer per-agent state.
 package epidemic
-
-import (
-	"popcount/internal/rng"
-)
 
 // Update applies the one-way epidemic transition to the initiator's value
 // given the responder's value, returning the updated initiator value.
@@ -32,69 +34,3 @@ func UpdateBoth(u, v *int64) {
 		*v = *u
 	}
 }
-
-// Protocol is a standalone maximum-broadcast population protocol for
-// simulation and measurement. Each agent holds an int64 value; the global
-// maximum spreads to everyone.
-type Protocol struct {
-	vals     []int64
-	max      int64
-	haveMax  int
-	strictly bool // if true, use the strict one-way rule (initiator only)
-}
-
-// New returns a broadcast protocol over the given initial values. The
-// slice is copied. If oneWay is true the protocol uses the paper's strict
-// one-way rule δ(u,v) = (max{u,v}, v); otherwise values flow both ways.
-func New(initial []int64, oneWay bool) *Protocol {
-	vals := make([]int64, len(initial))
-	copy(vals, initial)
-	p := &Protocol{vals: vals, strictly: oneWay}
-	p.max = vals[0]
-	for _, v := range vals {
-		if v > p.max {
-			p.max = v
-		}
-	}
-	for _, v := range vals {
-		if v == p.max {
-			p.haveMax++
-		}
-	}
-	return p
-}
-
-// NewSingleSource returns a broadcast over n agents where only agent 0
-// holds value 1 and everyone else holds 0 — the basic broadcast setting.
-func NewSingleSource(n int, oneWay bool) *Protocol {
-	vals := make([]int64, n)
-	vals[0] = 1
-	return New(vals, oneWay)
-}
-
-// N returns the population size.
-func (p *Protocol) N() int { return len(p.vals) }
-
-// Interact applies one transition.
-func (p *Protocol) Interact(u, v int, _ *rng.Rand) {
-	if p.vals[u] < p.vals[v] {
-		p.vals[u] = p.vals[v]
-		if p.vals[u] == p.max {
-			p.haveMax++
-		}
-	} else if !p.strictly && p.vals[v] < p.vals[u] {
-		p.vals[v] = p.vals[u]
-		if p.vals[v] == p.max {
-			p.haveMax++
-		}
-	}
-}
-
-// Converged reports whether every agent holds the maximum.
-func (p *Protocol) Converged() bool { return p.haveMax == len(p.vals) }
-
-// Output returns agent i's current value.
-func (p *Protocol) Output(i int) int64 { return p.vals[i] }
-
-// Informed returns the number of agents currently holding the maximum.
-func (p *Protocol) Informed() int { return p.haveMax }

@@ -53,7 +53,7 @@ func TestUpdateBothSymmetric(t *testing.T) {
 
 func TestBroadcastCompletes(t *testing.T) {
 	for _, oneWay := range []bool{true, false} {
-		p := NewSingleSource(512, oneWay)
+		p := sim.NewSpecAgent(NewSingleSourceSpec(512, oneWay))
 		res, err := sim.Run(p, sim.Config{Seed: 1})
 		if err != nil {
 			t.Fatal(err)
@@ -77,13 +77,26 @@ func TestMaximumBroadcast(t *testing.T) {
 			maxv = vals[i]
 		}
 	}
-	p := New(vals, true)
+	p := sim.NewSpecAgent(NewSpec(vals, true))
 	res, err := sim.Run(p, sim.Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Converged || !sim.AllOutputsEqual(p, maxv) {
 		t.Fatalf("maximum broadcast failed: converged=%v", res.Converged)
+	}
+}
+
+func TestSpecLayoutPreservesAgentOrder(t *testing.T) {
+	vals := []int64{5, -2, 9, 5}
+	p := sim.NewSpecAgent(NewSpec(vals, true))
+	for i, v := range vals {
+		if got := p.Output(i); got != v {
+			t.Fatalf("agent %d starts with output %d, want %d", i, got, v)
+		}
+	}
+	if MaxCode(NewSpec(vals, true)) != 2 { // ranks of {-2, 5, 9}
+		t.Fatalf("MaxCode = %d, want 2", MaxCode(NewSpec(vals, true)))
 	}
 }
 
@@ -94,7 +107,7 @@ func TestBroadcastTimeIsNLogN(t *testing.T) {
 		var total float64
 		const trials = 5
 		for tr := 0; tr < trials; tr++ {
-			p := NewSingleSource(n, true)
+			p := sim.NewSpecAgent(NewSingleSourceSpec(n, true))
 			res, err := sim.Run(p, sim.Config{Seed: uint64(100 + tr), CheckEvery: int64(n) / 8})
 			if err != nil {
 				t.Fatal(err)
@@ -111,26 +124,31 @@ func TestBroadcastTimeIsNLogN(t *testing.T) {
 	}
 }
 
+func TestSpecCopiesInput(t *testing.T) {
+	// Layout evaluates lazily, so the spec must have copied the caller's
+	// slice at construction — later mutations must not leak in.
+	vals := []int64{1, 2, 3}
+	spec := NewSpec(vals, true)
+	vals[0] = 99
+	p := sim.NewSpecAgent(spec)
+	if p.Output(0) != 1 {
+		t.Fatalf("NewSpec did not copy the input slice: agent 0 starts at %d", p.Output(0))
+	}
+}
+
 func TestInformedMonotone(t *testing.T) {
-	p := NewSingleSource(128, true)
+	spec := NewSingleSourceSpec(128, true)
+	p := sim.NewSpecAgent(spec)
+	maxCode := MaxCode(spec)
 	r := rng.New(3)
-	prev := p.Informed()
+	prev := p.StateCount(maxCode)
 	for i := 0; i < 100000 && !p.Converged(); i++ {
 		u, v := r.Pair(128)
 		p.Interact(u, v, r)
-		if got := p.Informed(); got < prev {
+		if got := p.StateCount(maxCode); got < prev {
 			t.Fatalf("informed count decreased from %d to %d", prev, got)
 		} else {
 			prev = got
 		}
-	}
-}
-
-func TestNewCopiesInput(t *testing.T) {
-	vals := []int64{1, 2, 3}
-	p := New(vals, true)
-	vals[0] = 99
-	if p.Output(0) == 99 {
-		t.Fatal("New did not copy the input slice")
 	}
 }

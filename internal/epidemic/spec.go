@@ -1,0 +1,121 @@
+package epidemic
+
+import (
+	"sort"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// NewSpec returns the canonical transition spec of the broadcast
+// protocol over the given initial values: state code r is the rank of a
+// value in the sorted distinct initial values, so the max rule is a
+// plain code comparison and agents holding equal values are
+// exchangeable. The spec's layout preserves the caller's agent order
+// (agent i starts on initial[i]), so the derived agent form is
+// bit-for-bit the classical array simulation.
+//
+// The rule is deterministic and coin-free for every pair, and under the
+// strict one-way rule a pair is a certain no-op whenever the initiator's
+// value is at least the responder's — the overwhelming majority of draws
+// once the maximum has mostly spread — so the spec opts into the count
+// engine's self-loop skip path with a cheap comparison predicate.
+func NewSpec(initial []int64, oneWay bool) *sim.Spec {
+	// Copy the caller's slice: Layout evaluates lazily (at agent-adapter
+	// materialization), so later caller mutations must not leak in.
+	initial = append([]int64(nil), initial...)
+	n := len(initial)
+	distinct := make(map[int64]struct{}, len(initial))
+	for _, v := range initial {
+		distinct[v] = struct{}{}
+	}
+	vals := make([]int64, 0, len(distinct))
+	for v := range distinct {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	rank := make(map[int64]uint64, len(vals))
+	for i, v := range vals {
+		rank[v] = uint64(i)
+	}
+	init := make(map[uint64]int64, len(vals))
+	for _, v := range initial {
+		init[rank[v]]++
+	}
+	layout := func() []uint64 {
+		out := make([]uint64, n)
+		for i, v := range initial {
+			out[i] = rank[v]
+		}
+		return out
+	}
+	return rankSpec(n, vals, init, layout, oneWay)
+}
+
+// NewSingleSourceSpec returns the spec of the basic broadcast setting
+// over n agents: agent 0 holds value 1, everyone else holds 0. Unlike
+// the general NewSpec it is O(1) to construct — the count engines never
+// materialize per-agent state, so a spec must not either (n = 10⁹
+// configurations are two map entries; only the agent adapter's Layout
+// expands to n entries, and only when that engine is actually used).
+func NewSingleSourceSpec(n int, oneWay bool) *sim.Spec {
+	vals := []int64{0, 1}
+	init := map[uint64]int64{0: int64(n - 1), 1: 1}
+	layout := func() []uint64 {
+		out := make([]uint64, n)
+		out[0] = 1
+		return out
+	}
+	return rankSpec(n, vals, init, layout, oneWay)
+}
+
+// rankSpec assembles the broadcast spec over value ranks from a
+// prepared initial configuration.
+func rankSpec(n int, vals []int64, init map[uint64]int64, layout func() []uint64, oneWay bool) *sim.Spec {
+	maxRank := uint64(len(vals) - 1)
+	selfLoop := func(qu, qv uint64) bool { return qu == qv }
+	if oneWay {
+		selfLoop = func(qu, qv uint64) bool { return qu >= qv }
+	}
+	return &sim.Spec{
+		Name: "epidemic",
+		N:    n,
+		Init: func() map[uint64]int64 {
+			out := make(map[uint64]int64, len(init))
+			for k, v := range init {
+				out[k] = v
+			}
+			return out
+		},
+		Layout: layout,
+		Delta: func(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+			if qv > qu {
+				return qv, qv
+			}
+			if !oneWay && qu > qv {
+				return qu, qu
+			}
+			return qu, qv
+		},
+		SelfLoop: selfLoop,
+		Skip:     true,
+		Converged: func(v sim.ConfigView) bool {
+			return v.Count(maxRank) == int64(n)
+		},
+		Output: func(q uint64) int64 { return vals[q] },
+	}
+}
+
+// MaxCode returns the state code of the maximum value under a spec built
+// by NewSpec — the code whose count reaching n is the convergence event.
+// Probes (the informed-count curve of F1) read the spreading front as
+// agent.StateCount(MaxCode(...)).
+func MaxCode(s *sim.Spec) uint64 {
+	var max uint64
+	for code := range s.Init() {
+		if code > max {
+			max = code
+		}
+	}
+	return max
+}

@@ -20,7 +20,9 @@ import (
 // effective interactions/sec. This extends the paper with an engineering
 // result: the configuration view drops simulation cost from Θ(n log n)
 // scheduler draws to roughly the number of state-changing interactions,
-// unlocking n = 10⁸ for the skip-path protocols.
+// unlocking n = 10⁸ for the skip-path protocols. Both engine forms
+// derive from the same transition spec (sim.Spec), so the rows also
+// exercise the spec layer end to end.
 func E18CountEngine(o Options) Table {
 	o = o.withDefaults()
 	tbl := Table{
@@ -68,68 +70,65 @@ func E18CountEngine(o Options) Table {
 		if rw.proto == "leader" {
 			cfg.CheckEvery = int64(rw.n)
 		}
-		var norms []float64
-		conv := 0
-		start := time.Now()
-		var interactions int64
-		for tr := 0; tr < trials; tr++ {
-			c := cfg
-			c.Seed = sim.TrialSeed(cfg.Seed, tr)
-			var res sim.Result
-			var err error
-			if rw.engine == "count" {
-				res, err = sim.RunCount(countProto(rw.proto, rw.n), c)
-			} else {
-				res, err = sim.Run(agentProto(rw.proto, rw.n), c)
-			}
-			if err != nil {
-				panic(err) // sizes are static; an error is a programming bug
-			}
-			interactions += res.Total
-			if res.Converged {
-				conv++
-				norms = append(norms, float64(res.Interactions))
-			}
-		}
-		wall := time.Since(start).Seconds() / float64(trials)
-		countTrials(int64(trials), int64(conv), interactions)
-		ips := float64(interactions) / (wall * float64(trials))
-		tbl.AddRow(rw.proto, rw.engine, itoa(rw.n), itoa(trials),
-			pct(float64(conv)/float64(trials)), f1(stats.Mean(norms)),
-			fmt.Sprintf("%.3f", wall), fmt.Sprintf("%.3g", ips))
+		runEngineRows(&tbl, rw.proto, rw.engine, rw.n, trials, cfg, false)
 	}
 	tbl.AddNote("count-engine results are distributionally equivalent to the agent engine" +
 		" (see TestCountEngineEquivalence*); runs are not bit-for-bit comparable across engines")
 	return tbl
 }
 
-// agentProto builds the agent-array form of a protocol for E18.
-func agentProto(proto string, n int) sim.Protocol {
-	switch proto {
-	case "epidemic":
-		return epidemic.NewSingleSource(n, true)
-	case "junta":
-		return junta.New(n)
-	case "geometric":
-		return baseline.NewGeometricEstimate(n)
-	case "leader":
-		return leader.NewProtocol(n, clock.DefaultM, 2*sim.Log2Ceil(n))
-	default:
-		panic("exp: unknown protocol " + proto)
+// runEngineRows runs one (protocol, engine, n) cell of E18/E19 and
+// appends its result row, tallying the deterministic run counters.
+func runEngineRows(tbl *Table, proto, engine string, n, trials int, cfg sim.Config, batched bool) {
+	var norms []float64
+	conv := 0
+	start := time.Now()
+	var interactions int64
+	for tr := 0; tr < trials; tr++ {
+		c := cfg
+		c.Seed = sim.TrialSeed(cfg.Seed, tr)
+		c.BatchSteps = batched
+		var res sim.Result
+		var err error
+		if engine == "agent" {
+			res, err = sim.Run(sim.NewSpecAgent(protoSpec(proto, n)), c)
+		} else {
+			var eng *sim.CountEngine
+			eng, err = sim.NewCountEngine(sim.NewSpecCount(protoSpec(proto, n)), c)
+			if err == nil {
+				res, err = eng.RunToConvergence()
+				countEngineStats(eng.Stats())
+			}
+		}
+		if err != nil {
+			panic(err) // sizes are static; an error is a programming bug
+		}
+		interactions += res.Total
+		if res.Converged {
+			conv++
+			norms = append(norms, float64(res.Interactions))
+		}
 	}
+	wall := time.Since(start).Seconds() / float64(trials)
+	countTrials(int64(trials), int64(conv), interactions)
+	ips := float64(interactions) / (wall * float64(trials))
+	tbl.AddRow(proto, engine, itoa(n), itoa(trials),
+		pct(float64(conv)/float64(trials)), f1(stats.Mean(norms)),
+		fmt.Sprintf("%.4g", wall), fmt.Sprintf("%.3g", ips))
 }
 
-// countProto builds the count form of a protocol for E18.
-func countProto(proto string, n int) sim.CountProtocol {
+// protoSpec builds the transition spec of a protocol for E18/E19 — the
+// one definition both engine columns derive their forms from.
+func protoSpec(proto string, n int) *sim.Spec {
 	switch proto {
 	case "epidemic":
-		return epidemic.NewSingleSourceCounts(n, true)
+		return epidemic.NewSingleSourceSpec(n, true)
 	case "junta":
-		return junta.NewCounts(n)
+		return junta.NewSpec(n)
 	case "geometric":
-		return baseline.NewGeometricCounts(n)
+		return baseline.NewGeometricSpec(n)
 	case "leader":
-		return leader.NewCounts(n, clock.DefaultM, 2*sim.Log2Ceil(n))
+		return leader.NewSpec(n, clock.DefaultM, 2*sim.Log2Ceil(n))
 	default:
 		panic("exp: unknown protocol " + proto)
 	}

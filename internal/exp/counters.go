@@ -1,16 +1,25 @@
 package exp
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"popcount/internal/sim"
+)
 
 // Package-level run counters: every trial the harness executes is
 // tallied here, so cmd/popbench can report machine-readable
 // per-experiment metrics (trials, convergence rate, interactions,
 // interactions/sec) without each experiment carrying its own plumbing.
-// The counters are atomic — trials run concurrently.
+// Trials, Converged, Interactions, DeltaCalls and Epochs are
+// deterministic functions of the experiment's seeds — machine class
+// never changes them — which is what cmd/benchdiff's counter gate
+// relies on. The counters are atomic — trials run concurrently.
 var (
 	ctrTrials       atomic.Int64
 	ctrConverged    atomic.Int64
 	ctrInteractions atomic.Int64
+	ctrDeltaCalls   atomic.Int64
+	ctrEpochs       atomic.Int64
 )
 
 // Counters is a snapshot of the run counters.
@@ -21,6 +30,12 @@ type Counters struct {
 	Converged int64
 	// Interactions is the total number of interactions simulated.
 	Interactions int64
+	// DeltaCalls is the total number of transition-rule invocations on
+	// count engines (zero for agent-engine experiments, whose
+	// rule-invocation count is Interactions itself).
+	DeltaCalls int64
+	// Epochs is the total number of applied batch epochs.
+	Epochs int64
 }
 
 // ResetCounters zeroes the run counters. Call before an experiment to
@@ -29,6 +44,8 @@ func ResetCounters() {
 	ctrTrials.Store(0)
 	ctrConverged.Store(0)
 	ctrInteractions.Store(0)
+	ctrDeltaCalls.Store(0)
+	ctrEpochs.Store(0)
 }
 
 // CounterSnapshot returns the counters accumulated since the last
@@ -38,6 +55,8 @@ func CounterSnapshot() Counters {
 		Trials:       ctrTrials.Load(),
 		Converged:    ctrConverged.Load(),
 		Interactions: ctrInteractions.Load(),
+		DeltaCalls:   ctrDeltaCalls.Load(),
+		Epochs:       ctrEpochs.Load(),
 	}
 }
 
@@ -46,4 +65,11 @@ func countTrials(trials, converged, interactions int64) {
 	ctrTrials.Add(trials)
 	ctrConverged.Add(converged)
 	ctrInteractions.Add(interactions)
+}
+
+// countEngineStats tallies one count-engine run's deterministic
+// counters.
+func countEngineStats(s sim.EngineStats) {
+	ctrDeltaCalls.Add(s.DeltaCalls)
+	ctrEpochs.Add(s.Epochs)
 }

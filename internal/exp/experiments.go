@@ -29,7 +29,7 @@ func E1Broadcast(o Options) Table {
 	var fitN []int
 	var fitT []float64
 	for _, n := range ns {
-		outs := runMany(func(int) sim.Protocol { return epidemic.NewSingleSource(n, true) },
+		outs := runMany(func(int) sim.Protocol { return sim.NewSpecAgent(epidemic.NewSingleSourceSpec(n, true)) },
 			o.trials(1), sim.Config{Seed: o.Seed + uint64(n), CheckEvery: int64(n) / 4}, o.Parallelism)
 		norms := normTimes(outs, nLogN(n))
 		s, _ := stats.Summarize(norms)
@@ -507,7 +507,7 @@ func E15Baselines(o Options) Table {
 			trials, sim.Config{Seed: o.Seed + uint64(n), MaxInteractions: int64(n) * int64(n) * 200}, o.Parallelism)
 		exact := runMany(func(int) sim.Protocol { return core.NewCountExact(core.Config{N: n}) },
 			trials, sim.Config{Seed: o.Seed + uint64(2*n)}, o.Parallelism)
-		geo := runMany(func(int) sim.Protocol { return baseline.NewGeometricEstimate(n) },
+		geo := runMany(func(int) sim.Protocol { return sim.NewSpecAgent(baseline.NewGeometricSpec(n)) },
 			trials, sim.Config{Seed: o.Seed + uint64(3*n)}, o.Parallelism)
 		apx := runMany(func(int) sim.Protocol { return core.NewApproximate(core.Config{N: n}) },
 			trials, sim.Config{Seed: o.Seed + uint64(4*n)}, o.Parallelism)
@@ -518,7 +518,7 @@ func E15Baselines(o Options) Table {
 		var geoErr, apxErr []float64
 		for _, out := range geo {
 			if out.res.Converged {
-				geoErr = append(geoErr, math.Abs(float64(out.p.(*baseline.GeometricEstimate).Output(0))-logn))
+				geoErr = append(geoErr, math.Abs(float64(out.p.(*sim.SpecAgent).Output(0))-logn))
 			}
 		}
 		for _, out := range apx {
@@ -533,8 +533,61 @@ func E15Baselines(o Options) Table {
 		tbl.AddRow(itoa(n), f1(bagT), f1(exactT), speedup,
 			f2(stats.Mean(geoErr)), f2(stats.Mean(apxErr)))
 	}
+
+	// Large-n extension: the geometric estimator alone, on the batched
+	// count engine, whose multinomial coin-phase pre-sampling makes
+	// population sizes far beyond the agent-level comparison reachable
+	// — the other columns have no protocol at this scale. A Sizes
+	// override scopes the table to exactly the requested sweep.
+	var bigNs []int
+	if len(o.Sizes) == 0 {
+		bigNs = []int{1e8}
+		if o.Quick {
+			bigNs = []int{1 << 20}
+		}
+	}
+	for _, n := range bigNs {
+		geoErr := geoBatchedError(n, 2, o.Seed)
+		tbl.AddRow(itoa(n), "n/a", "n/a", "n/a", f2(geoErr), "n/a")
+	}
 	tbl.AddNote("speedup must grow like n/log n; the error of Approximate is below 1 by construction")
+	tbl.AddNote("the large-n geometric rows run on the batched count engine with the multinomial coin phase" +
+		" (other columns are agent-level and stop at the sweep sizes above)")
 	return tbl
+}
+
+// geoBatchedError runs the geometric estimator on the batched count
+// engine and returns the mean |estimate − log₂ n| over trials.
+func geoBatchedError(n, trials int, seed uint64) float64 {
+	logn := math.Log2(float64(n))
+	var errs []float64
+	for tr := 0; tr < trials; tr++ {
+		eng, err := sim.NewCountEngine(sim.NewSpecCount(baseline.NewGeometricSpec(n)),
+			sim.Config{Seed: sim.TrialSeed(seed+uint64(n), tr), CheckEvery: int64(n) / 4, BatchSteps: true})
+		if err != nil {
+			panic(err)
+		}
+		res, err := eng.RunToConvergence()
+		if err != nil {
+			panic(err)
+		}
+		countTrials(1, boolToInt64(res.Converged), res.Total)
+		countEngineStats(eng.Stats())
+		if !res.Converged {
+			continue
+		}
+		if out, ok := eng.PluralityOutput(); ok {
+			errs = append(errs, math.Abs(float64(out)-logn))
+		}
+	}
+	return stats.Mean(errs)
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // allExact reports whether every agent of p outputs exactly n.

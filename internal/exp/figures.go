@@ -71,11 +71,14 @@ func F1EpidemicCurve(o Options) Series {
 	if len(o.Sizes) > 0 {
 		n = o.Sizes[0]
 	}
-	p := epidemic.NewSingleSource(n, true)
+	spec := epidemic.NewSingleSourceSpec(n, true)
+	p := sim.NewSpecAgent(spec)
+	maxCode := epidemic.MaxCode(spec)
 	s := sample(p, o.Seed, int64(3*nLogN(n)), int64(n)/4,
 		[]string{"informed", "informed_fraction"},
 		func() []float64 {
-			return []float64{float64(p.Informed()), float64(p.Informed()) / float64(n)}
+			informed := float64(p.StateCount(maxCode))
+			return []float64{informed, informed / float64(n)}
 		})
 	s.ID, s.Title = "F1", fmt.Sprintf("one-way epidemic wavefront, n=%d (Lemma 3)", n)
 	return s

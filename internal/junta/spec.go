@@ -1,0 +1,97 @@
+package junta
+
+import (
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// State codes for the spec pack the (level, active, junta) triplet into
+// 8 bits: level in the low 6 (MaxLevel = 63), then the active and junta
+// flags.
+const (
+	codeActive = 1 << 6
+	codeJunta  = 1 << 7
+)
+
+// Encode packs an agent state into its spec state code.
+func Encode(s State) uint64 {
+	c := uint64(s.Level)
+	if s.Active {
+		c |= codeActive
+	}
+	if s.Junta {
+		c |= codeJunta
+	}
+	return c
+}
+
+// Decode unpacks a spec state code.
+func Decode(c uint64) State {
+	return State{
+		Level:  uint8(c & (codeActive - 1)),
+		Active: c&codeActive != 0,
+		Junta:  c&codeJunta != 0,
+	}
+}
+
+// NewSpec returns the canonical transition spec of the junta process
+// over n agents. The transition is deterministic and depends only on
+// the two (level, active, junta) triplets, so agents sharing a triplet
+// are exchangeable and the count view is exact. The occupied alphabet
+// stays tiny — levels reach log log n + O(1) — and pairs of inactive
+// agents on equal levels are certain no-ops, so the spec opts into the
+// count engine's self-loop skip path (with the no-op predicate derived
+// from the rule itself).
+func NewSpec(n int) *sim.Spec {
+	return &sim.Spec{
+		Name: "junta",
+		N:    n,
+		Init: func() map[uint64]int64 {
+			return map[uint64]int64{Encode(InitState()): int64(n)}
+		},
+		Delta: func(qu, qv uint64, _ *rng.Rand) (uint64, uint64) {
+			su, sv := Decode(qu), Decode(qv)
+			Interact(&su, &sv)
+			return Encode(su), Encode(sv)
+		},
+		Skip: true,
+		Converged: func(v sim.ConfigView) bool {
+			done := true
+			v.ForEach(func(code uint64, _ int64) {
+				if code&codeActive != 0 {
+					done = false
+				}
+			})
+			return done
+		},
+		Output: func(q uint64) int64 { return int64(Decode(q).Level) },
+	}
+}
+
+// MaxLevelInView returns the maximal level over a configuration's
+// occupied states (the configuration-level analogue of
+// Protocol.MaxLevelReached).
+func MaxLevelInView(v sim.ConfigView) int {
+	m := 0
+	v.ForEach(func(code uint64, _ int64) {
+		if l := int(Decode(code).Level); l > m {
+			m = l
+		}
+	})
+	return m
+}
+
+// JuntaSizeInView returns the number of agents on the maximal level with
+// the junta bit set (the configuration-level analogue of
+// Protocol.JuntaSize).
+func JuntaSizeInView(v sim.ConfigView) int64 {
+	m := MaxLevelInView(v)
+	var sz int64
+	v.ForEach(func(code uint64, cnt int64) {
+		s := Decode(code)
+		if int(s.Level) == m && s.Junta {
+			sz += cnt
+		}
+	})
+	return sz
+}

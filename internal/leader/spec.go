@@ -1,0 +1,204 @@
+package leader
+
+import (
+	"popcount/internal/clock"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// cstate is the per-agent state tuple of the leader_elect spec: the
+// inner phase-clock value, the election state, the outer clock value
+// with its phase counter capped at 1 (only Outer.Phase ≥ 1 is ever read
+// — it raises leaderDone), and the fixed junta membership. The inner
+// clock's absolute phase counter is never read by the election (only
+// FirstTick and the value-derived phase index are), so it is not part of
+// the code and the alphabet stays finite.
+type cstate struct {
+	innerVal   uint16
+	tag        uint8
+	bit        uint8
+	seenMax    uint8
+	isLeader   bool
+	done       bool
+	outerVal   uint16
+	outerPhase uint8 // capped at 1
+	junta      bool
+}
+
+// specCodec packs cstate tuples into spec state codes by mixed-radix
+// composition.
+type specCodec struct {
+	elect   Election
+	spanOut uint64
+}
+
+// encode packs a cstate into a code.
+func (p specCodec) encode(s cstate) uint64 {
+	c := uint64(s.innerVal)
+	c = c*uint64(p.elect.Inner.K) + uint64(s.tag)
+	c = c*2 + uint64(s.bit)
+	c = c*2 + uint64(s.seenMax)
+	c = c * 2
+	if s.isLeader {
+		c++
+	}
+	c = c * 2
+	if s.done {
+		c++
+	}
+	c = c*p.spanOut + uint64(s.outerVal)
+	c = c*2 + uint64(s.outerPhase)
+	c = c * 2
+	if s.junta {
+		c++
+	}
+	return c
+}
+
+// decode unpacks a code.
+func (p specCodec) decode(c uint64) cstate {
+	var s cstate
+	s.junta = c&1 != 0
+	c >>= 1
+	s.outerPhase = uint8(c & 1)
+	c >>= 1
+	s.outerVal = uint16(c % p.spanOut)
+	c /= p.spanOut
+	s.done = c&1 != 0
+	c >>= 1
+	s.isLeader = c&1 != 0
+	c >>= 1
+	s.seenMax = uint8(c & 1)
+	c >>= 1
+	s.bit = uint8(c & 1)
+	c >>= 1
+	s.tag = uint8(c % uint64(p.elect.Inner.K))
+	c /= uint64(p.elect.Inner.K)
+	s.innerVal = uint16(c)
+	return s
+}
+
+// delta applies one leader_elect transition — inner clock tick, then
+// election step — to a state pair, mirroring Protocol.Interact. Coins
+// for the per-phase leader bits are drawn from r exactly as the agent
+// form draws them from the scheduler stream.
+func (p specCodec) delta(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+	su, sv := p.decode(qu), p.decode(qv)
+	uc := clock.State{Val: su.innerVal}
+	vc := clock.State{Val: sv.innerVal}
+	p.elect.Inner.Tick(&uc, &vc, su.junta, sv.junta)
+	us := State{
+		IsLeader: su.isLeader, Done: su.done, Bit: su.bit, SeenMax: su.seenMax,
+		Tag: su.tag, Outer: clock.State{Val: su.outerVal, Phase: uint32(su.outerPhase)},
+	}
+	vs := State{
+		IsLeader: sv.isLeader, Done: sv.done, Bit: sv.bit, SeenMax: sv.seenMax,
+		Tag: sv.tag, Outer: clock.State{Val: sv.outerVal, Phase: uint32(sv.outerPhase)},
+	}
+	p.elect.Interact(&us, &vs, uc, vc, su.junta, sv.junta, r)
+	return p.encode(p.pack(us, uc, su.junta)), p.encode(p.pack(vs, vc, sv.junta))
+}
+
+// randomized reports the pairs whose transition consumes coins. The only
+// randomness in leader_elect is the per-phase leader coin, drawn when a
+// still-contending, not-yet-done endpoint crosses a phase boundary
+// (Election.boundary); every other pair transitions deterministically.
+// The boundary condition is re-derived from a dry run of the inner clock
+// tick, conservatively treating a pre-retirement contender as a coin
+// consumer.
+func (p specCodec) randomized(qu, qv uint64) bool {
+	su, sv := p.decode(qu), p.decode(qv)
+	uc := clock.State{Val: su.innerVal}
+	vc := clock.State{Val: sv.innerVal}
+	p.elect.Inner.Tick(&uc, &vc, su.junta, sv.junta)
+	return (uc.FirstTick && su.isLeader && !su.done) ||
+		(vc.FirstTick && sv.isLeader && !sv.done)
+}
+
+// pack rebuilds a cstate from the post-interaction election and clock
+// states, re-capping the outer phase counter.
+func (p specCodec) pack(s State, c clock.State, junta bool) cstate {
+	op := uint8(0)
+	if s.Outer.Phase >= 1 {
+		op = 1
+	}
+	return cstate{
+		innerVal:   c.Val,
+		tag:        s.Tag,
+		bit:        s.Bit,
+		seenMax:    s.SeenMax,
+		isLeader:   s.IsLeader,
+		done:       s.Done,
+		outerVal:   s.Outer.Val,
+		outerPhase: op,
+		junta:      junta,
+	}
+}
+
+// NewSpec returns the canonical transition spec of leader_elect over n
+// agents with an inner clock of m hours and a fixed junta of juntaSize
+// agents (laid out first, like NewProtocol). Agents are exchangeable
+// given the full cstate tuple, so the count view is exact; the engines
+// discover the occupied alphabet (clock values cluster in a moving
+// window, so it stays far below the full product space) lazily.
+//
+// Like the clock's spec, leader_elect does not opt into the self-loop
+// skip path: with a moving clock window most pairs change state anyway,
+// and the no-op bookkeeping would cost more than it saves.
+func NewSpec(n, m, juntaSize int) *sim.Spec {
+	if juntaSize < 1 || juntaSize > n {
+		panic("leader: junta size out of range")
+	}
+	inner := clock.New(m)
+	e := NewElection(inner, m)
+	codec := specCodec{
+		elect:   e,
+		spanOut: uint64(e.Outer.M) * uint64(e.Outer.K),
+	}
+	member := codec.encode(cstate{isLeader: true, junta: true})
+	plain := codec.encode(cstate{isLeader: true})
+	return &sim.Spec{
+		Name: "leader",
+		N:    n,
+		Init: func() map[uint64]int64 {
+			init := map[uint64]int64{member: int64(juntaSize)}
+			if rest := int64(n - juntaSize); rest > 0 {
+				init[plain] = rest
+			}
+			return init
+		},
+		Layout: func() []uint64 {
+			layout := make([]uint64, n)
+			for i := range layout {
+				if i < juntaSize {
+					layout[i] = member
+				} else {
+					layout[i] = plain
+				}
+			}
+			return layout
+		},
+		Delta:      codec.delta,
+		Randomized: codec.randomized,
+		Converged: func(v sim.ConfigView) bool {
+			var leaders int64
+			done := true
+			v.ForEach(func(code uint64, cnt int64) {
+				s := codec.decode(code)
+				if s.isLeader {
+					leaders += cnt
+				}
+				if !s.done {
+					done = false
+				}
+			})
+			return leaders == 1 && done
+		},
+		Output: func(q uint64) int64 {
+			if codec.decode(q).isLeader {
+				return 1
+			}
+			return 0
+		},
+	}
+}

@@ -449,9 +449,18 @@ func (e *CountEngine) planPairs(tau int64) []pairCount {
 // applyPlan resolves a sampled epoch plan into net count deltas and
 // applies it unless the safety bound trips. On a violation the epoch is
 // halved: the first half of the plan is carved out hypergeometrically
-// and retried recursively, the second half is discarded (the caller
-// re-plans it from the updated configuration). Returns the number of
-// interactions executed.
+// and retried recursively. The second half keeps its already-sampled
+// pair counts and, once the full first half has executed, is rechecked
+// against the updated configuration and applied as-is when the
+// post-leap bound holds (Anderson-style conditional reuse: conditioned
+// on the first half, the retained counts are exactly the multivariate-
+// hypergeometric remainder of the epoch's sample, so reusing them keeps
+// the accepted samples uncensored — discarding them unconditionally
+// would resample, and thereby bias, every post-violation half-epoch).
+// Only when the recheck also fails, or the first half fell through to
+// the exact path short of its sampled size, is the second half
+// discarded for the caller to re-plan from the updated configuration.
+// Returns the number of interactions executed.
 func (e *CountEngine) applyPlan(plan []pairCount, tau int64) int64 {
 	if tau < batchMinTau {
 		// Too fine to batch: discard the plan and replay the
@@ -461,43 +470,80 @@ func (e *CountEngine) applyPlan(plan []pairCount, tau int64) int64 {
 		return tau
 	}
 	if e.resolveDeltas(plan) {
-		bp := e.bp
-		for _, idx := range bp.touched {
-			if d := bp.delta[idx]; d != 0 {
-				e.shift(idx, d)
-			}
-		}
-		bp.reset()
+		e.commitDeltas()
 		e.t += tau
 		return tau
 	}
+	e.stats.Violations++
 	e.bp.reset()
 	half := tau / 2
-	return e.applyPlan(e.splitPlan(plan, half, tau), half)
+	first, second := e.splitPlan(plan, half, tau)
+	done := e.applyPlan(first, half)
+	if done != half || e.bp.bottom {
+		// The first half was not executed as sampled: either it came up
+		// short (a nested second half was discarded mid-cascade), or some
+		// leaf of its cascade hit the exact fallback — which replays the
+		// interactions with fresh scalar randomness instead of applying
+		// the sampled pair counts (bp.bottom records this; stepBatched
+		// clears it before every top-level plan, so a set flag here can
+		// only come from this call tree). Either way the second half's
+		// counts are conditioned on first-half content that never ran,
+		// and reusing them would break the hypergeometric conditioning.
+		e.stats.HalfDiscards++
+		return done
+	}
+	if e.resolveDeltas(second) {
+		e.commitDeltas()
+		e.t += tau - half
+		e.stats.HalfReuses++
+		return tau
+	}
+	e.stats.Violations++
+	e.stats.HalfDiscards++
+	e.bp.reset()
+	return done
 }
 
-// splitPlan carves the first half interactions out of a sampled plan of
-// tau: the slots of an epoch are exchangeable, so the first-half count
-// of each pair type is a conditional (multivariate) hypergeometric of
-// the sampled totals.
-func (e *CountEngine) splitPlan(plan []pairCount, half, tau int64) []pairCount {
-	out := make([]pairCount, 0, len(plan))
-	sampleRem, totalRem := half, tau
-	for _, pc := range plan {
-		if sampleRem <= 0 {
-			break
-		}
-		h := sampleRem
-		if pc.m < totalRem {
-			h = e.r.Hypergeometric(sampleRem, pc.m, totalRem)
-		}
-		sampleRem -= h
-		totalRem -= pc.m
-		if h > 0 {
-			out = append(out, pairCount{pc.i, pc.j, h})
+// commitDeltas applies the resolved per-state deltas in the planner
+// scratch to the configuration and counts the epoch.
+func (e *CountEngine) commitDeltas() {
+	bp := e.bp
+	for _, idx := range bp.touched {
+		if d := bp.delta[idx]; d != 0 {
+			e.shift(idx, d)
 		}
 	}
-	return out
+	bp.reset()
+	e.stats.Epochs++
+}
+
+// splitPlan carves a sampled plan of tau interactions into its first
+// half interactions and the remainder: the slots of an epoch are
+// exchangeable, so the first-half count of each pair type is a
+// conditional (multivariate) hypergeometric of the sampled totals, and
+// the second half is the exact complement.
+func (e *CountEngine) splitPlan(plan []pairCount, half, tau int64) (first, second []pairCount) {
+	first = make([]pairCount, 0, len(plan))
+	second = make([]pairCount, 0, len(plan))
+	sampleRem, totalRem := half, tau
+	for _, pc := range plan {
+		h := int64(0)
+		if sampleRem > 0 {
+			h = sampleRem
+			if pc.m < totalRem {
+				h = e.r.Hypergeometric(sampleRem, pc.m, totalRem)
+			}
+			sampleRem -= h
+		}
+		totalRem -= pc.m
+		if h > 0 {
+			first = append(first, pairCount{pc.i, pc.j, h})
+		}
+		if rest := pc.m - h; rest > 0 {
+			second = append(second, pairCount{pc.i, pc.j, rest})
+		}
+	}
+	return first, second
 }
 
 // resolveDeltas turns a plan into net per-state count deltas in the
@@ -519,6 +565,7 @@ func (e *CountEngine) resolveDeltas(plan []pairCount) bool {
 			}
 		default:
 			qu, qv := e.c.codes[i], e.c.codes[j]
+			e.stats.DeltaCalls += pc.m
 			for x := int64(0); x < pc.m; x++ {
 				a, b := e.p.Delta(qu, qv, e.r)
 				ia, ib := e.lookup(a, i, j), e.lookup(b, i, j)

@@ -22,10 +22,10 @@ func batchCfg(seed uint64) sim.Config {
 func TestCountBatchConservation(t *testing.T) {
 	const n = 1024
 	protos := map[string]func() sim.CountProtocol{
-		"epidemic":  func() sim.CountProtocol { return epidemic.NewSingleSourceCounts(n, true) },
-		"junta":     func() sim.CountProtocol { return junta.NewCounts(n) },
-		"clock":     func() sim.CountProtocol { return clock.NewCounts(n, clock.DefaultM, 16, 3) },
-		"geometric": func() sim.CountProtocol { return baseline.NewGeometricCounts(n) },
+		"epidemic":  func() sim.CountProtocol { return sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)) },
+		"junta":     func() sim.CountProtocol { return sim.NewSpecCount(junta.NewSpec(n)) },
+		"clock":     func() sim.CountProtocol { return sim.NewSpecCount(clock.NewSpec(n, clock.DefaultM, 16, 3)) },
+		"geometric": func() sim.CountProtocol { return sim.NewSpecCount(baseline.NewGeometricSpec(n)) },
 	}
 	for name, mk := range protos {
 		e, err := sim.NewCountEngine(mk(), batchCfg(7))
@@ -59,11 +59,11 @@ func TestCountBatchConservation(t *testing.T) {
 func TestCountBatchSmallStepsMatchSequential(t *testing.T) {
 	const n = 512
 	mk := func() (*sim.CountEngine, *sim.CountEngine) {
-		b, err := sim.NewCountEngine(baseline.NewGeometricCounts(n), batchCfg(42))
+		b, err := sim.NewCountEngine(sim.NewSpecCount(baseline.NewGeometricSpec(n)), batchCfg(42))
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := sim.NewCountEngine(baseline.NewGeometricCounts(n), sim.Config{Seed: 42})
+		s, err := sim.NewCountEngine(sim.NewSpecCount(baseline.NewGeometricSpec(n)), sim.Config{Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func TestCountBatchSmallStepsMatchSequential(t *testing.T) {
 // configuration of certain no-ops passes arbitrarily large batches
 // without looping per interaction.
 func TestCountBatchFrozenConfig(t *testing.T) {
-	p := epidemic.NewCounts([]int64{5, 5, 5, 5}, true) // already uniform
+	p := sim.NewSpecCount(epidemic.NewSpec([]int64{5, 5, 5, 5}, true)) // already uniform
 	e, err := sim.NewCountEngine(p, batchCfg(1))
 	if err != nil {
 		t.Fatal(err)
@@ -118,8 +118,8 @@ func TestCountBatchEquivalence(t *testing.T) {
 		tol    = 0.10
 	)
 	protos := map[string]func() sim.CountProtocol{
-		"epidemic": func() sim.CountProtocol { return epidemic.NewSingleSourceCounts(n, true) },
-		"junta":    func() sim.CountProtocol { return junta.NewCounts(n) },
+		"epidemic": func() sim.CountProtocol { return sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)) },
+		"junta":    func() sim.CountProtocol { return sim.NewSpecCount(junta.NewSpec(n)) },
 	}
 	for name, mk := range protos {
 		mean := func(batch bool) float64 {
@@ -151,7 +151,7 @@ func TestCountBatchEquivalence(t *testing.T) {
 // TestCountBatchReproducible pins seed determinism of the batched mode.
 func TestCountBatchReproducible(t *testing.T) {
 	run := func() (sim.Result, map[uint64]int64) {
-		e, err := sim.NewCountEngine(junta.NewCounts(2048), batchCfg(99))
+		e, err := sim.NewCountEngine(sim.NewSpecCount(junta.NewSpec(2048)), batchCfg(99))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func TestCountBatchKnobs(t *testing.T) {
 		{Seed: 5, BatchSteps: true, BatchDrift: 0.02},
 		{Seed: 5, BatchSteps: true, BatchDrift: 0.5, BatchMaxRounds: 2},
 	} {
-		res, err := sim.RunCount(epidemic.NewSingleSourceCounts(n, true), cfg)
+		res, err := sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

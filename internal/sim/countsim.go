@@ -52,6 +52,18 @@ type CountProtocol interface {
 	Delta(qu, qv uint64, r *rng.Rand) (qu2, qv2 uint64)
 }
 
+// CountInitSampler is an optional CountProtocol hook: protocols whose
+// agents draw a random value at their first interaction can instead
+// pre-sample the whole population's draws once, at engine construction,
+// from the engine's generator (the principle of deferred decisions — an
+// agent's pending value is never read before its first interaction, so
+// the trajectory distribution is unchanged). The engine prefers this
+// hook over InitCounts when implemented. It is how a Spec's InitSample
+// reaches the count engine.
+type CountInitSampler interface {
+	InitCountsSample(r *rng.Rand) map[uint64]int64
+}
+
 // CountConverger is implemented by count protocols that can report
 // whether a configuration is a desired (converged) one. The engine calls
 // it only every Config.CheckEvery interactions; the check may scan all
@@ -182,7 +194,38 @@ type CountEngine struct {
 	// Batch-stepping state (allocated only when Config.BatchSteps): the
 	// multinomial epoch planner of countbatch.go.
 	bp *batchPlanner
+
+	stats EngineStats
 }
+
+// EngineStats are deterministic, machine-independent counters of one
+// count-engine run: equal protocols, seeds and Step sequences produce
+// equal stats on any machine, which is what lets the CI perf gate
+// (cmd/benchdiff) detect dynamics drift without depending on the
+// runner's machine class.
+type EngineStats struct {
+	// DeltaCalls counts transition-rule invocations (certain no-ops the
+	// skip path jumps over and bulk-applied deterministic pairs of the
+	// batch planner are exactly the interactions NOT counted here).
+	DeltaCalls int64
+	// Epochs counts applied batch epochs, including reused second
+	// halves (zero without Config.BatchSteps).
+	Epochs int64
+	// Violations counts safety-net trips of the batch planner's
+	// post-leap drift check.
+	Violations int64
+	// HalfReuses counts second half-epochs whose already-sampled counts
+	// passed the post-leap recheck after the retried first half and
+	// were applied as-is (the Anderson-style conditional reuse).
+	HalfReuses int64
+	// HalfDiscards counts second half-epochs that had to be discarded
+	// and re-planned — the recheck failed, or the first half did not
+	// complete at its sampled size.
+	HalfDiscards int64
+}
+
+// Stats returns the engine's deterministic run counters.
+func (e *CountEngine) Stats() EngineStats { return e.stats }
 
 // NewCountEngine validates p and cfg and returns a count engine
 // positioned at interaction 0. cfg.Scheduler must be nil or the uniform
@@ -218,7 +261,14 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 		e.bp = newBatchPlanner(p, cfg, e.n)
 	}
 
-	init := p.InitCounts()
+	// The one-shot initialization sampler (when implemented) runs here,
+	// at a fixed point of the random stream before any interaction.
+	var init map[uint64]int64
+	if is, ok := p.(CountInitSampler); ok {
+		init = is.InitCountsSample(e.r)
+	} else {
+		init = p.InitCounts()
+	}
 	codes := make([]uint64, 0, len(init))
 	var sum int64
 	for code, cnt := range init {
@@ -310,6 +360,7 @@ func (e *CountEngine) stepEach(count int64) {
 		a, b := e.p.Delta(e.c.codes[i], e.c.codes[j], e.r)
 		e.apply(i, j, a, b)
 	}
+	e.stats.DeltaCalls += count
 	e.t += count
 }
 
@@ -345,6 +396,7 @@ func (e *CountEngine) stepSkip(count int64) {
 		j := e.sampleResponder(i, y)
 		a, b := e.p.Delta(e.c.codes[i], e.c.codes[j], e.r)
 		e.apply(i, j, a, b)
+		e.stats.DeltaCalls++
 		e.t++
 		rem--
 	}

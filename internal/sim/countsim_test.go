@@ -17,10 +17,10 @@ import (
 func TestCountEngineConservation(t *testing.T) {
 	const n = 256
 	protos := map[string]func() sim.CountProtocol{
-		"epidemic":  func() sim.CountProtocol { return epidemic.NewSingleSourceCounts(n, true) },
-		"junta":     func() sim.CountProtocol { return junta.NewCounts(n) },
-		"clock":     func() sim.CountProtocol { return clock.NewCounts(n, clock.DefaultM, 16, 3) },
-		"geometric": func() sim.CountProtocol { return baseline.NewGeometricCounts(n) },
+		"epidemic":  func() sim.CountProtocol { return sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)) },
+		"junta":     func() sim.CountProtocol { return sim.NewSpecCount(junta.NewSpec(n)) },
+		"clock":     func() sim.CountProtocol { return sim.NewSpecCount(clock.NewSpec(n, clock.DefaultM, 16, 3)) },
+		"geometric": func() sim.CountProtocol { return sim.NewSpecCount(baseline.NewGeometricSpec(n)) },
 	}
 	for name, mk := range protos {
 		for _, disable := range []bool{false, true} {
@@ -49,7 +49,7 @@ func TestCountEngineConservation(t *testing.T) {
 // convergence time (Θ(n log n)).
 func TestCountEngineEpidemicConverges(t *testing.T) {
 	const n = 4096
-	res, err := sim.RunCount(epidemic.NewSingleSourceCounts(n, true),
+	res, err := sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)),
 		sim.Config{Seed: 3, CheckEvery: n / 4})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestCountEngineSkipMatchesPerInteraction(t *testing.T) {
 	mean := func(disable bool) float64 {
 		var sum float64
 		for i := 0; i < trials; i++ {
-			res, err := sim.RunCount(junta.NewCounts(n), sim.Config{
+			res, err := sim.RunCount(sim.NewSpecCount(junta.NewSpec(n)), sim.Config{
 				Seed:         sim.TrialSeed(11, i),
 				CheckEvery:   n / 4,
 				DisableBatch: disable,
@@ -102,7 +102,7 @@ func TestCountEngineSkipMatchesPerInteraction(t *testing.T) {
 // configuration where every pair is a certain no-op must pass whole
 // batches in one jump instead of looping.
 func TestCountEngineFrozenConfig(t *testing.T) {
-	p := epidemic.NewCounts([]int64{5, 5, 5, 5}, true) // already uniform
+	p := sim.NewSpecCount(epidemic.NewSpec([]int64{5, 5, 5, 5}, true)) // already uniform
 	e, err := sim.NewCountEngine(p, sim.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -119,12 +119,12 @@ func TestCountEngineFrozenConfig(t *testing.T) {
 // TestCountEngineRejectsNonUniformScheduler pins ErrCountScheduler: the
 // configuration view is only valid under the uniform scheduler.
 func TestCountEngineRejectsNonUniformScheduler(t *testing.T) {
-	_, err := sim.NewCountEngine(junta.NewCounts(64),
+	_, err := sim.NewCountEngine(sim.NewSpecCount(junta.NewSpec(64)),
 		sim.Config{Scheduler: sim.BiasedScheduler{Hot: 0, Bias: 0.2}})
 	if err != sim.ErrCountScheduler {
 		t.Fatalf("got %v, want ErrCountScheduler", err)
 	}
-	if _, err := sim.NewCountEngine(junta.NewCounts(64),
+	if _, err := sim.NewCountEngine(sim.NewSpecCount(junta.NewSpec(64)),
 		sim.Config{Scheduler: sim.UniformScheduler{}}); err != nil {
 		t.Fatalf("uniform scheduler rejected: %v", err)
 	}
@@ -134,7 +134,7 @@ func TestCountEngineRejectsNonUniformScheduler(t *testing.T) {
 // identical results and final configurations.
 func TestCountEngineReproducible(t *testing.T) {
 	run := func() (sim.Result, map[uint64]int64) {
-		e, err := sim.NewCountEngine(baseline.NewGeometricCounts(1000), sim.Config{Seed: 99})
+		e, err := sim.NewCountEngine(sim.NewSpecCount(baseline.NewGeometricSpec(1000)), sim.Config{Seed: 99})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestCountEngineConfirmWindowAndObserver(t *testing.T) {
 		ConfirmWindow: 4 * n,
 		Observe:       func(sim.Observation) { polls++ },
 	}
-	res, err := sim.RunCount(epidemic.NewSingleSourceCounts(n, false), cfg)
+	res, err := sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, false)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestCountEngineConfirmWindowAndObserver(t *testing.T) {
 
 	// Interrupt before any work: the run must stop at the first batch.
 	cfg = sim.Config{Seed: 5, Interrupt: func() bool { return true }}
-	res, err = sim.RunCount(junta.NewCounts(n), cfg)
+	res, err = sim.RunCount(sim.NewSpecCount(junta.NewSpec(n)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestCountEngineConfirmWindowAndObserver(t *testing.T) {
 func TestRunCountTrials(t *testing.T) {
 	const n, trials = 256, 8
 	runs, err := sim.RunCountTrials(
-		func(int) sim.CountProtocol { return epidemic.NewSingleSourceCounts(n, true) },
+		func(int) sim.CountProtocol { return sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)) },
 		trials, sim.Config{Seed: 21}, sim.CountTrialOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestRunCountTrials(t *testing.T) {
 			t.Fatalf("trial %d did not converge", i)
 		}
 		// Re-run the trial standalone with its derived seed: must match.
-		solo, err := sim.RunCount(epidemic.NewSingleSourceCounts(n, true),
+		solo, err := sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)),
 			sim.Config{Seed: sim.TrialSeed(21, i)})
 		if err != nil {
 			t.Fatal(err)

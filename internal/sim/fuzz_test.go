@@ -74,13 +74,13 @@ func (t *fuzzTable) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
 func fuzzProto(sel uint8, n int, raw []byte) sim.CountProtocol {
 	switch sel % 5 {
 	case 0:
-		return epidemic.NewSingleSourceCounts(n, true)
+		return sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true))
 	case 1:
-		return epidemic.NewSingleSourceCounts(n, false)
+		return sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, false))
 	case 2:
-		return junta.NewCounts(n)
+		return sim.NewSpecCount(junta.NewSpec(n))
 	case 3:
-		return baseline.NewGeometricCounts(n)
+		return sim.NewSpecCount(baseline.NewGeometricSpec(n))
 	default:
 		k := uint64(len(raw))%5 + 2 // alphabet size [2, 6]
 		return newFuzzTable(n, k, raw)

@@ -352,6 +352,12 @@ func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 		e.bi, _ = p.(BatchInteractor)
 	}
 	e.conv, _ = p.(Converger)
+	// One-shot initialization sampling (spec.go) happens here, before
+	// any interaction, so the scalar and batched paths consume the
+	// random stream identically.
+	if is, ok := p.(InitSampler); ok {
+		is.SampleInit(e.r)
+	}
 	return e, nil
 }
 

@@ -1,0 +1,231 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popcount/internal/baseline"
+	"popcount/internal/clock"
+	"popcount/internal/epidemic"
+	"popcount/internal/junta"
+	"popcount/internal/leader"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// TestSpecAgentMatchesJuntaBitForBit pins the spec-derived agent form
+// against the hand-written (instrumented) junta simulation: same seed,
+// same engine — the Result and every agent's final state must be
+// identical, because both sides apply the identical rule to the
+// identical pair stream with identical coin consumption.
+func TestSpecAgentMatchesJuntaBitForBit(t *testing.T) {
+	const n = 512
+	cfg := sim.Config{Seed: 0xA1, CheckEvery: n / 4}
+	hand := junta.New(n)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(junta.NewSpec(n))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := junta.Decode(agent.Code(i)), hand.State(i); got != want {
+			t.Fatalf("agent %d: spec state %+v, hand-written state %+v", i, got, want)
+		}
+	}
+}
+
+// TestSpecAgentMatchesClockBitForBit pins the spec-derived clock form
+// against the hand-written phase-clock simulation: identical Result,
+// and every agent's completed-phase count (capped at maxPhase, which is
+// all the spec encodes) must agree.
+func TestSpecAgentMatchesClockBitForBit(t *testing.T) {
+	const (
+		n        = 512
+		maxPhase = 3
+	)
+	js := 2 * sim.Log2Ceil(n)
+	cfg := sim.Config{Seed: 0xA2, CheckEvery: n}
+	hand := clock.NewProtocol(n, clock.DefaultM, js, maxPhase)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(clock.NewSpec(n, clock.DefaultM, js, maxPhase))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	for i := 0; i < n; i++ {
+		want := int64(hand.State(i).Phase)
+		if want > maxPhase {
+			want = maxPhase
+		}
+		if got := agent.Output(i); got != want {
+			t.Fatalf("agent %d: spec phase %d, hand-written phase %d", i, got, want)
+		}
+	}
+}
+
+// TestSpecAgentMatchesLeaderBitForBit pins the spec-derived leader_elect
+// form against the hand-written simulation. leader_elect draws synthetic
+// coins at phase boundaries, so this additionally pins that the spec's
+// Delta consumes the random stream in exactly the hand-written order.
+func TestSpecAgentMatchesLeaderBitForBit(t *testing.T) {
+	const n = 512
+	js := 2 * sim.Log2Ceil(n)
+	cfg := sim.Config{Seed: 0xA3, CheckEvery: n}
+	hand := leader.NewProtocol(n, clock.DefaultM, js)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(leader.NewSpec(n, clock.DefaultM, js))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	var specLeaders int64
+	for i := 0; i < n; i++ {
+		specLeaders += agent.Output(i)
+	}
+	if specLeaders != int64(hand.Leaders()) {
+		t.Fatalf("leader counts differ: spec %d, hand-written %d", specLeaders, hand.Leaders())
+	}
+}
+
+// refMax is the classical array implementation of maximum broadcast,
+// kept in the tests as the reference the epidemic spec replaced.
+type refMax struct {
+	vals   []int64
+	oneWay bool
+}
+
+func (p *refMax) N() int { return len(p.vals) }
+
+func (p *refMax) Interact(u, v int, _ *rng.Rand) {
+	if p.vals[u] < p.vals[v] {
+		p.vals[u] = p.vals[v]
+	} else if !p.oneWay && p.vals[v] < p.vals[u] {
+		p.vals[v] = p.vals[u]
+	}
+}
+
+func (p *refMax) Output(i int) int64 { return p.vals[i] }
+
+// TestSpecAgentMatchesEpidemicReference pins the spec-derived epidemic
+// agent form against the classical array simulation it replaced: same
+// seed, same horizon — every agent's value must match at every probed
+// step.
+func TestSpecAgentMatchesEpidemicReference(t *testing.T) {
+	const n = 256
+	r := rng.New(5)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(8))
+	}
+	for _, oneWay := range []bool{true, false} {
+		ref := &refMax{vals: append([]int64(nil), vals...), oneWay: oneWay}
+		agent := sim.NewSpecAgent(epidemic.NewSpec(vals, oneWay))
+		refEng, err := sim.NewEngine(ref, sim.Config{Seed: 0xA4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specEng, err := sim.NewEngine(agent, sim.Config{Seed: 0xA4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 20; step++ {
+			refEng.Step(n / 2)
+			specEng.Step(n / 2)
+			for i := 0; i < n; i++ {
+				if agent.Output(i) != ref.Output(i) {
+					t.Fatalf("oneWay=%v step %d agent %d: spec %d, reference %d",
+						oneWay, step, i, agent.Output(i), ref.Output(i))
+				}
+			}
+		}
+	}
+}
+
+// TestSpecAgentShufflesInitialAssignment pins the de-correlation of
+// agent index and initial state for specs without a fixed Layout: the
+// engine's SampleInit hook must shuffle the block expansion, so that
+// non-uniform schedulers (which distinguish agents) see an unbiased
+// assignment — agent 0 must not deterministically receive the smallest
+// state.
+func TestSpecAgentShufflesInitialAssignment(t *testing.T) {
+	const n = 4096
+	agent := sim.NewSpecAgent(baseline.NewGeometricSpec(n))
+	if _, err := sim.NewEngine(agent, sim.Config{Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	descents := 0
+	for i := 1; i < n; i++ {
+		if agent.Code(i) < agent.Code(i-1) {
+			descents++
+		}
+	}
+	if descents == 0 {
+		t.Fatal("initial codes are in sorted block order — the assignment was not shuffled")
+	}
+	var sum int64
+	agent.View().ForEach(func(_ uint64, cnt int64) { sum += cnt })
+	if sum != n {
+		t.Fatalf("mirror sums to %d after shuffle, want %d", sum, n)
+	}
+}
+
+// TestSpecCountGeometricBatched pins the headline capability the
+// initialization sampler unlocks: the geometric estimator converges on
+// the batched count engine — its multinomial coin phase replaces the
+// Θ(n) per-agent draws that previously forced the exact fallback — and
+// the batched run agrees distributionally with the sequential one.
+func TestSpecCountGeometricBatched(t *testing.T) {
+	const (
+		n      = 1 << 20
+		trials = 8
+	)
+	mean := func(batch bool) float64 {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			eng, err := sim.NewCountEngine(sim.NewSpecCount(baseline.NewGeometricSpec(n)),
+				sim.Config{Seed: sim.TrialSeed(23, i), CheckEvery: n / 4, BatchSteps: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.RunToConvergence()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("trial %d (batch=%v) did not converge", i, batch)
+			}
+			if batch && eng.Stats().Epochs == 0 {
+				t.Fatalf("trial %d: batched run applied no epochs (fell back to exact stepping)", i)
+			}
+			sum += float64(res.Interactions)
+		}
+		return sum / trials
+	}
+	batched, seq := mean(true), mean(false)
+	gap := batched/seq - 1
+	if gap < 0 {
+		gap = -gap
+	}
+	t.Logf("geometric n=%d: sequential mean T_C = %.0f, batched mean T_C = %.0f, gap %.3f", n, seq, batched, gap)
+	if gap > 0.10 {
+		t.Errorf("batched mean %.0f vs sequential mean %.0f (gap %.3f > 0.10)", batched, seq, gap)
+	}
+}

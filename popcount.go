@@ -324,10 +324,31 @@ func validate(alg Algorithm, n int) error {
 	return fmt.Errorf("popcount: unknown algorithm %v", alg)
 }
 
-// newProtocol builds the protocol instance for alg over n agents.
+// specFor returns the canonical transition spec of alg over n agents,
+// or reports that the algorithm has none. Spec-backed algorithms run on
+// every engine through the spec's derived forms; the others are bound
+// to the agent engine. Only algorithms whose per-agent state space is
+// independent of n can have a spec: the Õ(n)-state counting protocols
+// (Approximate, CountExact and their stable hybrids) and the
+// Θ(n²)-state TokenBag baseline must stay agent-level.
+func specFor(alg Algorithm, n int) (*sim.Spec, bool) {
+	switch alg {
+	case GeometricEstimate:
+		return baseline.NewGeometricSpec(n), true
+	default:
+		return nil, false
+	}
+}
+
+// newProtocol builds the agent-engine protocol instance for alg over n
+// agents: the spec-derived agent adapter for spec-backed algorithms,
+// the hand-written composed protocols otherwise.
 func newProtocol(alg Algorithm, n int, set settings) (sim.Protocol, error) {
 	if err := validate(alg, n); err != nil {
 		return nil, err
+	}
+	if spec, ok := specFor(alg, n); ok {
+		return sim.NewSpecAgent(spec), nil
 	}
 	cfg := core.Config{N: n, ClockM: set.clockM, FastRounds: set.fastRounds, Shift: set.shift}
 	var p sim.Protocol
@@ -346,26 +367,21 @@ func newProtocol(alg Algorithm, n int, set settings) (sim.Protocol, error) {
 		p = sp
 	case TokenBag:
 		p = baseline.NewTokenBag(n)
-	case GeometricEstimate:
-		p = baseline.NewGeometricEstimate(n)
 	default:
 		return nil, fmt.Errorf("popcount: unknown algorithm %v", alg)
 	}
 	return p, nil
 }
 
-// newCountProtocol builds the count-based form of alg over n agents, or
-// reports that the algorithm has none. Only algorithms whose per-agent
-// state space is independent of n have a count form; the Õ(n)-state
-// counting protocols (Approximate, CountExact and their stable hybrids)
-// and the Θ(n²)-state TokenBag baseline must stay agent-level.
+// newCountProtocol builds the count-based form of alg over n agents from
+// the same spec the agent form derives from, or reports that the
+// algorithm has none.
 func newCountProtocol(alg Algorithm, n int) (sim.CountProtocol, bool) {
-	switch alg {
-	case GeometricEstimate:
-		return baseline.NewGeometricCounts(n), true
-	default:
+	spec, ok := specFor(alg, n)
+	if !ok {
 		return nil, false
 	}
+	return sim.NewSpecCount(spec), true
 }
 
 // resolveEngine maps the requested engine kind to a concrete one for
@@ -375,10 +391,7 @@ func newCountProtocol(alg Algorithm, n int) (sim.CountProtocol, bool) {
 // or a non-uniform scheduler was registered, and EngineAuto falls back
 // to the agent engine in both cases instead of erroring.
 func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
-	supported := false
-	if _, ok := newCountProtocol(alg, 2); ok {
-		supported = true
-	}
+	_, supported := specFor(alg, 2)
 	uniform := true
 	if set.mkSched != nil {
 		_, uniform = set.newSimScheduler().(sim.UniformScheduler)
@@ -482,6 +495,39 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 		return nil, err
 	}
 	return &Simulation{alg: alg, n: n, kind: EngineAgent, p: p, eng: eng}, nil
+}
+
+// EngineStats are deterministic, machine-independent run counters of
+// the count engines: equal algorithms, seeds and run lengths produce
+// equal stats on any machine. All fields are zero on the agent engine,
+// whose only counter is the interaction count itself.
+type EngineStats struct {
+	// DeltaCalls counts transition-rule invocations (the interactions
+	// the engine could not skip or bulk-apply).
+	DeltaCalls int64
+	// Epochs counts applied batch epochs (EngineCountBatched only).
+	Epochs int64
+	// Violations counts safety-net trips of the batch planner.
+	Violations int64
+	// HalfReuses counts second half-epochs reused after a post-leap
+	// recheck; HalfDiscards counts the ones re-planned instead.
+	HalfReuses   int64
+	HalfDiscards int64
+}
+
+// Stats returns the simulation's deterministic engine counters.
+func (s *Simulation) Stats() EngineStats {
+	if s.ceng == nil {
+		return EngineStats{}
+	}
+	st := s.ceng.Stats()
+	return EngineStats{
+		DeltaCalls:   st.DeltaCalls,
+		Epochs:       st.Epochs,
+		Violations:   st.Violations,
+		HalfReuses:   st.HalfReuses,
+		HalfDiscards: st.HalfDiscards,
+	}
 }
 
 // N returns the population size.
