@@ -457,6 +457,65 @@ func BenchmarkCountExactBatch(b *testing.B) {
 	benchPath(b, core.NewCountExact(core.Config{N: 1 << 14}), false)
 }
 
+// benchSpecAgentStep measures sustained agent-adapter throughput of a
+// spec on the agent engine.
+func benchSpecAgentStep(b *testing.B, spec *sim.Spec) {
+	b.Helper()
+	e, err := sim.NewEngine(sim.NewSpecAgent(spec), sim.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	e.Step(int64(b.N))
+	reportIPS(b, int64(b.N))
+}
+
+// BenchmarkJuntaSpecAgentTable / BenchmarkJuntaSpecAgentClosure — the
+// flat successor-table precompile of NewSpecAgent (Spec.Domain): the
+// junta spec's dense 8-bit packing qualifies, replacing the
+// per-interaction Delta closure (decode, rule, encode) with one slice
+// lookup. The closure variant clears Domain on an otherwise identical
+// spec; the two paths are bit-for-bit equal (FuzzSpecAdapters pins
+// them against the naive reference). Measured: the table recovers
+// ~25% agent-engine throughput on this spec (EXPERIMENTS.md).
+func BenchmarkJuntaSpecAgentTable(b *testing.B) {
+	benchSpecAgentStep(b, junta.NewSpec(1<<20))
+}
+
+func BenchmarkJuntaSpecAgentClosure(b *testing.B) {
+	spec := junta.NewSpec(1 << 20)
+	spec.Domain = 0
+	benchSpecAgentStep(b, spec)
+}
+
+// BenchmarkApproximateSpecCountBatched — sustained throughput of the
+// composed protocol Approximate (junta × clock × slow election ×
+// search) on the batched count engine via its interned spec: the
+// engine form behind E8's n = 10⁸ rows.
+func BenchmarkApproximateSpecCountBatched(b *testing.B) {
+	e, err := sim.NewCountEngine(
+		sim.NewSpecCount(core.NewApproximateSpec(core.Config{N: throughputN}).Spec),
+		sim.Config{Seed: 1, BatchSteps: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	e.Step(int64(b.N))
+	reportIPS(b, int64(b.N))
+}
+
+// BenchmarkBackupExactCountEngine — the exact backup's Θ(n² log n)
+// chain on the count engine's skip path: a full Lemma 13 run at
+// n = 2¹⁴ per iteration, dominated by the ~n merges instead of the n²
+// scheduler draws.
+func BenchmarkBackupExactCountEngine(b *testing.B) {
+	const n = 1 << 14
+	benchEngineConvergence(b, func(seed uint64) (sim.Result, error) {
+		return sim.RunCount(sim.NewSpecCount(backup.NewExactSpec(n)),
+			sim.Config{Seed: seed, CheckEvery: n, MaxInteractions: int64(n) * int64(n) * 1000})
+	})
+}
+
 // BenchmarkQuickSuite runs the whole quick experiment suite once per
 // iteration — the full reproduction in one knob (also exercised by
 // cmd/popbench).

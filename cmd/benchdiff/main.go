@@ -143,6 +143,7 @@ func run(args []string, w *os.File) error {
 		ids       = fs.String("ids", "", "comma-separated experiment ids to gate; empty = every id in the baseline")
 		threshold = fs.Float64("threshold", 0.25, "maximum tolerated relative drop in interactions_per_sec")
 		counters  = fs.Bool("counters", true, "gate the machine-independent counters (trials, interactions, delta_calls, epochs) for exact equality")
+		minWall   = fs.Float64("min-wall", 0.05, "baseline wall_seconds below which the throughput ratio is skipped (sub-noise-floor experiments carry no wall-clock signal; their counters are still gated exactly)")
 		update    = fs.Bool("update", false, "rewrite the baseline from -current (best run per experiment) instead of comparing")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -210,7 +211,12 @@ func run(args []string, w *os.File) error {
 		}
 		ratio := c.InteractionsPerSec / b.InteractionsPerSec
 		verdict := "ok"
-		if ratio < 1-*threshold {
+		if b.WallSeconds < *minWall {
+			// A run this short is all measurement noise — a millisecond
+			// of scheduler jitter moves the ratio by tens of percent.
+			// The counter gate below still applies in full.
+			verdict = "ok (wall below noise floor, ratio not gated)"
+		} else if ratio < 1-*threshold {
 			verdict = fmt.Sprintf("REGRESSION (>%.0f%% drop)", 100**threshold)
 			failures = append(failures, fmt.Sprintf("%s: interactions/sec %.3g -> %.3g (ratio %.2f)",
 				id, b.InteractionsPerSec, c.InteractionsPerSec, ratio))

@@ -24,7 +24,10 @@ func writeMetrics(t *testing.T, dir, name string, ms []metrics) string {
 }
 
 func m(id string, ips float64) metrics {
-	return metrics{ID: id, Title: id, InteractionsPerSec: ips, Trials: 2, Converged: 2}
+	// WallSeconds sits above the default -min-wall noise floor so the
+	// throughput ratio is gated; TestGateMinWallFloor covers the
+	// sub-floor skip.
+	return metrics{ID: id, Title: id, InteractionsPerSec: ips, WallSeconds: 1, Trials: 2, Converged: 2}
 }
 
 // TestGatePasses pins the accept path: rates within the threshold —
@@ -178,6 +181,47 @@ func TestGateCountersExact(t *testing.T) {
 	})
 	if err := run([]string{"-baseline", zbase, "-current", zcur}, os.Stdout); err != nil {
 		t.Fatalf("zero-baseline counters were gated: %v", err)
+	}
+}
+
+// TestGateMinWallFloor pins the noise floor: an experiment whose
+// baseline run is shorter than -min-wall carries no wall-clock signal,
+// so its throughput ratio is not gated — but its machine-independent
+// counters still are.
+func TestGateMinWallFloor(t *testing.T) {
+	dir := t.TempDir()
+	short := m("E13", 100)
+	short.WallSeconds = 0.008
+	short.Interactions = 300000
+	base := writeMetrics(t, dir, "base.json", []metrics{short})
+
+	// A 60% apparent drop on a sub-floor experiment passes.
+	slow := short
+	slow.InteractionsPerSec = 40
+	cur := writeMetrics(t, dir, "cur.json", []metrics{slow})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err != nil {
+		t.Fatalf("sub-noise-floor ratio was gated: %v", err)
+	}
+
+	// Counter drift on the same experiment still fails.
+	drift := slow
+	drift.Interactions = 300001
+	cur = writeMetrics(t, dir, "drift.json", []metrics{drift})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err == nil {
+		t.Fatal("counter drift passed under the noise floor")
+	}
+
+	// Raising -min-wall pulls longer experiments under the floor too.
+	long := m("E18", 100)
+	base = writeMetrics(t, dir, "base2.json", []metrics{long})
+	slow2 := long
+	slow2.InteractionsPerSec = 40
+	cur = writeMetrics(t, dir, "cur2.json", []metrics{slow2})
+	if err := run([]string{"-baseline", base, "-current", cur}, os.Stdout); err == nil {
+		t.Fatal("a gated regression passed above the floor")
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-min-wall", "2"}, os.Stdout); err != nil {
+		t.Fatalf("-min-wall=2 still gated a 1s experiment: %v", err)
 	}
 }
 

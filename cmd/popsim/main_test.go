@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunTokenBag(t *testing.T) {
 	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-seed", "3"}); err != nil {
@@ -39,8 +44,16 @@ func TestRunCountEngineEnsemble(t *testing.T) {
 }
 
 func TestRunCountEngineUnsupportedAlgorithm(t *testing.T) {
-	if err := run([]string{"-alg", "exact", "-n", "64", "-engine", "count"}); err == nil {
+	// TokenBag is the one algorithm left without a count form (the core
+	// counting protocols run on every engine since their spec port).
+	if err := run([]string{"-alg", "tokenbag", "-n", "64", "-engine", "count"}); err == nil {
 		t.Fatal("count engine accepted an algorithm without a count form")
+	}
+}
+
+func TestRunCoreProtocolCountEngine(t *testing.T) {
+	if err := run([]string{"-alg", "exact", "-n", "256", "-engine", "count", "-seed", "5"}); err != nil {
+		t.Fatalf("core protocol on the count engine failed: %v", err)
 	}
 }
 
@@ -90,4 +103,96 @@ func TestRunCapWithoutConvergenceErrors(t *testing.T) {
 	if err := run([]string{"-alg", "exact", "-n", "256", "-max", "100"}); err == nil {
 		t.Fatal("non-convergence should be reported as an error")
 	}
+}
+
+// TestGoldenTraces pins popsim's full output for one core protocol on
+// each engine at a fixed seed: engine resolution, the interaction
+// counter, the consensus output and the deterministic engine counters
+// are all machine-independent, so any drift here — a changed rule, a
+// changed sampler, a broken engine flag — surfaces in tier-1 instead
+// of only in fuzz or the scheduled bench gate.
+func TestGoldenTraces(t *testing.T) {
+	goldens := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "approximate-agent",
+			args: []string{"-alg", "approximate", "-n", "256", "-seed", "12", "-engine", "agent"},
+			want: `algorithm:    approximate
+population:   256 agents
+scheduler:    uniform
+engine:       agent
+converged:    true
+interactions: 719104
+output:       8
+estimate:     256 agents
+`,
+		},
+		{
+			name: "approximate-count",
+			args: []string{"-alg", "approximate", "-n", "256", "-seed", "12", "-engine", "count"},
+			want: `algorithm:    approximate
+population:   256 agents
+scheduler:    uniform
+engine:       count
+converged:    true
+interactions: 769024
+output:       8
+estimate:     256 agents
+delta calls:  769024
+`,
+		},
+		{
+			name: "approximate-count-batched",
+			args: []string{"-alg", "approximate", "-n", "256", "-seed", "12", "-engine", "count-batched"},
+			want: `algorithm:    approximate
+population:   256 agents
+scheduler:    uniform
+engine:       count-batched
+converged:    true
+interactions: 772608
+output:       8
+estimate:     256 agents
+delta calls:  772608
+epochs:       0 (safety-net violations 0, half-epochs reused 0, re-planned 0)
+`,
+		},
+	}
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			got, err := captureStdout(t, func() error { return run(g.args) })
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			if got != g.want {
+				t.Errorf("output drifted.\n--- got ---\n%s--- want ---\n%s", got, g.want)
+			}
+		})
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out, runErr
 }

@@ -173,9 +173,21 @@ func TestWithEngineCount(t *testing.T) {
 		t.Fatalf("log-estimate %d implausible for n=2^21", res.Output)
 	}
 
-	if _, err := popcount.Count(popcount.CountExact, 64,
+	if _, err := popcount.Count(popcount.TokenBag, 64,
 		popcount.WithEngine(popcount.EngineCount)); err == nil {
 		t.Fatal("EngineCount accepted an algorithm without a count form")
+	}
+
+	// The core counting protocols run on the count engine since their
+	// spec port; the configuration view must agree with the agent form
+	// on the answer itself.
+	res, err = popcount.Count(popcount.CountExact, 512,
+		popcount.WithEngine(popcount.EngineCount), popcount.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Output != 512 {
+		t.Fatalf("CountExact on the count engine: converged=%v output=%d, want exact 512", res.Converged, res.Output)
 	}
 
 	s, err := popcount.NewSimulation(popcount.GeometricEstimate, 1024,
@@ -186,6 +198,8 @@ func TestWithEngineCount(t *testing.T) {
 	if s.Engine() != popcount.EngineCount {
 		t.Fatalf("EngineAuto picked %v for geometric, want count", s.Engine())
 	}
+	// EngineAuto stays conservative for the core protocols: their count
+	// form exists but is not the profitable default (Spec.PreferCount).
 	s, err = popcount.NewSimulation(popcount.CountExact, 1024,
 		popcount.WithEngine(popcount.EngineAuto))
 	if err != nil {
@@ -240,9 +254,21 @@ func TestWithEngineCountBatched(t *testing.T) {
 		t.Fatalf("Engine() = %v, want count-batched", s.Engine())
 	}
 
-	if _, err := popcount.Count(popcount.CountExact, 64,
+	if _, err := popcount.Count(popcount.TokenBag, 64,
 		popcount.WithEngine(popcount.EngineCountBatched)); err == nil {
 		t.Fatal("EngineCountBatched accepted an algorithm without a count form")
+	}
+
+	// A core protocol on the public batched path end to end. 1024 is a
+	// power of two, so ⌊log₂ n⌋ = ⌈log₂ n⌉ = 10 is the only correct
+	// answer — no slack for an off-by-one in the search stage.
+	res, err = popcount.Count(popcount.Approximate, 1024,
+		popcount.WithEngine(popcount.EngineCountBatched), popcount.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Output != 10 {
+		t.Fatalf("Approximate on the batched engine: converged=%v output=%d, want exactly 10", res.Converged, res.Output)
 	}
 	if _, err := popcount.NewSimulation(popcount.GeometricEstimate, 1024,
 		popcount.WithEngine(popcount.EngineCountBatched),

@@ -223,7 +223,7 @@ func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, kind En
 		}
 	}
 	factory := func(int) sim.CountProtocol {
-		cp, _ := newCountProtocol(alg, n)
+		cp, _ := newCountProtocol(alg, n, set)
 		return cp
 	}
 	runs, err := sim.RunCountTrials(factory, trials, cfg, topt)

@@ -1,0 +1,148 @@
+package backup_test
+
+import (
+	"testing"
+
+	"popcount/internal/backup"
+	"popcount/internal/sim"
+)
+
+// TestSpecAgentMatchesApproxBitForBit pins the spec-derived agent form
+// of the approximate backup against the hand-written simulation: the
+// rule is deterministic, so equal seeds must produce identical runs
+// and identical per-agent states.
+func TestSpecAgentMatchesApproxBitForBit(t *testing.T) {
+	const n = 100
+	cfg := sim.Config{Seed: 0xB1, CheckEvery: n, MaxInteractions: int64(n) * int64(n) * 2000}
+	hand := backup.NewApprox(n)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(backup.NewApproxSpec(n))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := agent.Output(i), hand.Output(i); got != want {
+			t.Fatalf("agent %d: spec output %d, hand-written %d", i, got, want)
+		}
+	}
+	if got, want := agent.View().N(), int64(n); got != want {
+		t.Fatalf("view population %d, want %d", got, want)
+	}
+}
+
+// TestSpecAgentMatchesSparseApproxBitForBit pins the reduced-state
+// variant the same way (via outputs — the sparse protocol keeps no
+// State accessor).
+func TestSpecAgentMatchesSparseApproxBitForBit(t *testing.T) {
+	const n = 64
+	cfg := sim.Config{Seed: 0xB2, CheckEvery: n, MaxInteractions: int64(n) * int64(n) * 2000}
+	hand := backup.NewSparseApprox(n)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(backup.NewSparseApproxSpec(n))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := agent.Output(i), hand.Output(i); got != want {
+			t.Fatalf("agent %d: spec output %d, hand-written %d", i, got, want)
+		}
+	}
+}
+
+// TestSpecAgentMatchesExactBitForBit pins the exact backup spec.
+func TestSpecAgentMatchesExactBitForBit(t *testing.T) {
+	const n = 128
+	cfg := sim.Config{Seed: 0xB3, CheckEvery: n, MaxInteractions: int64(n) * int64(n) * 1000}
+	hand := backup.NewExact(n)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(backup.NewExactSpec(n))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := agent.Output(i), hand.Output(i); got != want {
+			t.Fatalf("agent %d: spec output %d, hand-written %d", i, got, want)
+		}
+	}
+}
+
+// TestBackupSpecsCountEngine runs the backup specs on the count engine
+// (exact and batched) to the Lemma 12/13 terminal configurations,
+// checking token conservation through the skip path: the approximate
+// backup conserves Σ 2^k over piles, the exact backup conserves Σ
+// unmerged tokens — both must equal n at every probe.
+func TestBackupSpecsCountEngine(t *testing.T) {
+	const n = 256
+	for _, mode := range []struct {
+		name  string
+		batch bool
+	}{{"exact", false}, {"batched", true}} {
+		e, err := sim.NewCountEngine(sim.NewSpecCount(backup.NewApproxSpec(n)),
+			sim.Config{Seed: 0xB4, CheckEvery: n, BatchSteps: mode.batch,
+				MaxInteractions: int64(n) * int64(n) * 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 5; probe++ {
+			e.Step(int64(n) * int64(n) / 4)
+			var tokens int64
+			e.Counts().ForEach(func(code uint64, cnt int64) {
+				if k := backup.DecodeApprox(code).K; k >= 0 {
+					tokens += cnt << uint(k)
+				}
+			})
+			if tokens != n {
+				t.Fatalf("approx/%s: Σ 2^k = %d after %d interactions, want %d",
+					mode.name, tokens, e.Interactions(), n)
+			}
+		}
+		res, err := e.RunToConvergence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("approx/%s: backup did not reach Lemma 12's configuration", mode.name)
+		}
+		if out, ok := e.PluralityOutput(); !ok || out != 8 {
+			t.Fatalf("approx/%s: plurality output %d (ok=%v), want ⌊log 256⌋ = 8", mode.name, out, ok)
+		}
+
+		ex, err := sim.NewCountEngine(sim.NewSpecCount(backup.NewExactSpec(n)),
+			sim.Config{Seed: 0xB5, CheckEvery: n, BatchSteps: mode.batch,
+				MaxInteractions: int64(n) * int64(n) * 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = ex.RunToConvergence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("exact/%s: backup did not converge", mode.name)
+		}
+		if out, ok := ex.PluralityOutput(); !ok || out != n {
+			t.Fatalf("exact/%s: plurality output %d (ok=%v), want %d", mode.name, out, ok, n)
+		}
+	}
+}

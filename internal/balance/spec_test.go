@@ -1,0 +1,119 @@
+package balance_test
+
+import (
+	"testing"
+
+	"popcount/internal/balance"
+	"popcount/internal/sim"
+)
+
+// TestSpecAgentMatchesPowersBitForBit pins the spec-derived powers-of-
+// two balancing form against the hand-written simulation in Lemma 8's
+// setting, excluded leader included: the Layout pins agents 0 and 1, so
+// equal seeds must produce identical runs and per-agent loads.
+func TestSpecAgentMatchesPowersBitForBit(t *testing.T) {
+	const n = 512
+	kappa := sim.Log2Floor(3 * n / 4)
+	for _, excl := range []bool{false, true} {
+		cfg := sim.Config{Seed: 0xBA1, CheckEvery: n, MaxInteractions: int64(n) * 1000}
+		hand := balance.NewPowers(n, kappa, excl)
+		handRes, err := sim.Run(hand, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent := sim.NewSpecAgent(balance.NewPowersSpec(n, kappa, excl))
+		specRes, err := sim.Run(agent, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if handRes != specRes {
+			t.Fatalf("excl=%v: results differ: hand %+v vs spec %+v", excl, handRes, specRes)
+		}
+		for i := 0; i < n; i++ {
+			if got, want := agent.Output(i), hand.Output(i); got != want {
+				t.Fatalf("excl=%v agent %d: spec load %d, hand-written %d", excl, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSpecAgentMatchesClassicalBitForBit pins the classical balancing
+// spec against the hand-written simulation from a point mass.
+func TestSpecAgentMatchesClassicalBitForBit(t *testing.T) {
+	const n = 512
+	const m = 10 * n
+	cfg := sim.Config{Seed: 0xBA2, CheckEvery: n, MaxInteractions: int64(n) * 1000}
+	hand := balance.NewClassicalPointMass(n, m)
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := sim.NewSpecAgent(balance.NewClassicalPointMassSpec(n, m))
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handRes != specRes {
+		t.Fatalf("results differ: hand %+v vs spec %+v", handRes, specRes)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := agent.Output(i), hand.Output(i); got != want {
+			t.Fatalf("agent %d: spec load %d, hand-written %d", i, got, want)
+		}
+	}
+}
+
+// TestBalanceSpecsCountEngine runs both balancing specs on the count
+// engines and checks the conserved quantities over the configuration
+// view: Σ 2^k tokens for powers-of-two (and Lemma 8's terminal
+// condition), Σ loads for classical (and discrepancy ≤ 2).
+func TestBalanceSpecsCountEngine(t *testing.T) {
+	const n = 4096
+	kappa := sim.Log2Floor(3 * n / 4)
+	for _, mode := range []struct {
+		name  string
+		batch bool
+	}{{"exact", false}, {"batched", true}} {
+		e, err := sim.NewCountEngine(sim.NewSpecCount(balance.NewPowersSpec(n, kappa, true)),
+			sim.Config{Seed: 0xBA3, CheckEvery: n, BatchSteps: mode.batch,
+				MaxInteractions: int64(n) * 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RunToConvergence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("powers/%s: did not reach max load 1", mode.name)
+		}
+		var tokens int64
+		e.Counts().ForEach(func(code uint64, cnt int64) {
+			if k := int64(int8(code & 0x3f)); code&0x40 == 0 && k >= 1 {
+				tokens += cnt << uint(k-1)
+			}
+		})
+		if want := int64(1) << uint(kappa); tokens != want {
+			t.Fatalf("powers/%s: Σ 2^k = %d, want %d", mode.name, tokens, want)
+		}
+
+		c, err := sim.NewCountEngine(sim.NewSpecCount(balance.NewClassicalPointMassSpec(n, 10*n)),
+			sim.Config{Seed: 0xBA4, CheckEvery: n, BatchSteps: mode.batch,
+				MaxInteractions: int64(n) * 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = c.RunToConvergence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("classical/%s: discrepancy did not reach ≤ 2", mode.name)
+		}
+		var sum int64
+		c.Counts().ForEach(func(code uint64, cnt int64) { sum += int64(code) * cnt })
+		if sum != int64(10*n) {
+			t.Fatalf("classical/%s: Σ loads = %d, want %d", mode.name, sum, 10*n)
+		}
+	}
+}

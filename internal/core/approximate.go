@@ -36,32 +36,47 @@ type approxAgent struct {
 // using powers-of-two load balancing to test whether 2^k exceeds ¾·n;
 // Stage 3 broadcasts the leader's final k to every agent.
 type Approximate struct {
+	approxRule
+	ag []approxAgent
+}
+
+// approxRule is the n-independent part of protocol Approximate: the
+// configuration and sub-protocol wiring that defines the pairwise
+// transition rule. The agent-array form (Approximate) applies it to an
+// indexed array; the transition spec (NewApproximateSpec) applies it to
+// decoded state pairs — one rule, every engine form.
+type approxRule struct {
 	cfg   Config
 	clk   clock.Clock
 	elect leader.Election
-	ag    []approxAgent
 }
 
-// NewApproximate returns a fresh instance of protocol Approximate.
-func NewApproximate(cfg Config) *Approximate {
+// newApproxRule wires the rule for cfg (with defaults applied).
+func newApproxRule(cfg Config) approxRule {
 	cfg = cfg.withDefaults()
 	if cfg.N < 2 {
 		panic("core: population must have at least 2 agents")
 	}
 	c := clock.New(cfg.ClockM)
-	p := &Approximate{
-		cfg:   cfg,
-		clk:   c,
-		elect: leader.NewElection(c, cfg.OuterM),
-		ag:    make([]approxAgent, cfg.N),
+	return approxRule{cfg: cfg, clk: c, elect: leader.NewElection(c, cfg.OuterM)}
+}
+
+// initAgent returns the initial per-agent state.
+func (p *approxRule) initAgent() approxAgent {
+	return approxAgent{
+		jnt: junta.InitState(),
+		clk: p.clk.Init(),
+		led: p.elect.Init(),
+		k:   -1,
 	}
+}
+
+// NewApproximate returns a fresh instance of protocol Approximate.
+func NewApproximate(cfg Config) *Approximate {
+	p := &Approximate{approxRule: newApproxRule(cfg)}
+	p.ag = make([]approxAgent, p.cfg.N)
 	for i := range p.ag {
-		p.ag[i] = approxAgent{
-			jnt: junta.InitState(),
-			clk: c.Init(),
-			led: p.elect.Init(),
-			k:   -1,
-		}
+		p.ag[i] = p.initAgent()
 	}
 	return p
 }
@@ -72,8 +87,12 @@ func (p *Approximate) N() int { return p.cfg.N }
 // Interact applies one interaction of protocol Approximate (Algorithm 2)
 // with initiator u and responder v.
 func (p *Approximate) Interact(u, v int, r *rng.Rand) {
-	a, b := &p.ag[u], &p.ag[v]
+	p.stepPair(&p.ag[u], &p.ag[v], r)
+}
 
+// stepPair applies one interaction of the rule to the pair (a, b) with
+// initiator a.
+func (p *approxRule) stepPair(a, b *approxAgent, r *rng.Rand) {
 	// Line 3: junta process, with re-initialization (line 1–2) of every
 	// agent whose level changed. The paper resets an agent's phase clock,
 	// leader election and Search Protocol state when it encounters a
@@ -143,7 +162,7 @@ func (p *Approximate) InteractBatch(count int64, sched sim.Scheduler, r *rng.Ran
 // desynchronization a cold reset would cause on the extended circular
 // clock (see package clock). A climbing agent (first on its new level)
 // starts from a fresh clock.
-func (p *Approximate) reinit(w, q *approxAgent, qPreLevel uint8) {
+func (p *approxRule) reinit(w, q *approxAgent, qPreLevel uint8) {
 	if qPreLevel >= w.jnt.Level {
 		w.clk = q.clk
 		w.clk.FirstTick = false
@@ -157,13 +176,13 @@ func (p *Approximate) reinit(w, q *approxAgent, qPreLevel uint8) {
 
 // inSearch reports whether agent w currently executes the Search Protocol
 // (Stage 2).
-func (p *Approximate) inSearch(w *approxAgent) bool {
+func (p *approxRule) inSearch(w *approxAgent) bool {
 	return w.led.Done && !w.searchDone
 }
 
 // searchStep applies one interaction of the Search Protocol (Algorithm 1)
 // with initiator a and responder b.
-func (p *Approximate) searchStep(a, b *approxAgent) {
+func (p *approxRule) searchStep(a, b *approxAgent) {
 	p.searchBoundary(a)
 	p.searchBoundary(b)
 	p.searchLeaderActions(a, b)
@@ -198,7 +217,7 @@ func (p *Approximate) searchStep(a, b *approxAgent) {
 // tick, when the recipient may still be lingering in phase 0 — a
 // per-interaction reset would then destroy the injected tokens, the
 // round would silently fail, and the search would overshoot ⌈log n⌉.
-func (p *Approximate) searchBoundary(w *approxAgent) {
+func (p *approxRule) searchBoundary(w *approxAgent) {
 	if !p.inSearch(w) || w.led.IsLeader || !w.clk.FirstTick {
 		return
 	}
@@ -209,7 +228,7 @@ func (p *Approximate) searchBoundary(w *approxAgent) {
 
 // searchLeaderActions applies the leader's Search Protocol rules
 // (Algorithm 1, lines 1–8) for endpoint w with partner q.
-func (p *Approximate) searchLeaderActions(w, q *approxAgent) {
+func (p *approxRule) searchLeaderActions(w, q *approxAgent) {
 	if !w.led.IsLeader || !p.inSearch(w) || !w.clk.FirstTick {
 		return
 	}

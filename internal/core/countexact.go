@@ -46,31 +46,45 @@ type exactAgent struct {
 // balances them, multiplies all loads by 2^k and balances again, after
 // which every agent computes n exactly as ⌊2^8·2^(2k)/ℓ⌉.
 type CountExact struct {
+	exactRule
+	ag []exactAgent
+}
+
+// exactRule is the n-independent part of protocol CountExact: the
+// configuration and sub-protocol wiring that defines the pairwise
+// transition rule, shared by the agent-array form and the transition
+// spec (NewCountExactSpec).
+type exactRule struct {
 	cfg   Config
 	clk   clock.Clock
 	elect leader.FastElection
-	ag    []exactAgent
 }
 
-// NewCountExact returns a fresh instance of protocol CountExact.
-func NewCountExact(cfg Config) *CountExact {
+// newExactRule wires the rule for cfg (with defaults applied).
+func newExactRule(cfg Config) exactRule {
 	cfg = cfg.withDefaults()
 	if cfg.N < 2 {
 		panic("core: population must have at least 2 agents")
 	}
 	c := clock.New(cfg.ClockM)
-	p := &CountExact{
-		cfg:   cfg,
-		clk:   c,
-		elect: leader.NewFastElection(c, cfg.FastRounds),
-		ag:    make([]exactAgent, cfg.N),
+	return exactRule{cfg: cfg, clk: c, elect: leader.NewFastElection(c, cfg.FastRounds)}
+}
+
+// initAgent returns the initial per-agent state.
+func (p *exactRule) initAgent() exactAgent {
+	return exactAgent{
+		jnt: junta.InitState(),
+		clk: p.clk.Init(),
+		led: p.elect.Init(),
 	}
+}
+
+// NewCountExact returns a fresh instance of protocol CountExact.
+func NewCountExact(cfg Config) *CountExact {
+	p := &CountExact{exactRule: newExactRule(cfg)}
+	p.ag = make([]exactAgent, p.cfg.N)
 	for i := range p.ag {
-		p.ag[i] = exactAgent{
-			jnt: junta.InitState(),
-			clk: c.Init(),
-			led: p.elect.Init(),
-		}
+		p.ag[i] = p.initAgent()
 	}
 	return p
 }
@@ -81,7 +95,7 @@ func (p *CountExact) N() int { return p.cfg.N }
 // injectExp returns the per-phase load-explosion exponent e for an agent
 // on the given junta level: the phase multiplier is 2^e ≈ n^η. This is
 // the paper's 2^(level−8) rescaled by Config.Shift (see DESIGN.md).
-func (p *CountExact) injectExp(level uint8) int32 {
+func (p *exactRule) injectExp(level uint8) int32 {
 	e := int32(1) << level >> uint(p.cfg.Shift)
 	if e < 1 {
 		e = 1
@@ -114,8 +128,12 @@ func (p *CountExact) InteractBatch(count int64, sched sim.Scheduler, r *rng.Rand
 // Interact applies one interaction of protocol CountExact (Algorithm 3)
 // with initiator u and responder v.
 func (p *CountExact) Interact(u, v int, r *rng.Rand) {
-	a, b := &p.ag[u], &p.ag[v]
+	p.stepPair(&p.ag[u], &p.ag[v], r)
+}
 
+// stepPair applies one interaction of the rule to the pair (a, b) with
+// initiator a.
+func (p *exactRule) stepPair(a, b *exactAgent, r *rng.Rand) {
 	// Line 3: junta process, with re-initialization (line 1–2) of every
 	// agent whose level changed — see the corresponding comment in
 	// Approximate.Interact for why climbers reset too.
@@ -143,7 +161,7 @@ func (p *CountExact) Interact(u, v int, r *rng.Rand) {
 	p.refineStep(a, b)
 }
 
-func (p *CountExact) reinit(w, q *exactAgent, qPreLevel uint8) {
+func (p *exactRule) reinit(w, q *exactAgent, qPreLevel uint8) {
 	if qPreLevel >= w.jnt.Level {
 		w.clk = q.clk
 		w.clk.FirstTick = false
@@ -158,11 +176,11 @@ func (p *CountExact) reinit(w, q *exactAgent, qPreLevel uint8) {
 
 // inApx reports whether agent w currently executes the Approximation
 // Stage.
-func (p *CountExact) inApx(w *exactAgent) bool { return w.led.Done && !w.apxDone }
+func (p *exactRule) inApx(w *exactAgent) bool { return w.led.Done && !w.apxDone }
 
 // apxStep applies one interaction of the Approximation Stage
 // (Algorithm 4) to the pair (a, b).
-func (p *CountExact) apxStep(a, b *exactAgent) {
+func (p *exactRule) apxStep(a, b *exactAgent) {
 	p.apxBoundary(a)
 	p.apxBoundary(b)
 
@@ -183,7 +201,7 @@ func (p *CountExact) apxStep(a, b *exactAgent) {
 
 // apxBoundary applies the Approximation Stage's first-tick rules
 // (Algorithm 4, lines 1–7) to one endpoint.
-func (p *CountExact) apxBoundary(w *exactAgent) {
+func (p *exactRule) apxBoundary(w *exactAgent) {
 	if !p.inApx(w) || !w.clk.FirstTick {
 		return
 	}
@@ -220,7 +238,7 @@ func (p *CountExact) apxBoundary(w *exactAgent) {
 // ApxDone). The load is cleared exactly once, on entry — this realizes
 // Algorithm 5's phase-0 initialization without the token-leak hazard of
 // re-zeroing during the phase transition window.
-func (p *CountExact) enterRefinement(w *exactAgent, anchor uint8) {
+func (p *exactRule) enterRefinement(w *exactAgent, anchor uint8) {
 	w.apxDone = true
 	if w.refEntered {
 		return
@@ -234,11 +252,11 @@ func (p *CountExact) enterRefinement(w *exactAgent, anchor uint8) {
 }
 
 // inRef reports whether agent w currently executes the Refinement Stage.
-func (p *CountExact) inRef(w *exactAgent) bool { return w.led.Done && w.apxDone }
+func (p *exactRule) inRef(w *exactAgent) bool { return w.led.Done && w.apxDone }
 
 // refineStep applies one interaction of the Refinement Stage
 // (Algorithm 5) to the pair (a, b).
-func (p *CountExact) refineStep(a, b *exactAgent) {
+func (p *exactRule) refineStep(a, b *exactAgent) {
 	p.refBoundary(a)
 	p.refBoundary(b)
 	if !p.inRef(a) || !p.inRef(b) {
@@ -266,7 +284,7 @@ func (p *CountExact) refineStep(a, b *exactAgent) {
 
 // refBoundary applies the Refinement Stage's first-tick rules
 // (Algorithm 5, lines 3–7) to one endpoint.
-func (p *CountExact) refBoundary(w *exactAgent) {
+func (p *exactRule) refBoundary(w *exactAgent) {
 	if !p.inRef(w) || !w.clk.FirstTick {
 		return
 	}

@@ -1,0 +1,136 @@
+// Bit-for-bit conformance of the core transition specs against the
+// hand-written composed protocols. The spec-derived agent adapter runs
+// the same stepPair on the same engine pair stream with the same coin
+// consumption, so every run must be IDENTICAL — results, outputs,
+// error flags — not merely close. This is the strongest pin on the
+// spec port: any divergence in the rule repackaging, the state
+// canonicalization (a field zeroed that was actually still read), or
+// the coin-claim predicates shows up as the first differing agent.
+package core_test
+
+import (
+	"testing"
+
+	"popcount/internal/core"
+	"popcount/internal/sim"
+)
+
+// runBoth drives the hand-written protocol and the spec-derived agent
+// adapter under identical engine configs and pins results and all
+// per-agent outputs.
+func runBoth(t *testing.T, name string, n int, hand sim.Protocol, agent *sim.SpecAgent, cfg sim.Config) {
+	t.Helper()
+	handRes, err := sim.Run(hand, cfg)
+	if err != nil {
+		t.Fatalf("%s hand-written run: %v", name, err)
+	}
+	specRes, err := sim.Run(agent, cfg)
+	if err != nil {
+		t.Fatalf("%s spec run: %v", name, err)
+	}
+	if handRes != specRes {
+		t.Fatalf("%s results differ: hand %+v vs spec %+v", name, handRes, specRes)
+	}
+	ho, ok := hand.(sim.Outputter)
+	if !ok {
+		t.Fatalf("%s hand-written protocol has no outputs", name)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := agent.Output(i), ho.Output(i); got != want {
+			t.Fatalf("%s agent %d: spec output %d, hand-written output %d", name, i, got, want)
+		}
+	}
+}
+
+func TestSpecAgentMatchesApproximateBitForBit(t *testing.T) {
+	const n = 300
+	cfg := sim.Config{Seed: 0xC0A1, CheckEvery: n}
+	spec := core.NewApproximateSpec(core.Config{N: n})
+	runBoth(t, "approximate", n,
+		core.NewApproximate(core.Config{N: n}), sim.NewSpecAgent(spec.Spec), cfg)
+}
+
+func TestSpecAgentMatchesCountExactBitForBit(t *testing.T) {
+	const n = 300
+	cfg := sim.Config{Seed: 0xC0A2, CheckEvery: n}
+	spec := core.NewCountExactSpec(core.Config{N: n})
+	runBoth(t, "exact", n,
+		core.NewCountExact(core.Config{N: n}), sim.NewSpecAgent(spec.Spec), cfg)
+}
+
+// The stable variants are pinned on the clean path (run to convergence)
+// and on the fault-injected path (fixed interaction budget sized to reach error detection — backup
+// convergence is Θ(n² log² n), so the fault pin compares mid-backup
+// states instead of waiting it out). The Errored probe must agree too.
+func TestSpecAgentMatchesStableApproximateBitForBit(t *testing.T) {
+	const n = 256
+	for _, fault := range []bool{false, true} {
+		cfg := sim.Config{Seed: 0xC0A3, CheckEvery: n}
+		if fault {
+			cfg.MaxInteractions = 4_000_000
+		}
+		hand := core.NewStableApproximate(core.Config{N: n})
+		hand.FaultInjection = fault
+		agent := sim.NewSpecAgent(core.NewStableApproximateSpec(core.Config{N: n}, fault).Spec)
+		runBoth(t, "stable-approximate", n, hand, agent, cfg)
+		if agent.Errored() != hand.Errored() {
+			t.Fatalf("fault=%v: spec Errored %v, hand-written %v", fault, agent.Errored(), hand.Errored())
+		}
+		if fault && !agent.Errored() {
+			t.Fatal("fault injection did not trip error detection within the budget")
+		}
+	}
+}
+
+func TestSpecAgentMatchesStableCountExactBitForBit(t *testing.T) {
+	const n = 256
+	for _, fault := range []bool{false, true} {
+		cfg := sim.Config{Seed: 0xC0A4, CheckEvery: n}
+		if fault {
+			cfg.MaxInteractions = 4_000_000
+		}
+		hand := core.NewStableCountExact(core.Config{N: n})
+		hand.FaultInjection = fault
+		agent := sim.NewSpecAgent(core.NewStableCountExactSpec(core.Config{N: n}, fault).Spec)
+		runBoth(t, "stable-exact", n, hand, agent, cfg)
+		if agent.Errored() != hand.Errored() {
+			t.Fatalf("fault=%v: spec Errored %v, hand-written %v", fault, agent.Errored(), hand.Errored())
+		}
+		if fault && !agent.Errored() {
+			t.Fatal("fault injection did not trip error detection within the budget")
+		}
+	}
+}
+
+// TestSpecViewMetricsMatch pins the configuration-level metrics
+// decoders against the agent-array originals after a converged run.
+func TestSpecViewMetricsMatch(t *testing.T) {
+	const n = 300
+	cfg := sim.Config{Seed: 0xC0A5, CheckEvery: n}
+
+	hand := core.NewApproximate(core.Config{N: n})
+	if _, err := sim.Run(hand, cfg); err != nil {
+		t.Fatal(err)
+	}
+	spec := core.NewApproximateSpec(core.Config{N: n})
+	agent := sim.NewSpecAgent(spec.Spec)
+	if _, err := sim.Run(agent, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := spec.Metrics(agent.View()), hand.Metrics(); got != want {
+		t.Fatalf("approximate metrics: spec %+v, hand-written %+v", got, want)
+	}
+
+	handE := core.NewCountExact(core.Config{N: n})
+	if _, err := sim.Run(handE, cfg); err != nil {
+		t.Fatal(err)
+	}
+	specE := core.NewCountExactSpec(core.Config{N: n})
+	agentE := sim.NewSpecAgent(specE.Spec)
+	if _, err := sim.Run(agentE, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if gotE, wantE := specE.Metrics(agentE.View()), handE.Metrics(); gotE != wantE {
+		t.Fatalf("exact metrics: spec %+v, hand-written %+v", gotE, wantE)
+	}
+}

@@ -52,37 +52,51 @@ type stableAgent struct {
 // to a fresh instance of the slow backup protocol, which computes
 // ⌊log n⌋ with probability 1.
 type StableApproximate struct {
+	stableApproxRule
+	ag []stableAgent
+}
+
+// stableApproxRule is the n-independent part of StableApproximate: the
+// configuration and sub-protocol wiring defining the pairwise rule,
+// shared by the agent-array form and the transition spec
+// (NewStableApproximateSpec).
+type stableApproxRule struct {
 	cfg   Config
 	clk   clock.Clock
 	elect leader.Election
-	ag    []stableAgent
 
 	// FaultInjection corrupts the leader's k when the search concludes,
 	// forcing the error-detection → backup path (experiment E9).
 	FaultInjection bool
 }
 
-// NewStableApproximate returns a fresh instance of the stable protocol.
-func NewStableApproximate(cfg Config) *StableApproximate {
+// newStableApproxRule wires the rule for cfg (with defaults applied).
+func newStableApproxRule(cfg Config) stableApproxRule {
 	cfg = cfg.withDefaults()
 	if cfg.N < 2 {
 		panic("core: population must have at least 2 agents")
 	}
 	c := clock.New(cfg.ClockM)
-	p := &StableApproximate{
-		cfg:   cfg,
-		clk:   c,
-		elect: leader.NewElection(c, cfg.OuterM),
-		ag:    make([]stableAgent, cfg.N),
+	return stableApproxRule{cfg: cfg, clk: c, elect: leader.NewElection(c, cfg.OuterM)}
+}
+
+// initAgent returns the initial per-agent state.
+func (p *stableApproxRule) initAgent() stableAgent {
+	return stableAgent{
+		jnt: junta.InitState(),
+		clk: p.clk.Init(),
+		led: p.elect.Init(),
+		k:   -1,
+		bk:  backup.InitApprox(),
 	}
+}
+
+// NewStableApproximate returns a fresh instance of the stable protocol.
+func NewStableApproximate(cfg Config) *StableApproximate {
+	p := &StableApproximate{stableApproxRule: newStableApproxRule(cfg)}
+	p.ag = make([]stableAgent, p.cfg.N)
 	for i := range p.ag {
-		p.ag[i] = stableAgent{
-			jnt: junta.InitState(),
-			clk: c.Init(),
-			led: p.elect.Init(),
-			k:   -1,
-			bk:  backup.InitApprox(),
-		}
+		p.ag[i] = p.initAgent()
 	}
 	return p
 }
@@ -92,8 +106,12 @@ func (p *StableApproximate) N() int { return p.cfg.N }
 
 // Interact applies one interaction of the stable protocol.
 func (p *StableApproximate) Interact(u, v int, r *rng.Rand) {
-	a, b := &p.ag[u], &p.ag[v]
+	p.stepPair(&p.ag[u], &p.ag[v], r)
+}
 
+// stepPair applies one interaction of the rule to the pair (a, b) with
+// initiator a.
+func (p *stableApproxRule) stepPair(a, b *stableAgent, r *rng.Rand) {
 	// Error flags spread by one-way epidemics; an agent switches to a
 	// fresh backup instance the moment it learns of an error.
 	if a.errFlag != b.errFlag {
@@ -154,7 +172,7 @@ func (p *StableApproximate) Interact(u, v int, r *rng.Rand) {
 	p.edStep(a, b)
 }
 
-func (p *StableApproximate) reinit(w, q *stableAgent, qPreLevel uint8) {
+func (p *stableApproxRule) reinit(w, q *stableAgent, qPreLevel uint8) {
 	if qPreLevel >= w.jnt.Level {
 		w.clk = q.clk
 		w.clk.FirstTick = false
@@ -170,7 +188,7 @@ func (p *StableApproximate) reinit(w, q *stableAgent, qPreLevel uint8) {
 // raise sets the error flag and starts the fresh backup instance
 // (Appendix B: the agent ignores all of its previous computations and
 // executes a new instance of the backup protocol).
-func (p *StableApproximate) raise(w *stableAgent) {
+func (p *stableApproxRule) raise(w *stableAgent) {
 	if w.errFlag {
 		return
 	}
@@ -181,7 +199,7 @@ func (p *StableApproximate) raise(w *stableAgent) {
 
 // bkActive reports whether agent w currently executes the backup
 // protocol: instance 0 until leaderDone, instance 1 after an error.
-func (p *StableApproximate) bkActive(w *stableAgent) bool {
+func (p *stableApproxRule) bkActive(w *stableAgent) bool {
 	if w.errFlag {
 		return true
 	}
@@ -189,13 +207,13 @@ func (p *StableApproximate) bkActive(w *stableAgent) bool {
 }
 
 // inSearch reports whether agent w currently executes the Search Protocol.
-func (p *StableApproximate) inSearch(w *stableAgent) bool {
+func (p *stableApproxRule) inSearch(w *stableAgent) bool {
 	return w.led.Done && !w.searchDone && !w.errFlag
 }
 
 // searchStep is the Search Protocol step (Algorithm 1), identical to
 // Approximate's.
-func (p *StableApproximate) searchStep(a, b *stableAgent) {
+func (p *stableApproxRule) searchStep(a, b *stableAgent) {
 	p.searchBoundary(a)
 	p.searchBoundary(b)
 	p.searchLeaderActions(a, b)
@@ -218,7 +236,7 @@ func (p *StableApproximate) searchStep(a, b *stableAgent) {
 // searchBoundary resets a non-leader's k once at phase-0 entry; see the
 // corresponding comment in Approximate.searchBoundary for why the reset
 // must not repeat throughout phase 0.
-func (p *StableApproximate) searchBoundary(w *stableAgent) {
+func (p *stableApproxRule) searchBoundary(w *stableAgent) {
 	if !p.inSearch(w) || w.led.IsLeader || !w.clk.FirstTick {
 		return
 	}
@@ -227,7 +245,7 @@ func (p *StableApproximate) searchBoundary(w *stableAgent) {
 	}
 }
 
-func (p *StableApproximate) searchLeaderActions(w, q *stableAgent) {
+func (p *stableApproxRule) searchLeaderActions(w, q *stableAgent) {
 	if !w.led.IsLeader || !p.inSearch(w) || !w.clk.FirstTick {
 		return
 	}
@@ -266,13 +284,13 @@ func (p *StableApproximate) searchLeaderActions(w, q *stableAgent) {
 
 // inED reports whether agent w currently executes the Error Detection
 // protocol.
-func (p *StableApproximate) inED(w *stableAgent) bool {
+func (p *stableApproxRule) inED(w *stableAgent) bool {
 	return w.led.Done && w.searchDone && !w.errFlag
 }
 
 // edStep applies one interaction of the ErrorDetection protocol
 // (Algorithm 7) to the pair (a, b).
-func (p *StableApproximate) edStep(a, b *stableAgent) {
+func (p *stableApproxRule) edStep(a, b *stableAgent) {
 	// Line 1–2: an agent entering error detection resets its state; the
 	// synchronized anchor travels with the searchDone infection.
 	if p.inED(a) && !p.inED(b) && !b.errFlag && b.led.Done {
@@ -334,7 +352,7 @@ func (p *StableApproximate) edStep(a, b *stableAgent) {
 // enterED moves agent w into the Error Detection stage (Algorithm 7,
 // lines 1–2): non-leaders clear k so the stage's powers-of-two balancing
 // starts from empty agents.
-func (p *StableApproximate) enterED(w *stableAgent, anchor uint8) {
+func (p *stableApproxRule) enterED(w *stableAgent, anchor uint8) {
 	w.searchDone = true
 	w.edAnchor = anchor
 	w.edPhase = 0
@@ -346,7 +364,7 @@ func (p *StableApproximate) enterED(w *stableAgent, anchor uint8) {
 
 // edBoundary applies the Error Detection first-tick rules to endpoint w
 // with partner q, and maintains the agent's phase′ counter.
-func (p *StableApproximate) edBoundary(w, q *stableAgent) {
+func (p *stableApproxRule) edBoundary(w, q *stableAgent) {
 	if w.frozen {
 		return
 	}

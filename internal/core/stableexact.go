@@ -43,36 +43,49 @@ type stableExactAgent struct {
 // switches the population to a fresh instance of the exact backup
 // protocol (Appendix C.2), which outputs n with probability 1.
 type StableCountExact struct {
+	stableExactRule
+	ag []stableExactAgent
+}
+
+// stableExactRule is the n-independent part of StableCountExact,
+// shared by the agent-array form and the transition spec
+// (NewStableCountExactSpec).
+type stableExactRule struct {
 	cfg   Config
 	clk   clock.Clock
 	elect leader.FastElection
-	ag    []stableExactAgent
 
 	// FaultInjection corrupts the leader's approximation k when the
 	// Approximation Stage concludes, forcing the error path.
 	FaultInjection bool
 }
 
-// NewStableCountExact returns a fresh instance of the stable protocol.
-func NewStableCountExact(cfg Config) *StableCountExact {
+// newStableExactRule wires the rule for cfg (with defaults applied).
+func newStableExactRule(cfg Config) stableExactRule {
 	cfg = cfg.withDefaults()
 	if cfg.N < 2 {
 		panic("core: population must have at least 2 agents")
 	}
 	c := clock.New(cfg.ClockM)
-	p := &StableCountExact{
-		cfg:   cfg,
-		clk:   c,
-		elect: leader.NewFastElection(c, cfg.FastRounds),
-		ag:    make([]stableExactAgent, cfg.N),
+	return stableExactRule{cfg: cfg, clk: c, elect: leader.NewFastElection(c, cfg.FastRounds)}
+}
+
+// initAgent returns the initial per-agent state.
+func (p *stableExactRule) initAgent() stableExactAgent {
+	return stableExactAgent{
+		jnt: junta.InitState(),
+		clk: p.clk.Init(),
+		led: p.elect.Init(),
+		bk:  backup.InitExact(),
 	}
+}
+
+// NewStableCountExact returns a fresh instance of the stable protocol.
+func NewStableCountExact(cfg Config) *StableCountExact {
+	p := &StableCountExact{stableExactRule: newStableExactRule(cfg)}
+	p.ag = make([]stableExactAgent, p.cfg.N)
 	for i := range p.ag {
-		p.ag[i] = stableExactAgent{
-			jnt: junta.InitState(),
-			clk: c.Init(),
-			led: p.elect.Init(),
-			bk:  backup.InitExact(),
-		}
+		p.ag[i] = p.initAgent()
 	}
 	return p
 }
@@ -80,7 +93,7 @@ func NewStableCountExact(cfg Config) *StableCountExact {
 // N returns the population size.
 func (p *StableCountExact) N() int { return p.cfg.N }
 
-func (p *StableCountExact) injectExp(level uint8) int32 {
+func (p *stableExactRule) injectExp(level uint8) int32 {
 	e := int32(1) << level >> uint(p.cfg.Shift)
 	if e < 1 {
 		e = 1
@@ -93,8 +106,12 @@ func (p *StableCountExact) injectExp(level uint8) int32 {
 
 // Interact applies one interaction of the stable protocol.
 func (p *StableCountExact) Interact(u, v int, r *rng.Rand) {
-	a, b := &p.ag[u], &p.ag[v]
+	p.stepPair(&p.ag[u], &p.ag[v], r)
+}
 
+// stepPair applies one interaction of the rule to the pair (a, b) with
+// initiator a.
+func (p *stableExactRule) stepPair(a, b *stableExactAgent, r *rng.Rand) {
 	// Error flags spread by one-way epidemics.
 	if a.errFlag != b.errFlag {
 		if a.errFlag {
@@ -151,7 +168,7 @@ func (p *StableCountExact) Interact(u, v int, r *rng.Rand) {
 	p.refineStep(a, b)
 }
 
-func (p *StableCountExact) reinit(w, q *stableExactAgent, qPreLevel uint8) {
+func (p *stableExactRule) reinit(w, q *stableExactAgent, qPreLevel uint8) {
 	if qPreLevel >= w.jnt.Level {
 		w.clk = q.clk
 		w.clk.FirstTick = false
@@ -165,7 +182,7 @@ func (p *StableCountExact) reinit(w, q *stableExactAgent, qPreLevel uint8) {
 	w.frozen = false
 }
 
-func (p *StableCountExact) raise(w *stableExactAgent) {
+func (p *stableExactRule) raise(w *stableExactAgent) {
 	if w.errFlag {
 		return
 	}
@@ -174,18 +191,18 @@ func (p *StableCountExact) raise(w *stableExactAgent) {
 	w.bkInstance = 1
 }
 
-func (p *StableCountExact) bkActive(w *stableExactAgent) bool {
+func (p *stableExactRule) bkActive(w *stableExactAgent) bool {
 	if w.errFlag {
 		return true
 	}
 	return !w.led.Done
 }
 
-func (p *StableCountExact) inApx(w *stableExactAgent) bool {
+func (p *stableExactRule) inApx(w *stableExactAgent) bool {
 	return w.led.Done && !w.apxDone && !w.errFlag
 }
 
-func (p *StableCountExact) apxStep(a, b *stableExactAgent) {
+func (p *stableExactRule) apxStep(a, b *stableExactAgent) {
 	p.apxBoundary(a)
 	p.apxBoundary(b)
 	if p.inApx(a) && p.inApx(b) {
@@ -198,7 +215,7 @@ func (p *StableCountExact) apxStep(a, b *stableExactAgent) {
 	}
 }
 
-func (p *StableCountExact) apxBoundary(w *stableExactAgent) {
+func (p *stableExactRule) apxBoundary(w *stableExactAgent) {
 	if !p.inApx(w) || !w.clk.FirstTick {
 		return
 	}
@@ -233,7 +250,7 @@ func (p *StableCountExact) apxBoundary(w *stableExactAgent) {
 	}
 }
 
-func (p *StableCountExact) enterRefinement(w *stableExactAgent, anchor uint8) {
+func (p *stableExactRule) enterRefinement(w *stableExactAgent, anchor uint8) {
 	w.apxDone = true
 	if w.refEntered {
 		return
@@ -246,11 +263,11 @@ func (p *StableCountExact) enterRefinement(w *stableExactAgent, anchor uint8) {
 	}
 }
 
-func (p *StableCountExact) inRef(w *stableExactAgent) bool {
+func (p *stableExactRule) inRef(w *stableExactAgent) bool {
 	return w.led.Done && w.apxDone && !w.errFlag
 }
 
-func (p *StableCountExact) refineStep(a, b *stableExactAgent) {
+func (p *stableExactRule) refineStep(a, b *stableExactAgent) {
 	p.refBoundary(a)
 	p.refBoundary(b)
 	if !p.inRef(a) || !p.inRef(b) {
@@ -292,7 +309,7 @@ func (p *StableCountExact) refineStep(a, b *stableExactAgent) {
 	}
 }
 
-func (p *StableCountExact) refBoundary(w *stableExactAgent) {
+func (p *stableExactRule) refBoundary(w *stableExactAgent) {
 	if !p.inRef(w) || !w.clk.FirstTick || w.frozen {
 		return
 	}

@@ -58,6 +58,17 @@ func E19BatchedEngine(o Options) Table {
 			row{"geometric", true, 1e8},
 			row{"geometric", true, 1e9},
 		)
+		if len(o.Sizes) == 0 {
+			// The headline of the core-protocol spec port: the full
+			// composed Approximate — junta, phase clock, slow leader
+			// election, search, broadcast — batched over its interned
+			// configuration to n = 10⁸ (Θ(n log² n) ≈ 3·10¹²
+			// interactions in minutes).
+			rows = append(rows,
+				row{"approximate", true, 1e6},
+				row{"approximate", true, 1e8},
+			)
+		}
 	}
 
 	for _, rw := range rows {

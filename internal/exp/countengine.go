@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"popcount/internal/backup"
+	"popcount/internal/balance"
 	"popcount/internal/baseline"
 	"popcount/internal/clock"
+	"popcount/internal/core"
 	"popcount/internal/epidemic"
 	"popcount/internal/junta"
 	"popcount/internal/leader"
@@ -59,6 +62,20 @@ func E18CountEngine(o Options) Table {
 			)
 		}
 		rows = append(rows, row{"leader", "agent", 1e4}, row{"leader", "count", 1e4})
+		if len(o.Sizes) == 0 {
+			// The spec ports of this PR: powers-of-two balancing (skip
+			// path; Lemma 8's Θ(n log n) run collapses to ~n splits) and
+			// the exact backup (Θ(n² log n) collapses to ~n merges plus
+			// broadcasts) scale to sizes their agent forms cannot touch.
+			// The backup stops at n = 10⁵: its merge chain discovers ~2n
+			// distinct count values, and the skip path's no-op adjacency
+			// is O(discovered²) to build — the quadratic wall past which
+			// the configuration view stops paying for this protocol.
+			rows = append(rows,
+				row{"powers", "count", 1e6}, row{"powers", "count", 1e8},
+				row{"backup-exact", "count", 1e4}, row{"backup-exact", "count", 1e5},
+			)
+		}
 	}
 
 	for _, rw := range rows {
@@ -69,6 +86,13 @@ func E18CountEngine(o Options) Table {
 		cfg := sim.Config{Seed: o.Seed + uint64(rw.n), CheckEvery: int64(rw.n) / 4}
 		if rw.proto == "leader" {
 			cfg.CheckEvery = int64(rw.n)
+		}
+		if rw.proto == "backup-exact" {
+			// Lemma 13 needs Θ(n² log n) interactions — beyond the
+			// engine's generous n·polylog default cap. The skip path
+			// makes the horizon cheap regardless (the run is ~n merges
+			// plus broadcasts).
+			cfg.MaxInteractions = int64(rw.n) * int64(rw.n) * 1000
 		}
 		runEngineRows(&tbl, rw.proto, rw.engine, rw.n, trials, cfg, false)
 	}
@@ -117,8 +141,9 @@ func runEngineRows(tbl *Table, proto, engine string, n, trials int, cfg sim.Conf
 		fmt.Sprintf("%.4g", wall), fmt.Sprintf("%.3g", ips))
 }
 
-// protoSpec builds the transition spec of a protocol for E18/E19 — the
-// one definition both engine columns derive their forms from.
+// protoSpec builds the transition spec of a protocol for the
+// engine-column experiments (E8/E9/E13–E19) — the one definition every
+// engine column derives its form from.
 func protoSpec(proto string, n int) *sim.Spec {
 	switch proto {
 	case "epidemic":
@@ -129,6 +154,14 @@ func protoSpec(proto string, n int) *sim.Spec {
 		return baseline.NewGeometricSpec(n)
 	case "leader":
 		return leader.NewSpec(n, clock.DefaultM, 2*sim.Log2Ceil(n))
+	case "powers":
+		return balance.NewPowersSpec(n, sim.Log2Floor(3*n/4), true)
+	case "backup-exact":
+		return backup.NewExactSpec(n)
+	case "approximate":
+		return core.NewApproximateSpec(core.Config{N: n}).Spec
+	case "exact":
+		return core.NewCountExactSpec(core.Config{N: n}).Spec
 	default:
 		panic("exp: unknown protocol " + proto)
 	}

@@ -111,20 +111,31 @@ func TestE8ApproximateTable(t *testing.T) {
 	o := tiny()
 	o.Sizes = []int{512}
 	tbl := E8Approximate(o)
-	if tbl.Rows[0][2] != "100%" {
-		t.Errorf("Approximate incorrect: %v", tbl.Rows[0])
+	// A size override sweeps agent and count-batched columns per n.
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "100%" {
+			t.Errorf("Approximate incorrect: %v", row)
+		}
 	}
 }
 
 func TestE13E14BackupTables(t *testing.T) {
 	o := tiny()
 	o.Sizes = []int{24}
-	if tbl := E13BackupApprox(o); tbl.Rows[0][2] != "100%" {
-		t.Errorf("approx backup failed: %v", tbl.Rows[0])
+	for _, row := range E13BackupApprox(o).Rows {
+		// One row per engine column (agent, count, count-batched).
+		if row[3] != "100%" {
+			t.Errorf("approx backup failed: %v", row)
+		}
 	}
 	o.Sizes = []int{32}
-	if tbl := E14BackupExact(o); tbl.Rows[0][2] != "100%" {
-		t.Errorf("exact backup failed: %v", tbl.Rows[0])
+	for _, row := range E14BackupExact(o).Rows {
+		if row[3] != "100%" {
+			t.Errorf("exact backup failed: %v", row)
+		}
 	}
 }
 
@@ -146,12 +157,15 @@ func TestE16SchedulerRobustness(t *testing.T) {
 	o := tiny()
 	o.Sizes = []int{512}
 	tbl := E16SchedulerRobustness(o)
-	if len(tbl.Rows) != 6 {
+	// Three schedulers × two protocols, plus the two uniform count-engine
+	// rows.
+	if len(tbl.Rows) != 8 {
 		t.Fatalf("rows: %d", len(tbl.Rows))
 	}
-	// The uniform rows (paper's model) must be fully correct.
+	// The uniform rows (paper's model) must be fully correct on both
+	// engines.
 	for _, row := range tbl.Rows {
-		if row[1] == "uniform" && row[4] != "100%" {
+		if strings.HasPrefix(row[1], "uniform") && row[4] != "100%" {
 			t.Errorf("uniform scheduler row not fully correct: %v", row)
 		}
 	}
@@ -161,11 +175,12 @@ func TestE17Stabilization(t *testing.T) {
 	o := tiny()
 	o.Sizes = []int{512}
 	tbl := E17Stabilization(o)
-	if len(tbl.Rows) != 3 {
+	// Three protocols × two engine columns.
+	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows: %d", len(tbl.Rows))
 	}
 	for _, row := range tbl.Rows {
-		if row[3] != "100%" || row[4] != "100%" {
+		if row[4] != "100%" || row[5] != "100%" {
 			t.Errorf("protocol not stable through the window: %v", row)
 		}
 	}
@@ -243,16 +258,18 @@ func TestE9StableApproximateTable(t *testing.T) {
 	o := tiny()
 	o.Sizes = []int{128}
 	tbl := E9StableApproximate(o)
-	if len(tbl.Rows) != 2 {
+	// Clean mode runs three engine columns, fault mode the agent column.
+	if len(tbl.Rows) != 4 {
 		t.Fatalf("rows: %d", len(tbl.Rows))
 	}
 	for _, row := range tbl.Rows {
-		if row[3] != "100%" {
+		if row[4] != "100%" {
 			t.Errorf("stable run incorrect: %v", row)
 		}
 	}
-	if tbl.Rows[1][4] != "100%" {
-		t.Errorf("fault not detected: %v", tbl.Rows[1])
+	fault := tbl.Rows[len(tbl.Rows)-1]
+	if fault[1] != "fault-injected" || fault[5] != "100%" {
+		t.Errorf("fault not detected: %v", fault)
 	}
 }
 

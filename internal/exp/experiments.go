@@ -265,105 +265,285 @@ func E7Search(o Options) Table {
 
 // E8Approximate reproduces Theorem 1.1: protocol Approximate outputs
 // ⌊log n⌋ or ⌈log n⌉ w.h.p. within O(n log² n) interactions using
-// O(log n · log log n) states.
+// O(log n · log log n) states. Since the spec port, every engine column
+// derives from the one core.NewApproximateSpec rule: the agent rows run
+// the spec's agent adapter (bit-for-bit the hand-written protocol), the
+// count and batched rows the spec's count form — the batched column
+// reaches n = 10⁸, three orders of magnitude past the agent engine.
 func E8Approximate(o Options) Table {
 	o = o.withDefaults()
 	tbl := Table{
 		ID:      "E8",
 		Title:   "protocol Approximate (Algorithm 2)",
 		Claim:   "Theorem 1.1: output ∈ {⌊log n⌋, ⌈log n⌉} w.h.p.; O(n log² n) interactions; O(log n·log log n) states",
-		Columns: []string{"n", "trials", "correct", "T/(n ln² n) mean", "max k", "max level"},
+		Columns: []string{"n", "engine", "trials", "correct", "T/(n ln² n) mean", "max k", "max level"},
 	}
+	type row struct {
+		n      int
+		engine string
+	}
+	var rows []row
 	ns := o.sizes([]int{1 << 9, 1 << 11, 1 << 13, 10000}, []int{1 << 9, 1 << 11})
+	for _, n := range ns {
+		rows = append(rows, row{n, "agent"})
+	}
+	if len(o.Sizes) == 0 {
+		if o.Quick {
+			// One exact-count row at agent scale, one batched row at the
+			// scale where batching actually engages (below ~2¹⁴ the
+			// occupied alphabet squares past the epoch cap and the
+			// planner's amortization gate degrades to exact stepping —
+			// a row there would just duplicate the count column).
+			rows = append(rows,
+				row{1 << 9, "count"},
+				row{1 << 16, "count-batched"})
+		} else {
+			rows = append(rows,
+				row{1 << 9, "count"}, row{1 << 11, "count"},
+				row{1 << 9, "count-batched"}, row{1 << 11, "count-batched"},
+				row{1 << 13, "count-batched"}, row{10000, "count-batched"},
+				// The scaled row: the count-batched engine simulates the
+				// Θ(n log² n) chain at n = 10⁸ in minutes (the agent
+				// engine would need ~100 GB for the array alone).
+				row{1e8, "count-batched"})
+		}
+	} else {
+		for _, n := range ns {
+			rows = append(rows, row{n, "count-batched"})
+		}
+	}
 	var fitN []int
 	var fitT []float64
-	for _, n := range ns {
-		outs := runMany(func(int) sim.Protocol { return core.NewApproximate(core.Config{N: n}) },
-			o.trials(2), sim.Config{Seed: o.Seed + uint64(3*n)}, o.Parallelism)
-		lo, hi := int64(sim.Log2Floor(n)), int64(sim.Log2Ceil(n))
-		correct, maxK, maxLvl := 0, 0, 0
-		for _, out := range outs {
-			p := out.p.(*core.Approximate)
-			if out.res.Converged {
-				allOK := true
-				for i := 0; i < n; i++ {
-					if v := p.Output(i); v != lo && v != hi {
-						allOK = false
-						break
-					}
-				}
-				if allOK {
-					correct++
-				}
-			}
-			m := p.Metrics()
-			if m.MaxK > maxK {
-				maxK = m.MaxK
-			}
-			if m.MaxLevel > maxLvl {
-				maxLvl = m.MaxLevel
-			}
+	for _, rw := range rows {
+		trials := o.trials(2)
+		if rw.engine != "agent" && rw.n >= 1<<14 {
+			trials = 2
 		}
-		norms := normTimes(outs, nLog2N(n))
-		tbl.AddRow(itoa(n), itoa(len(outs)), pct(float64(correct)/float64(len(outs))),
-			f2(stats.Mean(norms)), itoa(maxK), itoa(maxLvl))
-		fitN = append(fitN, n)
-		fitT = append(fitT, meanInteractions(outs))
+		if rw.n >= 1e7 {
+			trials = 1
+		}
+		mean := approxEngineRows(&tbl, rw.n, rw.engine, trials, o.Parallelism, o.Seed+uint64(3*rw.n))
+		if rw.engine == "agent" {
+			fitN = append(fitN, rw.n)
+			fitT = append(fitT, mean)
+		}
 	}
 	fitNote(&tbl, fitN, fitT, "≈1 (×log² n)")
+	tbl.AddNote("all engine columns derive from one transition spec (core.NewApproximateSpec);" +
+		" count rows report the plurality (consensus) output's correctness")
 	return tbl
 }
 
+// specCellRun is one finished trial of an engine-column cell: exactly
+// one of agent (the "agent" column) and eng (the count columns) is
+// non-nil, so callers can read column-appropriate outputs.
+type specCellRun struct {
+	res   sim.Result
+	agent *sim.SpecAgent
+	eng   *sim.CountEngine
+}
+
+// runSpecCells runs the trials of one engine-column cell — "agent",
+// "count" or "count-batched" — in parallel through the engine's shared
+// trial drivers (trial i uses seed TrialSeed(cfg.Seed, i), so results
+// and the deterministic counters are independent of parallelism). It
+// is the one engine-dispatch body behind every engine-column
+// experiment (E9, E13/E14, E16, E17); E8 drives the runners directly
+// for its per-trial metrics. mkSpec is invoked once per trial, on the
+// trial's own goroutine — each spec owns its interner, which must
+// never be shared across trials (see sim.Interner) — and may record
+// the spec in a trial-indexed slot for post-run decoding.
+func runSpecCells(mkSpec func(trial int) *sim.Spec, engine string, trials, par int, cfg sim.Config) []specCellRun {
+	out := make([]specCellRun, trials)
+	if engine == "agent" {
+		runs, err := sim.RunTrials(func(tr int) sim.Protocol {
+			out[tr].agent = sim.NewSpecAgent(mkSpec(tr))
+			return out[tr].agent
+		}, trials, cfg, sim.TrialOptions{Parallelism: par})
+		if err != nil {
+			panic(err) // sizes are static; an error is a programming bug
+		}
+		for i, r := range runs {
+			out[i].res = r.Result
+		}
+		return out
+	}
+	cfg.BatchSteps = engine == "count-batched"
+	runs, err := sim.RunCountTrials(func(tr int) sim.CountProtocol {
+		return sim.NewSpecCount(mkSpec(tr))
+	}, trials, cfg, sim.CountTrialOptions{Parallelism: par})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range runs {
+		countEngineStats(r.Engine.Stats())
+		out[i] = specCellRun{res: r.Result, eng: r.Engine}
+	}
+	return out
+}
+
+// approxEngineRows runs one (n, engine) cell of E8 — trials in
+// parallel through the engine's shared trial drivers, per-trial specs
+// kept for the configuration-level metrics — and appends its row,
+// returning the mean convergence time for the scaling fit.
+func approxEngineRows(tbl *Table, n int, engine string, trials, par int, seed uint64) (mean float64) {
+	lo, hi := int64(sim.Log2Floor(n)), int64(sim.Log2Ceil(n))
+	conv, correct, maxK, maxLvl := 0, 0, 0, 0
+	var norms []float64
+	var interactions int64
+	specs := make([]*core.ApproximateSpec, trials)
+	cfg := sim.Config{Seed: seed, CheckEvery: int64(n)}
+
+	tally := func(tr int, res sim.Result, view sim.ConfigView, ok bool) {
+		interactions += res.Total
+		if res.Converged {
+			conv++
+			norms = append(norms, float64(res.Interactions))
+		}
+		if ok {
+			correct++
+		}
+		m := specs[tr].Metrics(view)
+		if m.MaxK > maxK {
+			maxK = m.MaxK
+		}
+		if m.MaxLevel > maxLvl {
+			maxLvl = m.MaxLevel
+		}
+	}
+
+	if engine == "agent" {
+		runs, err := sim.RunTrials(func(tr int) sim.Protocol {
+			specs[tr] = core.NewApproximateSpec(core.Config{N: n})
+			return sim.NewSpecAgent(specs[tr].Spec)
+		}, trials, cfg, sim.TrialOptions{Parallelism: par})
+		if err != nil {
+			panic(err) // sizes are static; an error is a programming bug
+		}
+		for tr, r := range runs {
+			agent := r.Protocol.(*sim.SpecAgent)
+			ok := r.Result.Converged
+			if ok {
+				for i := 0; i < n; i++ {
+					if v := agent.Output(i); v != lo && v != hi {
+						ok = false
+						break
+					}
+				}
+			}
+			tally(tr, r.Result, agent.View(), ok)
+		}
+	} else {
+		cfg.BatchSteps = engine == "count-batched"
+		runs, err := sim.RunCountTrials(func(tr int) sim.CountProtocol {
+			specs[tr] = core.NewApproximateSpec(core.Config{N: n})
+			return sim.NewSpecCount(specs[tr].Spec)
+		}, trials, cfg, sim.CountTrialOptions{Parallelism: par})
+		if err != nil {
+			panic(err)
+		}
+		for tr, r := range runs {
+			countEngineStats(r.Engine.Stats())
+			ok := false
+			if r.Result.Converged {
+				out, has := r.Engine.PluralityOutput()
+				ok = has && (out == lo || out == hi)
+			}
+			tally(tr, r.Result, r.Engine.Counts(), ok)
+		}
+	}
+	countTrials(int64(trials), int64(conv), interactions)
+	mean = stats.Mean(norms)
+	tbl.AddRow(itoa(n), engine, itoa(trials), pct(float64(correct)/float64(trials)),
+		f2(mean/nLog2N(n)), itoa(maxK), itoa(maxLvl))
+	return mean
+}
+
 // E9StableApproximate reproduces Theorem 1.2: the hybrid stable variant
-// stabilizes correctly both on the clean path and under fault injection.
+// stabilizes correctly both on the clean path and under fault
+// injection. Both engine columns derive from one transition spec
+// (core.NewStableApproximateSpec); the fault-injected rows stay on the
+// agent engine — the backup runs Θ(n² log² n) interactions over a
+// scattered pile alphabet, exactly the regime the batch planner's
+// amortization gate degrades to exact per-interaction stepping (the
+// standalone backup specs in E13/E14, which opt into the skip path,
+// are the count-engine form of that phase).
 func E9StableApproximate(o Options) Table {
 	o = o.withDefaults()
 	tbl := Table{
 		ID:      "E9",
 		Title:   "stable protocol Approximate (Algorithm 7 + backup)",
 		Claim:   "Theorem 1.2: always correct; w.h.p. stabilizes in O(n log² n) with O(log² n·log log n) states",
-		Columns: []string{"n", "mode", "trials", "correct", "error raised", "T/(n ln² n) mean"},
+		Columns: []string{"n", "mode", "engine", "trials", "correct", "error raised", "T/(n ln² n) mean"},
 	}
 	ns := o.sizes([]int{512, 1024}, []int{300})
 	for _, n := range ns {
 		for _, mode := range []string{"clean", "fault-injected"} {
 			fault := mode == "fault-injected"
-			cap := int64(0)
+			engines := []string{"agent"}
+			if !fault {
+				engines = append(engines, "count", "count-batched")
+			}
+			var capI int64
 			if fault {
-				cap = int64(n) * int64(n) * 800 // backup needs Θ(n² log² n)
+				capI = int64(n) * int64(n) * 800 // backup needs Θ(n² log² n)
 			}
-			outs := runMany(func(int) sim.Protocol {
-				p := core.NewStableApproximate(core.Config{N: n})
-				p.FaultInjection = fault
-				return p
-			}, o.trials(4), sim.Config{Seed: o.Seed + uint64(5*n), MaxInteractions: cap}, o.Parallelism)
-			lo, hi := int64(sim.Log2Floor(n)), int64(sim.Log2Ceil(n))
-			correct, errored := 0, 0
-			for _, out := range outs {
-				p := out.p.(*core.StableApproximate)
-				if p.Errored() {
-					errored++
-				}
-				if out.res.Converged {
-					v := p.Output(0)
-					if fault {
-						// After the backup path only ⌊log n⌋ is possible.
-						if v == lo {
-							correct++
-						}
-					} else if v == lo || v == hi {
-						correct++
-					}
-				}
+			for _, engine := range engines {
+				stableApproxEngineRow(&tbl, n, mode, engine, o.trials(4),
+					o.Parallelism, o.Seed+uint64(5*n), capI)
 			}
-			norms := normTimes(outs, nLog2N(n))
-			tbl.AddRow(itoa(n), mode, itoa(len(outs)),
-				pct(float64(correct)/float64(len(outs))),
-				pct(float64(errored)/float64(len(outs))), f2(stats.Mean(norms)))
 		}
 	}
 	tbl.AddNote("fault injection corrupts the leader's k by −4; errors must fire on every faulted run and on (almost) no clean run")
+	tbl.AddNote("both engine columns derive from one transition spec; fault rows are agent-only (see the doc comment)")
 	return tbl
+}
+
+// stableApproxEngineRow runs one (n, mode, engine) cell of E9 and
+// appends its row.
+func stableApproxEngineRow(tbl *Table, n int, mode, engine string, trials, par int, seed uint64, capI int64) {
+	fault := mode == "fault-injected"
+	lo, hi := int64(sim.Log2Floor(n)), int64(sim.Log2Ceil(n))
+	conv, correct, errored := 0, 0, 0
+	var norms []float64
+	var interactions int64
+	specs := make([]*core.StableApproximateSpec, trials)
+	cfg := sim.Config{Seed: seed, CheckEvery: int64(n), MaxInteractions: capI}
+	cells := runSpecCells(func(tr int) *sim.Spec {
+		specs[tr] = core.NewStableApproximateSpec(core.Config{N: n}, fault)
+		return specs[tr].Spec
+	}, engine, trials, par, cfg)
+	for tr, r := range cells {
+		var out int64
+		var raised bool
+		if r.agent != nil {
+			out = r.agent.Output(0)
+			raised = r.agent.Errored()
+		} else {
+			out, _ = r.eng.PluralityOutput()
+			raised = specs[tr].Spec.Errored(r.eng.Counts())
+		}
+		interactions += r.res.Total
+		if raised {
+			errored++
+		}
+		if r.res.Converged {
+			conv++
+			norms = append(norms, float64(r.res.Interactions)/nLog2N(n))
+			if fault {
+				// After the backup path only ⌊log n⌋ is possible.
+				if out == lo {
+					correct++
+				}
+			} else if out == lo || out == hi {
+				correct++
+			}
+		}
+	}
+	countTrials(int64(trials), int64(conv), interactions)
+	tbl.AddRow(itoa(n), mode, engine, itoa(trials),
+		pct(float64(correct)/float64(trials)),
+		pct(float64(errored)/float64(trials)), f2(stats.Mean(norms)))
 }
 
 // CountExactSuite runs protocol CountExact once per (n, trial) and
@@ -449,43 +629,83 @@ func E11Refine(o Options) Table { _, t, _ := CountExactSuite(o); return t }
 // E12CountExact reproduces Theorem 2 (runs the shared CountExact suite).
 func E12CountExact(o Options) Table { _, _, t := CountExactSuite(o); return t }
 
+// backupEngineRows runs one backup experiment cell per engine from one
+// spec: the agent column via the spec's agent adapter, the count and
+// batched columns via its count form. The backup protocols' Θ(n²·…)
+// interaction counts are where the count engine's skip path shines —
+// the no-op-dominated equilibrium reduces the run to roughly the number
+// of merges — so the count columns also extend the sweep beyond the
+// agent-practical sizes.
+func backupEngineRows(tbl *Table, mkSpec func() *sim.Spec, n int, engine string,
+	trials, par int, seed uint64, capI int64, denom float64) {
+	conv := 0
+	var norms []float64
+	var interactions int64
+	cfg := sim.Config{Seed: seed, CheckEvery: int64(n), MaxInteractions: capI}
+	for _, r := range runSpecCells(func(int) *sim.Spec { return mkSpec() }, engine, trials, par, cfg) {
+		interactions += r.res.Total
+		if r.res.Converged {
+			conv++
+			norms = append(norms, float64(r.res.Interactions)/denom)
+		}
+	}
+	countTrials(int64(trials), int64(conv), interactions)
+	tbl.AddRow(itoa(n), engine, itoa(trials), pct(float64(conv)/float64(trials)), f2(stats.Mean(norms)))
+}
+
 // E13BackupApprox reproduces Lemma 12: the approximate backup converges
 // to the binary representation of n within O(n² log² n) interactions.
+// All engine columns derive from backup.NewApproxSpec.
 func E13BackupApprox(o Options) Table {
 	o = o.withDefaults()
 	tbl := Table{
 		ID:      "E13",
 		Title:   "backup protocol for approximate counting (Appendix C.1)",
 		Claim:   "Lemma 12: |K_i| = n_i, kmax = ⌊log n⌋ everywhere; O(n² log² n) interactions; ≤ (log n+1)² states",
-		Columns: []string{"n", "trials", "binary rep ok", "T/(n² ln n) mean"},
+		Columns: []string{"n", "engine", "trials", "binary rep ok", "T/(n² ln n) mean"},
 	}
 	ns := o.sizes([]int{13, 32, 100, 256}, []int{13, 64})
 	for _, n := range ns {
-		outs := runMany(func(int) sim.Protocol { return backup.NewApprox(n) },
-			o.trials(2), sim.Config{Seed: o.Seed + uint64(n), MaxInteractions: int64(n) * int64(n) * 2000}, o.Parallelism)
-		norms := normTimes(outs, n2LogN(n))
-		tbl.AddRow(itoa(n), itoa(len(outs)), pct(convRate(outs)), f2(stats.Mean(norms)))
+		for _, engine := range []string{"agent", "count", "count-batched"} {
+			backupEngineRows(&tbl, func() *sim.Spec { return backup.NewApproxSpec(n) },
+				n, engine, o.trials(2), o.Parallelism, o.Seed+uint64(n),
+				int64(n)*int64(n)*2000, n2LogN(n))
+		}
 	}
+	if len(o.Sizes) == 0 && !o.Quick {
+		// The count engine's skip path turns the Θ(n² log² n) run into
+		// ~#merges: sizes far past the agent column become cheap.
+		backupEngineRows(&tbl, func() *sim.Spec { return backup.NewApproxSpec(4096) },
+			4096, "count", 2, o.Parallelism, o.Seed+4096, int64(4096)*int64(4096)*2000, n2LogN(4096))
+	}
+	tbl.AddNote("all engine columns derive from one transition spec (backup.NewApproxSpec)")
 	return tbl
 }
 
 // E14BackupExact reproduces Lemma 13: the exact backup outputs n within
-// O(n² log n) interactions.
+// O(n² log n) interactions. All engine columns derive from
+// backup.NewExactSpec.
 func E14BackupExact(o Options) Table {
 	o = o.withDefaults()
 	tbl := Table{
 		ID:      "E14",
 		Title:   "backup protocol for exact counting (Appendix C.2)",
 		Claim:   "Lemma 13: every agent outputs n; O(n² log n) interactions",
-		Columns: []string{"n", "trials", "exact", "T/(n² ln n) mean"},
+		Columns: []string{"n", "engine", "trials", "exact", "T/(n² ln n) mean"},
 	}
 	ns := o.sizes([]int{16, 64, 256, 512}, []int{16, 128})
 	for _, n := range ns {
-		outs := runMany(func(int) sim.Protocol { return backup.NewExact(n) },
-			o.trials(2), sim.Config{Seed: o.Seed + uint64(n), MaxInteractions: int64(n) * int64(n) * 1000}, o.Parallelism)
-		norms := normTimes(outs, n2LogN(n))
-		tbl.AddRow(itoa(n), itoa(len(outs)), pct(convRate(outs)), f2(stats.Mean(norms)))
+		for _, engine := range []string{"agent", "count", "count-batched"} {
+			backupEngineRows(&tbl, func() *sim.Spec { return backup.NewExactSpec(n) },
+				n, engine, o.trials(2), o.Parallelism, o.Seed+uint64(n),
+				int64(n)*int64(n)*1000, n2LogN(n))
+		}
 	}
+	if len(o.Sizes) == 0 && !o.Quick {
+		backupEngineRows(&tbl, func() *sim.Spec { return backup.NewExactSpec(8192) },
+			8192, "count", 2, o.Parallelism, o.Seed+8192, int64(8192)*int64(8192)*1000, n2LogN(8192))
+	}
+	tbl.AddNote("all engine columns derive from one transition spec (backup.NewExactSpec)")
 	return tbl
 }
 
@@ -548,12 +768,43 @@ func E15Baselines(o Options) Table {
 	}
 	for _, n := range bigNs {
 		geoErr := geoBatchedError(n, 2, o.Seed)
-		tbl.AddRow(itoa(n), "n/a", "n/a", "n/a", f2(geoErr), "n/a")
+		// The Approximate column is a full composed-protocol run (~100 s
+		// at n = 10⁸, ~5 s even at the quick 2²⁰) — worth it for the
+		// recorded full table, not for the fast default suite.
+		apxErr := "n/a"
+		if !o.Quick {
+			apxErr = f2(apxBatchedError(n, o.Seed))
+		}
+		tbl.AddRow(itoa(n), "n/a", "n/a", "n/a", f2(geoErr), apxErr)
 	}
 	tbl.AddNote("speedup must grow like n/log n; the error of Approximate is below 1 by construction")
-	tbl.AddNote("the large-n geometric rows run on the batched count engine with the multinomial coin phase" +
-		" (other columns are agent-level and stop at the sweep sizes above)")
+	tbl.AddNote("the large-n rows run on the batched count engine — the geometric estimator via the" +
+		" multinomial coin phase, Approximate via its interned spec (the other columns are agent-level" +
+		" and stop at the sweep sizes above)")
 	return tbl
+}
+
+// apxBatchedError runs protocol Approximate on the batched count
+// engine and returns |consensus k − log₂ n| (one trial; the protocol's
+// answer is deterministic up to the ⌊·⌋/⌈·⌉ choice).
+func apxBatchedError(n int, seed uint64) float64 {
+	spec := core.NewApproximateSpec(core.Config{N: n})
+	eng, err := sim.NewCountEngine(sim.NewSpecCount(spec.Spec),
+		sim.Config{Seed: seed + uint64(n), CheckEvery: int64(n), BatchSteps: true})
+	if err != nil {
+		panic(err)
+	}
+	res, err := eng.RunToConvergence()
+	if err != nil {
+		panic(err)
+	}
+	countTrials(1, boolToInt64(res.Converged), res.Total)
+	countEngineStats(eng.Stats())
+	if !res.Converged {
+		return math.NaN()
+	}
+	out, _ := eng.PluralityOutput()
+	return math.Abs(float64(out) - math.Log2(float64(n)))
 }
 
 // geoBatchedError runs the geometric estimator on the batched count

@@ -46,6 +46,10 @@ func NewSpec(n int) *sim.Spec {
 	return &sim.Spec{
 		Name: "junta",
 		N:    n,
+		// The (level, active, junta) packing covers exactly 8 bits, and
+		// the rule is total and deterministic over all of them, so the
+		// agent adapter precompiles the flat successor table.
+		Domain: 256,
 		Init: func() map[uint64]int64 {
 			return map[uint64]int64{Encode(InitState()): int64(n)}
 		},

@@ -237,14 +237,30 @@ func (e *CountEngine) stepBatched(count int64) {
 			e.stepExact(rem)
 			return
 		}
+		// Epoch planning costs O(occupied²) regardless of τ — the
+		// pre-leap rate accumulation and the multinomial decomposition
+		// both walk every occupied ordered pair. Product-state protocols
+		// in a scattered regime (CountExact mid-balancing holds ~n
+		// distinct loads, one agent each) can square the occupied
+		// alphabet past anything an epoch could amortize; planning there
+		// costs more than exactly executing the epoch would. Gate on the
+		// epoch cap before planning, and on the actual τ after: batching
+		// pays only while occupied² stays well below the interactions an
+		// epoch executes.
+		occ2 := int64(len(e.occ)) * int64(len(e.occ))
+		if occ2 >= bp.maxTau {
+			bp.backoff()
+			continue
+		}
 		tau, frozen := e.planTau()
 		if frozen {
 			e.t += rem
 			return
 		}
-		if tau < batchMinTau {
+		if tau < batchMinTau || tau < occ2/2 {
 			// The drift target allows only tiny epochs here (fast-mixing
-			// or freshly-seeded states): batching cannot pay off, step
+			// or freshly-seeded states, or an alphabet too scattered to
+			// amortize the planner): batching cannot pay off, step
 			// exactly and retry later.
 			bp.backoff()
 			continue
@@ -285,13 +301,9 @@ func (e *CountEngine) planTau() (tau int64, frozen bool) {
 	bp := e.bp
 	c := e.c
 	totalW := float64(e.n) * float64(e.n-1)
-	k := len(c.counts)
-	for i := 0; i < k; i++ {
+	for _, i := range e.occ {
 		ci := c.counts[i]
-		if ci == 0 {
-			continue
-		}
-		for j := 0; j < k; j++ {
+		for _, j := range e.occ {
 			w := c.counts[j]
 			if j == i {
 				w = ci - 1
@@ -408,11 +420,11 @@ func (e *CountEngine) planPairs(tau int64) []pairCount {
 	plan := bp.plan[:0]
 	c := e.c
 	rowRem, rowW := tau, e.n
-	for i := 0; i < len(c.counts) && rowRem > 0; i++ {
-		ci := c.counts[i]
-		if ci <= 0 {
-			continue
+	for _, i := range e.occ {
+		if rowRem <= 0 {
+			break
 		}
+		ci := c.counts[i]
 		ri := rowRem
 		if ci < rowW {
 			ri = e.r.Binomial(rowRem, float64(ci)/float64(rowW))
@@ -423,7 +435,10 @@ func (e *CountEngine) planPairs(tau int64) []pairCount {
 			continue
 		}
 		respRem, respW := ri, e.n-1
-		for j := 0; j < len(c.counts) && respRem > 0; j++ {
+		for _, j := range e.occ {
+			if respRem <= 0 {
+				break
+			}
 			w := c.counts[j]
 			if j == i {
 				w--

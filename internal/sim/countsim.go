@@ -195,6 +195,17 @@ type CountEngine struct {
 	// multinomial epoch planner of countbatch.go.
 	bp *batchPlanner
 
+	// occ lists the dense indices of currently occupied states in
+	// ascending order. The interned product-state specs discover far
+	// more states over a run than are ever occupied at once (a moving
+	// synchronization front abandons states permanently), so the epoch
+	// planner iterates this list instead of the full discovery history —
+	// O(occupied²) per epoch instead of O(discovered·occupied). Ascending
+	// order matters: it keeps the planner's conditional-binomial
+	// decomposition order, and with it the random stream, bit-for-bit
+	// identical to a scan over the dense arrays.
+	occ []int
+
 	stats EngineStats
 }
 
@@ -537,12 +548,13 @@ func (e *CountEngine) elig(i int) int64 {
 	return el
 }
 
-// shift adjusts state idx's count by d, repairing the cumulative sampler
-// and — on the skip path — the no-op aggregates of every affected row.
+// shift adjusts state idx's count by d, repairing the cumulative
+// sampler, the occupied-index list and — on the skip path — the no-op
+// aggregates of every affected row.
 func (e *CountEngine) shift(idx int, d int64) {
 	c := e.c
 	if e.sl == nil {
-		c.counts[idx] += d
+		e.occShift(idx, d)
 		c.s.Add(idx, d)
 		return
 	}
@@ -557,9 +569,29 @@ func (e *CountEngine) shift(idx int, d int64) {
 		e.rowW.Add(i, -c.counts[i]*d)
 		e.noopRow[i] += d
 	}
-	c.counts[idx] += d
+	e.occShift(idx, d)
 	c.s.Add(idx, d)
 	e.rowW.Add(idx, c.counts[idx]*e.elig(idx))
+}
+
+// occShift applies the count change and keeps the sorted occupied list
+// in step with zero crossings. Occupied alphabets are small (the moving
+// front of a synchronized protocol), so the O(occupied) splice on a
+// crossing is cheaper than any tree would be.
+func (e *CountEngine) occShift(idx int, d int64) {
+	c := e.c
+	was := c.counts[idx]
+	c.counts[idx] = was + d
+	switch {
+	case was == 0 && c.counts[idx] > 0:
+		i := sort.SearchInts(e.occ, idx)
+		e.occ = append(e.occ, 0)
+		copy(e.occ[i+1:], e.occ[i:])
+		e.occ[i] = idx
+	case was > 0 && c.counts[idx] == 0:
+		i := sort.SearchInts(e.occ, idx)
+		e.occ = append(e.occ[:i], e.occ[i+1:]...)
+	}
 }
 
 // stateIndex returns the dense index for a state code, registering the

@@ -1,0 +1,67 @@
+// State-code interning for product-state specs.
+//
+// The small building-block specs (junta, epidemic, clock) pack their
+// agent state into a uint64 code arithmetically: the state tuple is
+// small enough for a mixed-radix encoding, and the whole code domain is
+// dense. The paper's composed counting protocols are different: their
+// per-agent state is a product of a phase clock, a junta triplet, an
+// election record and counting variables whose ranges (classical loads,
+// sampled election values) do not fit any fixed-width packing — the
+// product domain is astronomically large and almost entirely
+// unreachable. What stays small is the set of states actually occupied
+// along a trajectory: agents synchronize, so a run visits thousands of
+// distinct states, not 2⁶⁴.
+//
+// An Interner assigns codes lazily in first-sight order: the code of a
+// state is its index in the discovery sequence. Codes are dense over
+// the reachable fragment (good for the engines' maps and dense-pair
+// caches) and the mapping is injective by construction, so the count
+// view stays exact: agents are exchangeable given the full state tuple,
+// and equal tuples get equal codes.
+//
+// Determinism: codes depend on discovery order, which is a
+// deterministic function of the trajectory — equal seeds yield equal
+// code assignments. Codes from different engine instances (or different
+// seeds) are not comparable; everything that interprets codes
+// (Converged, Output, tests) must go through the same Interner that
+// produced them, which is why each spec constructor owns one.
+//
+// An Interner is not safe for concurrent use. Spec constructors are
+// called once per trial (every trial builds a fresh spec), so engine
+// parallelism never shares one.
+package sim
+
+// Interner assigns dense uint64 codes to product states in first-sight
+// order. The zero value is not ready for use; call NewInterner.
+type Interner[S comparable] struct {
+	codes  map[S]uint64
+	states []S
+}
+
+// NewInterner returns an empty interner.
+func NewInterner[S comparable]() *Interner[S] {
+	return &Interner[S]{codes: make(map[S]uint64)}
+}
+
+// Code returns the state's code, assigning the next free one on first
+// sight.
+func (in *Interner[S]) Code(s S) uint64 {
+	if c, ok := in.codes[s]; ok {
+		return c
+	}
+	c := uint64(len(in.states))
+	in.codes[s] = c
+	in.states = append(in.states, s)
+	return c
+}
+
+// State returns the state a code was assigned to. It panics on a code
+// this interner never issued — such a code cannot come from the same
+// trajectory and indicates mixed-up spec instances.
+func (in *Interner[S]) State(c uint64) S {
+	return in.states[c]
+}
+
+// Len returns the number of interned states — the size of the reachable
+// alphabet fragment discovered so far.
+func (in *Interner[S]) Len() int { return len(in.states) }

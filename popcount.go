@@ -107,12 +107,12 @@ const (
 	// and every scheduler, and is the default.
 	EngineAgent EngineKind = iota
 	// EngineCount is the count-based engine: the configuration is
-	// simulated directly on per-state agent counts, with O(|states|)
-	// memory and amortized ~O(1) cost per interaction — population
-	// sizes of 10⁸ and beyond become practical. Only algorithms whose
-	// per-agent state space does not grow with n support it (currently
-	// GeometricEstimate; the Õ(n)-state counting protocols must stay
-	// agent-level, see DESIGN.md), and only under the default uniform
+	// simulated directly on per-state agent counts, with O(|occupied
+	// states|) memory and amortized ~O(1) cost per interaction —
+	// population sizes of 10⁸ and beyond become practical. Every
+	// algorithm except TokenBag supports it (the core counting
+	// protocols' product states are interned over the occupied
+	// fragment, see DESIGN.md), and only under the default uniform
 	// scheduler.
 	EngineCount
 	// EngineCountBatched is the count engine's multinomial batch-stepping
@@ -126,10 +126,12 @@ const (
 	// Same restrictions as EngineCount (count-form algorithms, uniform
 	// scheduler, no per-agent outputs); tune with WithBatchRounds.
 	EngineCountBatched
-	// EngineAuto picks EngineCount when the algorithm supports it and
-	// EngineAgent otherwise (also when a non-uniform scheduler rules the
-	// count engine out). It never picks the batched mode — approximate
-	// stepping is always an explicit opt-in.
+	// EngineAuto picks EngineCount when the algorithm's spec declares
+	// the count form profitable (small occupied alphabet, no-op
+	// dominated — currently GeometricEstimate) and EngineAgent otherwise
+	// (also when a non-uniform scheduler rules the count engine out).
+	// It never picks the batched mode — approximate stepping is always
+	// an explicit opt-in.
 	EngineAuto
 )
 
@@ -324,15 +326,26 @@ func validate(alg Algorithm, n int) error {
 	return fmt.Errorf("popcount: unknown algorithm %v", alg)
 }
 
-// specFor returns the canonical transition spec of alg over n agents,
-// or reports that the algorithm has none. Spec-backed algorithms run on
-// every engine through the spec's derived forms; the others are bound
-// to the agent engine. Only algorithms whose per-agent state space is
-// independent of n can have a spec: the Õ(n)-state counting protocols
-// (Approximate, CountExact and their stable hybrids) and the
-// Θ(n²)-state TokenBag baseline must stay agent-level.
-func specFor(alg Algorithm, n int) (*sim.Spec, bool) {
+// specFor returns the canonical transition spec of alg over n agents
+// under the given settings, or reports that the algorithm has none.
+// Spec-backed algorithms run on every engine through the spec's derived
+// forms — since the core counting protocols were ported to the spec
+// layer that is every algorithm except the Θ(n²)-state TokenBag
+// baseline, whose per-agent bag genuinely has no configuration form
+// worth keeping. The core protocols' state spaces grow with n, so their
+// specs intern codes over the occupied fragment (see internal/core's
+// spec files) instead of packing a fixed-width domain.
+func specFor(alg Algorithm, n int, set settings) (*sim.Spec, bool) {
+	cfg := core.Config{N: n, ClockM: set.clockM, FastRounds: set.fastRounds, Shift: set.shift}
 	switch alg {
+	case Approximate:
+		return core.NewApproximateSpec(cfg).Spec, true
+	case CountExact:
+		return core.NewCountExactSpec(cfg).Spec, true
+	case StableApproximate:
+		return core.NewStableApproximateSpec(cfg, set.faultInject).Spec, true
+	case StableCountExact:
+		return core.NewStableCountExactSpec(cfg, set.faultInject).Spec, true
 	case GeometricEstimate:
 		return baseline.NewGeometricSpec(n), true
 	default:
@@ -341,43 +354,27 @@ func specFor(alg Algorithm, n int) (*sim.Spec, bool) {
 }
 
 // newProtocol builds the agent-engine protocol instance for alg over n
-// agents: the spec-derived agent adapter for spec-backed algorithms,
-// the hand-written composed protocols otherwise.
+// agents: the spec-derived agent adapter for spec-backed algorithms
+// (bit-for-bit the hand-written composed protocols, pinned by the
+// conformance suite), the hand-written TokenBag otherwise.
 func newProtocol(alg Algorithm, n int, set settings) (sim.Protocol, error) {
 	if err := validate(alg, n); err != nil {
 		return nil, err
 	}
-	if spec, ok := specFor(alg, n); ok {
+	if spec, ok := specFor(alg, n, set); ok {
 		return sim.NewSpecAgent(spec), nil
 	}
-	cfg := core.Config{N: n, ClockM: set.clockM, FastRounds: set.fastRounds, Shift: set.shift}
-	var p sim.Protocol
-	switch alg {
-	case Approximate:
-		p = core.NewApproximate(cfg)
-	case CountExact:
-		p = core.NewCountExact(cfg)
-	case StableApproximate:
-		sp := core.NewStableApproximate(cfg)
-		sp.FaultInjection = set.faultInject
-		p = sp
-	case StableCountExact:
-		sp := core.NewStableCountExact(cfg)
-		sp.FaultInjection = set.faultInject
-		p = sp
-	case TokenBag:
-		p = baseline.NewTokenBag(n)
-	default:
-		return nil, fmt.Errorf("popcount: unknown algorithm %v", alg)
+	if alg == TokenBag {
+		return baseline.NewTokenBag(n), nil
 	}
-	return p, nil
+	return nil, fmt.Errorf("popcount: unknown algorithm %v", alg)
 }
 
 // newCountProtocol builds the count-based form of alg over n agents from
 // the same spec the agent form derives from, or reports that the
 // algorithm has none.
-func newCountProtocol(alg Algorithm, n int) (sim.CountProtocol, bool) {
-	spec, ok := specFor(alg, n)
+func newCountProtocol(alg Algorithm, n int, set settings) (sim.CountProtocol, bool) {
+	spec, ok := specFor(alg, n, set)
 	if !ok {
 		return nil, false
 	}
@@ -391,7 +388,7 @@ func newCountProtocol(alg Algorithm, n int) (sim.CountProtocol, bool) {
 // or a non-uniform scheduler was registered, and EngineAuto falls back
 // to the agent engine in both cases instead of erroring.
 func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
-	_, supported := specFor(alg, 2)
+	spec, supported := specFor(alg, 2, set)
 	uniform := true
 	if set.mkSched != nil {
 		_, uniform = set.newSimScheduler().(sim.UniformScheduler)
@@ -401,14 +398,19 @@ func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
 		return EngineAgent, nil
 	case EngineCount, EngineCountBatched:
 		if !supported {
-			return 0, fmt.Errorf("popcount: algorithm %v has no count-based form (its per-agent state space grows with n; see DESIGN.md)", alg)
+			return 0, fmt.Errorf("popcount: algorithm %v has no count-based form (its per-agent bag state has no configuration view worth keeping; see DESIGN.md)", alg)
 		}
 		if !uniform {
 			return 0, sim.ErrCountScheduler
 		}
 		return set.engine, nil
 	case EngineAuto:
-		if supported && uniform {
+		// Auto is conservative: it picks the count engine only for specs
+		// that declare the count form profitable (PreferCount). The core
+		// counting protocols run on the count engines when explicitly
+		// requested, but their interned count form trades per-interaction
+		// struct ops for map work, so auto keeps them on the agent engine.
+		if supported && uniform && spec.PreferCount {
 			return EngineCount, nil
 		}
 		return EngineAgent, nil
@@ -473,7 +475,7 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 		return nil, err
 	}
 	if kind == EngineCount || kind == EngineCountBatched {
-		cp, _ := newCountProtocol(alg, n)
+		cp, _ := newCountProtocol(alg, n, set)
 		s := &Simulation{alg: alg, n: n, kind: kind}
 		cfg := set.countSimConfig(kind)
 		if set.observer != nil {
@@ -569,8 +571,17 @@ func (s *Simulation) Converged() bool {
 
 // Errored reports whether a stable protocol variant has detected an
 // inconsistency and handed over to its backup (false for algorithms
-// without error detection).
+// without error detection). It works on every engine: the agent adapter
+// evaluates the spec's error predicate on its count mirror, the count
+// engines on their configuration.
 func (s *Simulation) Errored() bool {
+	if s.ceng != nil {
+		sp, ok := s.ceng.Protocol().(interface{ Spec() *sim.Spec })
+		if !ok || sp.Spec().Errored == nil {
+			return false
+		}
+		return sp.Spec().Errored(s.ceng.Counts())
+	}
 	e, ok := s.p.(interface{ Errored() bool })
 	return ok && e.Errored()
 }
