@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E19 and
+// Command popbench runs the reproduction experiment suite (E1–E20 and
 // ablations A1–A3 from DESIGN.md) and prints the result tables that
 // EXPERIMENTS.md records.
 //
@@ -49,6 +49,7 @@ var experiments = []struct {
 	{"E13", exp.E13BackupApprox}, {"E14", exp.E14BackupExact}, {"E15", exp.E15Baselines},
 	{"E16", exp.E16SchedulerRobustness}, {"E17", exp.E17Stabilization},
 	{"E18", exp.E18CountEngine}, {"E19", exp.E19BatchedEngine},
+	{"E20", exp.E20Service},
 	{"A1", exp.A1ClockPeriod}, {"A2", exp.A2Shift}, {"A3", exp.A3FastLeaderRounds},
 }
 

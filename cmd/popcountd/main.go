@@ -1,0 +1,97 @@
+// Command popcountd serves population-protocol simulations over HTTP:
+// a job API with a bounded worker pool, a content-addressed result
+// cache, and checkpointed jobs that survive restarts.
+//
+// Usage:
+//
+//	popcountd -addr :8080 -state ./popcountd-state -workers 4
+//
+// Submit, watch, fetch:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"algorithm":"approximate","n":4096,"seed":7}'
+//	curl -s localhost:8080/v1/jobs/<id>/events     # NDJSON stream, live
+//	curl -s localhost:8080/v1/jobs/<id>/result     # stored result document
+//	curl -s localhost:8080/metrics                 # queue, cache, throughput
+//
+// Identical submissions dedup onto one job — the result document is
+// stored content-addressed by the request fingerprint and re-served
+// byte-identical. On SIGTERM the daemon drains: running single-trial
+// jobs write a final engine checkpoint and requeue; the next start
+// resumes them from the checkpoint, bit for bit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"popcount/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popcountd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popcountd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		stateD  = fs.String("state", "popcountd-state", "state directory (job records, results, checkpoints)")
+		workers = fs.Int("workers", 2, "worker pool size")
+		cpEvery = fs.Int64("checkpoint-every", 0, "interactions between job checkpoints (0 = default 4Mi)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := service.New(service.Config{
+		Dir:             *stateD,
+		Workers:         *workers,
+		CheckpointEvery: *cpEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	// The listen line is the readiness signal scripts wait for.
+	fmt.Printf("popcountd listening on %s (state %s, %d workers)\n", ln.Addr(), *stateD, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting requests, then let workers
+	// checkpoint and requeue their jobs.
+	fmt.Println("popcountd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "popcountd: http shutdown:", err)
+	}
+	srv.Shutdown()
+	fmt.Println("popcountd: drained")
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"os"
 
 	"popcount"
+	"popcount/internal/service"
 )
 
 func main() {
@@ -56,9 +57,34 @@ func run(args []string) error {
 		par      = fs.Int("par", 0, "parallel trials for ensembles (0 = one per CPU)")
 		engineN  = fs.String("engine", "agent", "simulation engine: agent | count | count-batched | auto (count simulates the configuration directly, enabling n >= 1e8 for supported algorithms; count-batched steps it in drift-bounded multinomial epochs for o(1) amortized cost per interaction — approximate, see DESIGN.md)")
 		batchR   = fs.Int("batch-rounds", 0, "count-batched: cap one batch epoch at this many rounds of n interactions (0 = engine default)")
+		jsonOut  = fs.Bool("json", false, "print the popcountd result document (byte-identical to GET /v1/jobs/{id}/result for the same request) instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		// The JSON path goes through the same request canonicalization,
+		// run options and document encoder as popcountd, so the printed
+		// bytes match what the service stores for this request. Only
+		// request-expressible runs qualify: the JobRequest schema has no
+		// scheduler field (uniform only), and progress text would corrupt
+		// the document.
+		if *schedN != "uniform" {
+			return fmt.Errorf("-json supports only the uniform scheduler (the popcountd job schema has no scheduler field)")
+		}
+		if *progress {
+			return fmt.Errorf("-json and -progress are mutually exclusive")
+		}
+		return runJSON(service.JobRequest{
+			Algorithm:       *algName,
+			N:               *n,
+			Trials:          *trials,
+			Seed:            *seed,
+			Engine:          *engineN,
+			MaxInteractions: *maxI,
+			ConfirmWindow:   *confirm,
+			BatchRounds:     *batchR,
+		}, *par)
 	}
 	alg, err := popcount.ParseAlgorithm(*algName)
 	if err != nil {
@@ -143,6 +169,45 @@ func run(args []string) error {
 	}
 	if !res.Converged {
 		return fmt.Errorf("no convergence within the interaction cap")
+	}
+	return nil
+}
+
+// runJSON runs the request exactly as popcountd would and prints the
+// service's result document.
+func runJSON(req service.JobRequest, par int) error {
+	req, err := req.Canonicalize()
+	if err != nil {
+		return err
+	}
+	var doc service.ResultDoc
+	if req.Trials == 1 {
+		s, err := popcount.NewSimulation(req.Alg(), req.N, req.Options()...)
+		if err != nil {
+			return err
+		}
+		res, err := s.RunToConvergence()
+		if err != nil {
+			return err
+		}
+		doc = service.SingleDoc(req, res)
+	} else {
+		opts := append(req.Options(), popcount.WithParallelism(par))
+		ens, err := popcount.RunEnsemble(context.Background(), req.Alg(), req.N, req.Trials, opts...)
+		if err != nil {
+			return err
+		}
+		doc = service.EnsembleDoc(req, ens)
+	}
+	data, err := service.MarshalDoc(doc)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	for _, tr := range doc.Trials {
+		if !tr.Converged {
+			return fmt.Errorf("trials missed convergence within the interaction cap")
+		}
 	}
 	return nil
 }

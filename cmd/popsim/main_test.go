@@ -173,6 +173,89 @@ epochs:       0 (safety-net violations 0, half-epochs reused 0, re-planned 0)
 	}
 }
 
+// TestGoldenJSON pins the -json document: popsim's JSON path shares
+// the popcountd service's canonicalization and encoder, so these bytes
+// are exactly what GET /v1/jobs/{id}/result serves for the same
+// request. The interaction counter is the same machine-independent
+// golden value TestGoldenTraces pins for the text path.
+func TestGoldenJSON(t *testing.T) {
+	got, err := captureStdout(t, func() error {
+		return run([]string{"-json", "-alg", "approximate", "-n", "256", "-seed", "12", "-engine", "count"})
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	want := `{
+  "request": {
+    "algorithm": "approximate",
+    "n": 256,
+    "trials": 1,
+    "seed": 12,
+    "engine": "count"
+  },
+  "trials": [
+    {
+      "converged": true,
+      "stable": true,
+      "interactions": 769024,
+      "total": 769024,
+      "output": 8,
+      "estimate": 256
+    }
+  ],
+  "stats": {
+    "trials": 1,
+    "converged": 1,
+    "convergence_rate": 1,
+    "stable": 1,
+    "stable_rate": 1,
+    "interactions": {
+      "mean": 769024,
+      "median": 769024,
+      "std": 0,
+      "min": 769024,
+      "max": 769024,
+      "p10": 769024,
+      "p90": 769024
+    },
+    "estimates": {
+      "mean": 256,
+      "median": 256,
+      "std": 0,
+      "min": 256,
+      "max": 256,
+      "p10": 256,
+      "p90": 256
+    }
+  }
+}
+`
+	if got != want {
+		t.Errorf("JSON document drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRunJSONEnsemble(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-json", "-alg", "tokenbag", "-n", "64", "-trials", "3", "-par", "2", "-seed", "4"})
+	})
+	if err != nil {
+		t.Fatalf("ensemble -json run failed: %v", err)
+	}
+	if !bytes.Contains([]byte(out), []byte(`"trials": 3`)) {
+		t.Errorf("ensemble stats missing from document:\n%s", out)
+	}
+}
+
+func TestRunJSONIncompatibleFlags(t *testing.T) {
+	if err := run([]string{"-json", "-alg", "tokenbag", "-n", "64", "-sched", "matching"}); err == nil {
+		t.Fatal("-json accepted a non-uniform scheduler")
+	}
+	if err := run([]string{"-json", "-alg", "tokenbag", "-n", "64", "-progress"}); err == nil {
+		t.Fatal("-json accepted -progress")
+	}
+}
+
 // captureStdout redirects os.Stdout around fn and returns what it
 // printed.
 func captureStdout(t *testing.T, fn func() error) (string, error) {

@@ -9,6 +9,7 @@ package popcount_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"reflect"
 	"sync/atomic"
@@ -272,8 +273,8 @@ func TestWithEngineCountBatched(t *testing.T) {
 	}
 	if _, err := popcount.NewSimulation(popcount.GeometricEstimate, 1024,
 		popcount.WithEngine(popcount.EngineCountBatched),
-		popcount.WithScheduler(popcount.RandomMatching)); err != sim.ErrCountScheduler {
-		t.Fatalf("batched engine with non-uniform scheduler: got %v, want ErrCountScheduler", err)
+		popcount.WithScheduler(popcount.RandomMatching)); !errors.Is(err, sim.ErrCountScheduler) || !errors.Is(err, popcount.ErrUnsupportedEngine) {
+		t.Fatalf("batched engine with non-uniform scheduler: got %v, want ErrCountScheduler wrapped in ErrUnsupportedEngine", err)
 	}
 }
 
@@ -311,14 +312,14 @@ func TestEngineSchedulerValidation(t *testing.T) {
 	// surface ErrCountScheduler from the constructors.
 	if _, err := popcount.NewSimulation(popcount.GeometricEstimate, 256,
 		popcount.WithEngine(popcount.EngineCount),
-		popcount.WithScheduler(popcount.RandomMatching)); err != sim.ErrCountScheduler {
-		t.Fatalf("NewSimulation: got %v, want ErrCountScheduler", err)
+		popcount.WithScheduler(popcount.RandomMatching)); !errors.Is(err, sim.ErrCountScheduler) || !errors.Is(err, popcount.ErrUnsupportedEngine) {
+		t.Fatalf("NewSimulation: got %v, want ErrCountScheduler wrapped in ErrUnsupportedEngine", err)
 	}
 	if _, err := popcount.RunEnsemble(context.Background(),
 		popcount.GeometricEstimate, 256, 4,
 		popcount.WithEngine(popcount.EngineCount),
-		popcount.WithScheduler(popcount.RandomMatching)); err != sim.ErrCountScheduler {
-		t.Fatalf("RunEnsemble: got %v, want ErrCountScheduler", err)
+		popcount.WithScheduler(popcount.RandomMatching)); !errors.Is(err, sim.ErrCountScheduler) || !errors.Is(err, popcount.ErrUnsupportedEngine) {
+		t.Fatalf("RunEnsemble: got %v, want ErrCountScheduler wrapped in ErrUnsupportedEngine", err)
 	}
 
 	// A uniform scheduler registered explicitly stays compatible.

@@ -72,7 +72,11 @@ type EnsembleResult struct {
 // (WithParallelism; default one worker per CPU). Schedulers registered
 // with WithScheduler are built fresh per trial, observers receive
 // snapshots tagged with the trial index, and ctx cancellation stops all
-// trials at their next convergence poll and returns ctx's error.
+// trials at their next convergence poll and returns ctx's error. On
+// cancellation the returned EnsembleResult still carries every trial's
+// partial result — interrupted trials are tagged Result.Interrupted and
+// excluded from the convergence statistics — so callers can report the
+// progress a killed run had made.
 func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Option) (EnsembleResult, error) {
 	if trials <= 0 {
 		return EnsembleResult{}, fmt.Errorf("popcount: non-positive trial count %d", trials)
@@ -116,14 +120,7 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 		MaxInteractions: set.maxI,
 		CheckEvery:      set.checkEvery,
 		ConfirmWindow:   set.confirmWindow,
-		Interrupt: func() bool {
-			select {
-			case <-ctx.Done():
-				return true
-			default:
-				return false
-			}
-		},
+		Interrupt:       ensembleInterrupt(ctx, set),
 	}
 
 	par := set.parallelism
@@ -142,9 +139,6 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 	if err != nil {
 		return EnsembleResult{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return EnsembleResult{}, err
-	}
 
 	results := make([]Result, trials)
 	for i, tr := range runs {
@@ -153,6 +147,7 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 			Interactions: tr.Result.Interactions,
 			Total:        tr.Result.Total,
 			Stable:       tr.Result.Stable,
+			Interrupted:  tr.Result.Interrupted,
 			Outputs:      sim.Outputs(tr.Protocol),
 		}
 		if o, ok := tr.Protocol.(sim.Outputter); ok {
@@ -161,7 +156,23 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 		r.Estimate = estimateFor(alg, r.Output)
 		results[i] = r
 	}
-	return aggregateEnsemble(results), nil
+	return aggregateEnsemble(results), ctx.Err()
+}
+
+// ensembleInterrupt builds the trial interrupt hook: ctx cancellation
+// stops every trial, and a WithInterrupt hook is polled alongside it.
+func ensembleInterrupt(ctx context.Context, set settings) func() bool {
+	return func() bool {
+		if set.interrupt != nil && set.interrupt() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 }
 
 // aggregateEnsemble computes the ensemble statistics over per-trial
@@ -171,7 +182,7 @@ func aggregateEnsemble(results []Result) EnsembleResult {
 	out := EnsembleResult{Trials: results}
 	var times, ests []float64
 	for _, r := range results {
-		if r.Converged {
+		if r.Converged && !r.Interrupted {
 			out.Stats.Converged++
 			times = append(times, float64(r.Interactions))
 			ests = append(ests, float64(r.Estimate))
@@ -195,14 +206,7 @@ func aggregateEnsemble(results []Result) EnsembleResult {
 // is the plurality state's output.
 func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, kind EngineKind, set settings) (EnsembleResult, error) {
 	cfg := set.countSimConfig(kind)
-	cfg.Interrupt = func() bool {
-		select {
-		case <-ctx.Done():
-			return true
-		default:
-			return false
-		}
-	}
+	cfg.Interrupt = ensembleInterrupt(ctx, set)
 	par := set.parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -230,9 +234,6 @@ func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, kind En
 	if err != nil {
 		return EnsembleResult{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return EnsembleResult{}, err
-	}
 
 	results := make([]Result, trials)
 	for i, tr := range runs {
@@ -241,6 +242,7 @@ func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, kind En
 			Interactions: tr.Result.Interactions,
 			Total:        tr.Result.Total,
 			Stable:       tr.Result.Stable,
+			Interrupted:  tr.Result.Interrupted,
 		}
 		if outv, ok := tr.Engine.PluralityOutput(); ok {
 			r.Output = outv
@@ -248,5 +250,5 @@ func runCountEnsemble(ctx context.Context, alg Algorithm, n, trials int, kind En
 		r.Estimate = estimateFor(alg, r.Output)
 		results[i] = r
 	}
-	return aggregateEnsemble(results), nil
+	return aggregateEnsemble(results), ctx.Err()
 }

@@ -1,0 +1,35 @@
+package popcount
+
+import "errors"
+
+// Typed sentinel errors. Every validation failure of the public
+// constructors and run functions wraps one of these, so callers — the
+// popcountd service in particular — can map client mistakes to the
+// right failure class with errors.Is instead of matching message text
+// (bad requests become HTTP 400s, not 500s).
+var (
+	// ErrInvalidN marks a population size below 2 (or otherwise outside
+	// the chosen engine's range).
+	ErrInvalidN = errors.New("popcount: invalid population size")
+
+	// ErrUnknownAlgorithm marks an algorithm value or name the library
+	// does not provide.
+	ErrUnknownAlgorithm = errors.New("popcount: unknown algorithm")
+
+	// ErrUnsupportedEngine marks an engine × algorithm × scheduler
+	// combination that cannot run: a count engine for an algorithm
+	// without a count form, a count engine under a non-uniform
+	// scheduler, or an engine kind the library does not provide. The
+	// wrapped message carries the remediation hint.
+	ErrUnsupportedEngine = errors.New("popcount: unsupported engine for this configuration")
+
+	// ErrNotSnapshottable marks a simulation whose state has no
+	// serialized form (TokenBag's per-agent bags, or a non-uniform
+	// scheduler's internal state).
+	ErrNotSnapshottable = errors.New("popcount: simulation cannot be snapshotted")
+
+	// ErrBadSnapshot marks a snapshot blob that is malformed, of an
+	// unknown version, or inconsistent with the simulation it is being
+	// restored into.
+	ErrBadSnapshot = errors.New("popcount: invalid snapshot")
+)

@@ -62,6 +62,16 @@ func NewCountExactSpec(cfg Config) *CountExactSpec {
 			return p.converged(v)
 		},
 		Output: func(q uint64) int64 { return exactStateOutput(p.in.State(q)) },
+		EncodeState: func(q uint64) []byte {
+			return encodeExact(p.in.State(q))
+		},
+		DecodeState: func(b []byte) (uint64, error) {
+			s, err := decodeExact(b)
+			if err != nil {
+				return 0, err
+			}
+			return p.in.Code(canonExact(s)), nil
+		},
 	}
 	return p
 }

@@ -124,6 +124,16 @@ func NewApproximateSpec(cfg Config) *ApproximateSpec {
 			return p.converged(v)
 		},
 		Output: func(q uint64) int64 { return int64(p.in.State(q).k) },
+		EncodeState: func(q uint64) []byte {
+			return encodeApprox(p.in.State(q))
+		},
+		DecodeState: func(b []byte) (uint64, error) {
+			s, err := decodeApprox(b)
+			if err != nil {
+				return 0, err
+			}
+			return p.in.Code(canonApprox(s)), nil
+		},
 	}
 	return p
 }

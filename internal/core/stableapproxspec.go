@@ -68,6 +68,16 @@ func NewStableApproximateSpec(cfg Config, faultInject bool) *StableApproximateSp
 			})
 			return any
 		},
+		EncodeState: func(q uint64) []byte {
+			return encodeStableApprox(p.in.State(q))
+		},
+		DecodeState: func(b []byte) (uint64, error) {
+			s, err := decodeStableApprox(b)
+			if err != nil {
+				return 0, err
+			}
+			return p.in.Code(canonStableApprox(s)), nil
+		},
 	}
 	return p
 }

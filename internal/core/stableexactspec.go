@@ -71,6 +71,16 @@ func NewStableCountExactSpec(cfg Config, faultInject bool) *StableCountExactSpec
 			})
 			return any
 		},
+		EncodeState: func(q uint64) []byte {
+			return encodeStableExact(p.in.State(q))
+		},
+		DecodeState: func(b []byte) (uint64, error) {
+			s, err := decodeStableExact(b)
+			if err != nil {
+				return 0, err
+			}
+			return p.in.Code(canonStableExact(s)), nil
+		},
 	}
 	return p
 }

@@ -269,6 +269,7 @@ func All(o Options) []Table {
 		E17Stabilization(o),
 		E18CountEngine(o),
 		E19BatchedEngine(o),
+		E20Service(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

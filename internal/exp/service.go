@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"popcount/internal/service"
+)
+
+// E20Service measures the popcountd service layer end to end: jobs
+// submitted over HTTP to an in-process daemon (real ServeMux, worker
+// pool, state directory), per-size batches of the Approximate protocol
+// on the count engine, and a second submission wave that must be
+// answered from the content-addressed result cache byte-identically.
+// The simulated interactions per row equal a direct engine run's — the
+// service adds scheduling and I/O, not dynamics — so the counter gate
+// (trials, interactions) holds exactly while the wall columns expose
+// the HTTP + persistence overhead, which amortizes to noise at
+// protocol scale.
+func E20Service(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:    "E20",
+		Title: "popcountd service throughput",
+		Claim: "extension: simulation-as-a-service preserves engine dynamics exactly; identical requests dedup onto one cached result",
+		Columns: []string{"n", "jobs", "conv", "interactions",
+			"wall s", "jobs/s", "cache hits", "byte-identical"},
+	}
+
+	dir, err := os.MkdirTemp("", "popcountd-e20-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := service.New(service.Config{Dir: dir, Workers: o.Parallelism})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Shutdown()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	jobs := o.trials(4)
+	for _, n := range o.sizes([]int{1 << 10, 1 << 11, 1 << 12}, []int{1 << 8, 1 << 9}) {
+		reqs := make([]service.JobRequest, jobs)
+		for i := range reqs {
+			reqs[i] = service.JobRequest{
+				Algorithm: "approximate", N: n, Engine: "count",
+				Seed: o.Seed + uint64(i) + 1,
+			}
+		}
+
+		start := time.Now()
+		ids := make([]string, jobs)
+		for i, req := range reqs {
+			ids[i] = submitJob(hs.URL, req)
+		}
+		var converged, interactions int64
+		firstBytes := make([][]byte, jobs)
+		for i, id := range ids {
+			waitJobDone(hs.URL, id)
+			firstBytes[i] = fetchResult(hs.URL, id)
+			var doc service.ResultDoc
+			if err := json.Unmarshal(firstBytes[i], &doc); err != nil {
+				panic(err)
+			}
+			for _, tr := range doc.Trials {
+				if tr.Converged {
+					converged++
+				}
+				interactions += tr.Total
+			}
+		}
+		wall := time.Since(start).Seconds()
+		countTrials(int64(jobs), converged, interactions)
+
+		// Second wave: every request must dedup onto the finished job and
+		// serve the stored document verbatim.
+		identical := 0
+		for i, req := range reqs {
+			if id := submitJob(hs.URL, req); id != ids[i] {
+				panic(fmt.Sprintf("resubmission changed fingerprint: %s vs %s", id, ids[i]))
+			}
+			if bytes.Equal(fetchResult(hs.URL, ids[i]), firstBytes[i]) {
+				identical++
+			}
+		}
+
+		tbl.AddRow(itoa(n), itoa(jobs), fmt.Sprintf("%d/%d", converged, jobs),
+			fmt.Sprintf("%d", interactions), f2(wall),
+			f1(float64(jobs)/wall), itoa(jobs), fmt.Sprintf("%d/%d", identical, jobs))
+	}
+	tbl.AddNote("jobs run over live HTTP against an in-process popcountd (workers = parallelism); " +
+		"interactions per row are deterministic in the seeds, exactly as a direct engine run")
+	tbl.AddNote("the second submission wave is served from the content-addressed cache: " +
+		"byte-identical documents, zero additional interactions")
+	return tbl
+}
+
+// submitJob POSTs a job and returns its content-addressed id.
+func submitJob(base string, req service.JobRequest) string {
+	body, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("submit: HTTP %d", resp.StatusCode))
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		panic(err)
+	}
+	return st.ID
+}
+
+// waitJobDone polls the status endpoint until the job is done.
+func waitJobDone(base, id string) {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			panic(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			panic(err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "failed", "cancelled":
+			panic(fmt.Sprintf("job %s ended %s: %s", id, st.State, st.Error))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fetchResult GETs a finished job's stored result document bytes.
+func fetchResult(base, id string) []byte {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		panic(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("result: HTTP %d: %s", resp.StatusCode, buf.String()))
+	}
+	return buf.Bytes()
+}

@@ -38,6 +38,23 @@ func (r *Rand) Reseed(seed uint64) {
 	}
 }
 
+// State returns the generator's internal xoshiro256++ state, for
+// serializing a stream mid-run. Restoring it with SetState continues the
+// stream exactly where State captured it.
+func (r *Rand) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState overwrites the generator's internal state with one previously
+// captured by State. An all-zero state is a fixed point of the update
+// and is rejected by falling back to the Reseed guard constant.
+func (r *Rand) SetState(s [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
 // splitmix64 advances *x and returns the next splitmix64 output.
 func splitmix64(x *uint64) uint64 {
 	*x += 0x9e3779b97f4a7c15

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"popcount"
+)
+
+// metrics holds the daemon's counters. Gauges (jobs by state, queue
+// depth) are computed at scrape time from the registry; everything
+// here is monotonic and atomic.
+type metrics struct {
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	checkpoints  atomic.Int64
+	resumes      atomic.Int64
+	jobsFinished atomic.Int64
+	// interactions per engine kind, indexed by engineSlot.
+	interactions [3]atomic.Int64
+}
+
+// engineSlot maps an engine kind to its interactions-counter slot.
+func engineSlot(kind popcount.EngineKind) int {
+	switch kind {
+	case popcount.EngineCount:
+		return 1
+	case popcount.EngineCountBatched:
+		return 2
+	default:
+		return 0
+	}
+}
+
+var engineSlotNames = [3]string{"agent", "count", "count-batched"}
+
+// countInteractions tallies executed interactions for the engine kind.
+func (m *metrics) countInteractions(kind popcount.EngineKind, n int64) {
+	if n > 0 {
+		m.interactions[engineSlot(kind)].Add(n)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition of the daemon's
+// state: queue depth, jobs by state, cache hit/miss counters, and
+// per-engine interaction throughput.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	byState := map[JobState]int{
+		JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0, JobCancelled: 0,
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		st, _, _ := j.Snapshot()
+		byState[st]++
+	}
+	queueDepth := len(s.queue)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	states := make([]string, 0, len(byState))
+	for st := range byState {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	fmt.Fprintf(w, "# HELP popcountd_jobs Jobs by lifecycle state.\n# TYPE popcountd_jobs gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "popcountd_jobs{state=%q} %d\n", st, byState[JobState(st)])
+	}
+	fmt.Fprintf(w, "# HELP popcountd_queue_depth Jobs waiting for a worker.\n# TYPE popcountd_queue_depth gauge\npopcountd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP popcountd_cache_hits_total Submissions served from the result cache.\n# TYPE popcountd_cache_hits_total counter\npopcountd_cache_hits_total %d\n", s.met.cacheHits.Load())
+	fmt.Fprintf(w, "# HELP popcountd_cache_misses_total Submissions that enqueued fresh work.\n# TYPE popcountd_cache_misses_total counter\npopcountd_cache_misses_total %d\n", s.met.cacheMisses.Load())
+	fmt.Fprintf(w, "# HELP popcountd_checkpoints_total Engine checkpoints written.\n# TYPE popcountd_checkpoints_total counter\npopcountd_checkpoints_total %d\n", s.met.checkpoints.Load())
+	fmt.Fprintf(w, "# HELP popcountd_resumes_total Jobs resumed from a checkpoint.\n# TYPE popcountd_resumes_total counter\npopcountd_resumes_total %d\n", s.met.resumes.Load())
+	fmt.Fprintf(w, "# HELP popcountd_jobs_finished_total Jobs that reached a terminal state.\n# TYPE popcountd_jobs_finished_total counter\npopcountd_jobs_finished_total %d\n", s.met.jobsFinished.Load())
+	fmt.Fprintf(w, "# HELP popcountd_interactions_total Interactions simulated, by engine.\n# TYPE popcountd_interactions_total counter\n")
+	for i, name := range engineSlotNames {
+		fmt.Fprintf(w, "popcountd_interactions_total{engine=%q} %d\n", name, s.met.interactions[i].Load())
+	}
+}

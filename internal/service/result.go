@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/json"
+
+	"popcount"
+)
+
+// ResultDoc is the canonical machine-readable result document: the
+// popcountd service stores and serves it for finished jobs, and
+// popsim -json prints the identical structure, so downstream tooling
+// parses one schema regardless of how a run was produced.
+//
+// The document is a pure function of the job request — it carries no
+// wall-clock times, hostnames or other machine-dependent fields — so
+// identical requests produce byte-identical documents, which is what
+// the service's content-addressed result cache relies on.
+type ResultDoc struct {
+	// Request echoes the canonicalized request that produced the
+	// document.
+	Request JobRequest `json:"request"`
+	// Trials holds every trial's result in trial order.
+	Trials []TrialDoc `json:"trials"`
+	// Stats aggregates the trials (converged, non-interrupted ones).
+	Stats StatsDoc `json:"stats"`
+}
+
+// TrialDoc is one trial's outcome.
+type TrialDoc struct {
+	Converged    bool  `json:"converged"`
+	Stable       bool  `json:"stable"`
+	Interrupted  bool  `json:"interrupted,omitempty"`
+	Interactions int64 `json:"interactions"`
+	Total        int64 `json:"total"`
+	Output       int64 `json:"output"`
+	Estimate     int64 `json:"estimate"`
+}
+
+// StatsDoc aggregates an ensemble, mirroring popcount.EnsembleStats.
+type StatsDoc struct {
+	Trials          int        `json:"trials"`
+	Converged       int        `json:"converged"`
+	ConvergenceRate float64    `json:"convergence_rate"`
+	Stable          int        `json:"stable"`
+	StableRate      float64    `json:"stable_rate"`
+	Interactions    SummaryDoc `json:"interactions"`
+	Estimates       SummaryDoc `json:"estimates"`
+}
+
+// SummaryDoc mirrors popcount.SummaryStats.
+type SummaryDoc struct {
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P10    float64 `json:"p10"`
+	P90    float64 `json:"p90"`
+}
+
+func summaryDoc(s popcount.SummaryStats) SummaryDoc {
+	return SummaryDoc{
+		Mean: s.Mean, Median: s.Median, Std: s.Std,
+		Min: s.Min, Max: s.Max, P10: s.P10, P90: s.P90,
+	}
+}
+
+func trialDoc(r popcount.Result) TrialDoc {
+	return TrialDoc{
+		Converged:    r.Converged,
+		Stable:       r.Stable,
+		Interrupted:  r.Interrupted,
+		Interactions: r.Interactions,
+		Total:        r.Total,
+		Output:       r.Output,
+		Estimate:     r.Estimate,
+	}
+}
+
+// EnsembleDoc builds the result document of an ensemble run for the
+// canonicalized request req.
+func EnsembleDoc(req JobRequest, ens popcount.EnsembleResult) ResultDoc {
+	doc := ResultDoc{Request: req, Trials: make([]TrialDoc, len(ens.Trials))}
+	for i, r := range ens.Trials {
+		doc.Trials[i] = trialDoc(r)
+	}
+	doc.Stats = StatsDoc{
+		Trials:          ens.Stats.Trials,
+		Converged:       ens.Stats.Converged,
+		ConvergenceRate: ens.Stats.ConvergenceRate,
+		Stable:          ens.Stats.Stable,
+		StableRate:      ens.Stats.StableRate,
+		Interactions:    summaryDoc(ens.Stats.Interactions),
+		Estimates:       summaryDoc(ens.Stats.Estimates),
+	}
+	return doc
+}
+
+// SingleDoc builds the result document of a single-trial run.
+func SingleDoc(req JobRequest, r popcount.Result) ResultDoc {
+	ens := popcount.EnsembleResult{Trials: []popcount.Result{r}}
+	return EnsembleDoc(req, aggregateSingle(ens, r))
+}
+
+// MarshalDoc renders the canonical byte form of a result document —
+// the exact bytes popcountd stores, serves, and cache-dedups on, and
+// the exact bytes popsim -json prints.
+func MarshalDoc(doc ResultDoc) ([]byte, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// aggregateSingle fills the stats block for a one-trial ensemble so
+// single runs and trials=1 ensembles produce identically shaped
+// documents.
+func aggregateSingle(ens popcount.EnsembleResult, r popcount.Result) popcount.EnsembleResult {
+	st := &ens.Stats
+	st.Trials = 1
+	if r.Converged && !r.Interrupted {
+		st.Converged = 1
+		st.ConvergenceRate = 1
+		t, e := float64(r.Interactions), float64(r.Estimate)
+		st.Interactions = popcount.SummaryStats{Mean: t, Median: t, Min: t, Max: t, P10: t, P90: t}
+		st.Estimates = popcount.SummaryStats{Mean: e, Median: e, Min: e, Max: e, P10: e, P90: e}
+		if r.Stable {
+			st.Stable = 1
+			st.StableRate = 1
+		}
+	}
+	return ens
+}

@@ -1,0 +1,377 @@
+// Package service implements popcountd's simulation-as-a-service
+// layer: an HTTP/JSON job API over a bounded worker pool, with a
+// content-addressed result cache and checkpointable jobs.
+//
+// Jobs are identified by the SHA-256 fingerprint of their canonical
+// request, so identical submissions — concurrent or months apart —
+// dedup onto one job and one stored result document, served
+// byte-identical from disk. Single-trial jobs checkpoint their engine
+// state (popcount.Simulation snapshots) to the state directory at a
+// configurable interaction interval; a daemon that crashes or drains
+// mid-job requeues the job on restart and resumes from the checkpoint
+// bit-for-bit — the resumed trajectory, and therefore the result
+// document, is identical to an uninterrupted run's.
+//
+//	POST   /v1/jobs           submit (dedups by fingerprint)
+//	GET    /v1/jobs/{id}        status
+//	GET    /v1/jobs/{id}/result stored result document (exact bytes)
+//	GET    /v1/jobs/{id}/events NDJSON event stream, live until terminal
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"popcount"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Dir is the state directory (job records, results, checkpoints).
+	Dir string
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// CheckpointEvery is the interaction interval between engine
+	// checkpoints of single-trial jobs (default 1<<22). Smaller values
+	// bound the work lost to a crash at the cost of more snapshot I/O.
+	CheckpointEvery int64
+}
+
+// Server owns the job registry, the worker pool, and the state
+// directory. Create with New, serve Handler, stop with Shutdown
+// (graceful drain) — or Abort in tests to simulate a crash.
+type Server struct {
+	st      *store
+	met     metrics
+	cpEvery int64
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	queue    chan *Job
+	draining chan struct{}
+	drainOne sync.Once
+	aborted  chan struct{}
+	abortOne sync.Once
+	wg       sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New opens (or creates) the state directory, recovers persisted jobs
+// — interrupted ones are requeued and resume from their checkpoints —
+// and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1 << 22
+	}
+	st, err := newStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		st:       st,
+		cpEvery:  cfg.CheckpointEvery,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, 4096),
+		draining: make(chan struct{}),
+		aborted:  make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// recover rebuilds the registry from persisted job records. Jobs that
+// were queued or running when the previous process died go back on the
+// queue; their checkpoints (if any) make the rerun a resume.
+func (s *Server) recover() error {
+	recs, err := s.st.loadJobs()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		j := newJob(rec.ID, rec.Req)
+		switch {
+		case rec.State.Terminal():
+			j.mu.Lock()
+			j.state = rec.State
+			j.errMsg = rec.Err
+			j.cached = rec.Cached
+			j.appendEventLocked(Event{Type: string(rec.State), Message: rec.Err})
+			j.mu.Unlock()
+		default:
+			// queued or running: requeue. The state transition is
+			// persisted so a crash loop cannot strand a job as "running".
+			if rec.State != JobQueued {
+				s.persist(j)
+			}
+			select {
+			case s.queue <- j:
+			default:
+				j.setState(JobFailed, "recovery queue overflow")
+				s.persist(j)
+			}
+		}
+		s.jobs[rec.ID] = j
+	}
+	return nil
+}
+
+// Handler returns the HTTP handler of the job API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// persist writes the job's current record to the state directory.
+func (s *Server) persist(j *Job) {
+	state, errMsg, cached := j.Snapshot()
+	rec := jobRecord{ID: j.ID, Req: j.Req, State: state, Err: errMsg, Cached: cached}
+	if err := s.st.saveJob(rec); err != nil {
+		// Persistence failures degrade durability, not availability:
+		// the job continues in memory and is reported via its record.
+		j.emit(Event{Type: "progress", Message: "warning: state persist failed: " + err.Error()})
+	}
+}
+
+// drainRequested reports whether Shutdown has begun.
+func (s *Server) drainRequested() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the worker pool gracefully: running single-trial
+// jobs write a final checkpoint and requeue (persisted as queued, so
+// the next start resumes them); running ensembles requeue from
+// scratch. It returns once every worker has exited.
+func (s *Server) Shutdown() {
+	s.drainOne.Do(func() { close(s.draining) })
+	s.wg.Wait()
+}
+
+// jobStatus is the wire form of GET /v1/jobs/{id} and the submit
+// response.
+type jobStatus struct {
+	ID     string     `json:"id"`
+	State  JobState   `json:"state"`
+	Cached bool       `json:"cached,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Req    JobRequest `json:"request"`
+}
+
+func (s *Server) statusOf(j *Job) jobStatus {
+	state, errMsg, cached := j.Snapshot()
+	return jobStatus{ID: j.ID, State: state, Cached: cached, Error: errMsg, Req: j.Req}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// errorStatus maps an error to its HTTP status: popcount's typed
+// validation sentinels are client mistakes (400), everything else is a
+// server fault (500).
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, popcount.ErrInvalidN),
+		errors.Is(err, popcount.ErrUnknownAlgorithm),
+		errors.Is(err, popcount.ErrUnsupportedEngine),
+		errors.Is(err, popcount.ErrNotSnapshottable):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	req, err := req.Canonicalize()
+	if err != nil {
+		writeJSON(w, errorStatus(err), apiError{Error: err.Error()})
+		return
+	}
+	id := req.Fingerprint()
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		// In-flight dedup (queued/running) or a warm cache hit (done).
+		s.mu.Unlock()
+		if state, _, _ := j.Snapshot(); state == JobDone {
+			s.met.cacheHits.Add(1)
+		}
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+		return
+	}
+	if s.st.hasResult(id) {
+		// Cold cache hit: a previous process already computed this
+		// request. Register a done job backed by the stored document.
+		j := newJob(id, req)
+		j.mu.Lock()
+		j.state = JobDone
+		j.cached = true
+		j.appendEventLocked(Event{Type: string(JobDone), Message: "served from result cache"})
+		j.mu.Unlock()
+		s.jobs[id] = j
+		s.mu.Unlock()
+		s.persist(j)
+		s.met.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+		return
+	}
+	if s.drainRequested() {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining"})
+		return
+	}
+	j := newJob(id, req)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "job queue full"})
+		return
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+	s.persist(j)
+	s.met.cacheMisses.Add(1)
+	writeJSON(w, http.StatusAccepted, s.statusOf(j))
+}
+
+// jobFor resolves the {id} path parameter.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	if err := validateID(id); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return nil
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	state, errMsg, _ := j.Snapshot()
+	switch state {
+	case JobDone:
+		data := s.st.readResult(j.ID)
+		if data == nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: "result document missing from store"})
+			return
+		}
+		// The stored bytes are served verbatim: identical requests get
+		// byte-identical responses, however many daemons ago the result
+		// was computed.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case JobFailed:
+		writeJSON(w, http.StatusConflict, apiError{Error: "job failed: " + errMsg})
+	default:
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: state " + string(state)})
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	seq := 0
+	for {
+		evs, change, terminal := j.eventsSince(seq)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		seq += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// Drain any events appended between eventsSince and here on
+			// the next loop; terminal states append their event before
+			// flipping state, so once terminal is observed the log tail
+			// reached us.
+			if evs2, _, _ := j.eventsSince(seq); len(evs2) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-change:
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.Cancel()
+	s.persist(j)
+	writeJSON(w, http.StatusOK, s.statusOf(j))
+}

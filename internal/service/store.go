@@ -1,0 +1,158 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// store is the daemon's on-disk state: job records, content-addressed
+// result documents, and engine checkpoints. Every write is atomic
+// (temp file + rename in the same directory), so a crash mid-write
+// leaves the previous version intact — the recovery path never sees a
+// torn file.
+//
+//	<dir>/jobs/<id>.json        job record (request + state)
+//	<dir>/results/<id>.json     result document, exact served bytes
+//	<dir>/checkpoints/<id>.ckpt latest engine checkpoint
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	for _, sub := range []string{"jobs", "results", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+// atomicWrite writes data to path via a temp file + rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// jobRecord is the persisted form of a job.
+type jobRecord struct {
+	ID     string     `json:"id"`
+	Req    JobRequest `json:"request"`
+	State  JobState   `json:"state"`
+	Err    string     `json:"error,omitempty"`
+	Cached bool       `json:"cached,omitempty"`
+}
+
+func (st *store) jobPath(id string) string {
+	return filepath.Join(st.dir, "jobs", id+".json")
+}
+
+func (st *store) resultPath(id string) string {
+	return filepath.Join(st.dir, "results", id+".json")
+}
+
+func (st *store) checkpointPath(id string) string {
+	return filepath.Join(st.dir, "checkpoints", id+".ckpt")
+}
+
+func (st *store) saveJob(rec jobRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(st.jobPath(rec.ID), data)
+}
+
+// loadJobs reads every persisted job record. Unreadable or malformed
+// records are skipped with an error note rather than failing startup —
+// one corrupt record must not take the daemon down.
+func (st *store) loadJobs() ([]jobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var recs []jobRecord
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, "jobs", e.Name()))
+		if err != nil {
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID == "" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// saveResult stores a finished job's exact response bytes.
+func (st *store) saveResult(id string, data []byte) error {
+	return atomicWrite(st.resultPath(id), data)
+}
+
+// readResult returns the stored response bytes, or nil if absent.
+func (st *store) readResult(id string) []byte {
+	data, err := os.ReadFile(st.resultPath(id))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// hasResult reports whether a result document is stored for id.
+func (st *store) hasResult(id string) bool {
+	_, err := os.Stat(st.resultPath(id))
+	return err == nil
+}
+
+// saveCheckpoint stores the latest engine checkpoint for a job.
+func (st *store) saveCheckpoint(id string, blob []byte) error {
+	return atomicWrite(st.checkpointPath(id), blob)
+}
+
+// readCheckpoint returns the stored checkpoint, or nil if absent.
+func (st *store) readCheckpoint(id string) []byte {
+	data, err := os.ReadFile(st.checkpointPath(id))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// removeCheckpoint deletes a job's checkpoint (after completion).
+func (st *store) removeCheckpoint(id string) {
+	os.Remove(st.checkpointPath(id))
+}
+
+// validateID guards path construction against traversal: job IDs are
+// hex fingerprints, nothing else reaches the filesystem.
+func validateID(id string) error {
+	if len(id) != 64 {
+		return fmt.Errorf("malformed job id %q", id)
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("malformed job id %q", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"popcount/internal/rng"
+)
+
+// snapFixtureSpec is a small protocol exercising every pair class the
+// engines distinguish: deterministic adoptions (initiator above the
+// responder), certain no-ops (initiator below), and randomized
+// same-level coin flips. Levels rise to 7, where the chain absorbs.
+func snapFixtureSpec(n int, skip bool) *Spec {
+	return &Spec{
+		Name: "snapfix",
+		N:    n,
+		Init: func() map[uint64]int64 {
+			return map[uint64]int64{0: int64(n) - 1, 1: 1}
+		},
+		Delta: func(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+			switch {
+			case qu > qv:
+				return qu, qu
+			case qu < qv:
+				return qu, qv
+			case qu < 7:
+				if r.Bool() {
+					return qu + 1, qv
+				}
+				return qu, qv
+			default:
+				return qu, qv
+			}
+		},
+		Randomized: func(qu, qv uint64) bool { return qu == qv && qu < 7 },
+		SelfLoop:   func(qu, qv uint64) bool { return qu < qv || (qu == qv && qu == 7) },
+		Skip:       skip,
+		Converged: func(v ConfigView) bool {
+			return v.Count(7) == v.N()
+		},
+		Output: func(q uint64) int64 { return int64(q) },
+	}
+}
+
+// stepChunks drives an engine through a fixed chunk sequence, so both
+// sides of a comparison execute identical Step call patterns (the batch
+// planner's epoch boundaries depend on them).
+func stepChunks(ops engineOps, chunks []int64) {
+	for _, c := range chunks {
+		ops.Step(c)
+	}
+}
+
+func countStateOf(t *testing.T, e *CountEngine) map[uint64]int64 {
+	t.Helper()
+	m := make(map[uint64]int64)
+	e.Counts().ForEach(func(code uint64, cnt int64) { m[code] = cnt })
+	return m
+}
+
+func compareCountEngines(t *testing.T, want, got *CountEngine) {
+	t.Helper()
+	if want.Interactions() != got.Interactions() {
+		t.Fatalf("interactions: want %d, got %d", want.Interactions(), got.Interactions())
+	}
+	if want.Stats() != got.Stats() {
+		t.Fatalf("stats: want %+v, got %+v", want.Stats(), got.Stats())
+	}
+	wm, gm := countStateOf(t, want), countStateOf(t, got)
+	if len(wm) != len(gm) {
+		t.Fatalf("occupied states: want %d, got %d", len(wm), len(gm))
+	}
+	for code, cnt := range wm {
+		if gm[code] != cnt {
+			t.Fatalf("state %#x: want count %d, got %d", code, cnt, gm[code])
+		}
+	}
+	if want.Converged() != got.Converged() {
+		t.Fatalf("converged: want %v, got %v", want.Converged(), got.Converged())
+	}
+}
+
+// TestCountEngineSnapshotRoundTrip pins the tentpole property on the
+// count engine in all three modes: a run snapshotted mid-flight and
+// restored into a fresh engine finishes bit-for-bit identical to the
+// uninterrupted run — same counts, same interaction clock, same
+// deterministic stats, same RNG stream.
+func TestCountEngineSnapshotRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		skip  bool
+		batch bool
+	}{
+		{"plain", false, false},
+		{"skip", true, false},
+		{"batched", true, true},
+	}
+	pre := []int64{300, 500, 217}
+	post := []int64{411, 1000, 93, 2048}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Seed: 42, BatchSteps: tc.batch}
+			mk := func() (*CountEngine, error) {
+				return NewCountEngine(NewSpecCount(snapFixtureSpec(512, tc.skip)), cfg)
+			}
+			ref, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepChunks(ref, pre)
+			snap, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepChunks(ref, post)
+
+			res, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			stepChunks(res, post)
+			compareCountEngines(t, ref, res)
+		})
+	}
+}
+
+// TestEngineSnapshotRoundTrip pins the same property on the agent
+// engine: agent codes, interaction clock and RNG stream all resume
+// exactly.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 7}
+	mk := func() (*Engine, *SpecAgent, error) {
+		p := NewSpecAgent(snapFixtureSpec(256, false))
+		e, err := NewEngine(p, cfg)
+		return e, p, err
+	}
+	ref, refP, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Step(900)
+	snap, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Step(1500)
+
+	res, resP, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	res.Step(1500)
+	if ref.Interactions() != res.Interactions() {
+		t.Fatalf("interactions: want %d, got %d", ref.Interactions(), res.Interactions())
+	}
+	for i := 0; i < 256; i++ {
+		if refP.Code(i) != resP.Code(i) {
+			t.Fatalf("agent %d: want code %#x, got %#x", i, refP.Code(i), resP.Code(i))
+		}
+	}
+	if ref.Converged() != res.Converged() {
+		t.Fatalf("converged: want %v, got %v", ref.Converged(), res.Converged())
+	}
+}
+
+// TestSnapshotAtConvergencePreservesConvAt checks that the
+// first-convergence record survives a round trip: a restored engine
+// must report the original convergence time, not its restore position.
+func TestSnapshotAtConvergencePreservesConvAt(t *testing.T) {
+	cfg := Config{Seed: 3}
+	ref, err := NewCountEngine(NewSpecCount(snapFixtureSpec(64, true)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.RunToConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refRes.Converged {
+		t.Fatal("fixture did not converge")
+	}
+	snap, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewCountEngine(NewSpecCount(snapFixtureSpec(64, true)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	resRes, err := res.RunToConvergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRes.Interactions != refRes.Interactions {
+		t.Fatalf("restored convergence time %d, want %d", resRes.Interactions, refRes.Interactions)
+	}
+}
+
+type noSnapProtocol struct{ n int }
+
+func (p *noSnapProtocol) N() int                         { return p.n }
+func (p *noSnapProtocol) Interact(u, v int, r *rng.Rand) {}
+
+// TestSnapshotErrors pins the failure modes: protocols without a
+// snapshot hook, cross-engine blobs, and corrupted blobs all fail
+// loudly with the typed sentinels.
+func TestSnapshotErrors(t *testing.T) {
+	e, err := NewEngine(&noSnapProtocol{n: 4}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("no-hook protocol: err = %v, want ErrNotSnapshottable", err)
+	}
+
+	ce, err := NewCountEngine(NewSpecCount(snapFixtureSpec(64, false)), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ce.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ae, err := NewEngine(NewSpecAgent(snapFixtureSpec(64, false)), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ae.Restore(snap); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("cross-engine restore: err = %v, want ErrSnapshotFormat", err)
+	}
+
+	for cut := 0; cut < len(snap); cut += 7 {
+		ce2, err := NewCountEngine(NewSpecCount(snapFixtureSpec(64, false)), Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ce2.Restore(snap[:cut]); !errors.Is(err, ErrSnapshotFormat) {
+			t.Fatalf("truncation at %d: err = %v, want ErrSnapshotFormat", cut, err)
+		}
+	}
+
+	// A batched snapshot must not restore into a non-batched engine.
+	be, err := NewCountEngine(NewSpecCount(snapFixtureSpec(64, false)), Config{Seed: 1, BatchSteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsnap, err := be.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce3, err := NewCountEngine(NewSpecCount(snapFixtureSpec(64, false)), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce3.Restore(bsnap); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("config-mismatch restore: err = %v, want ErrSnapshotFormat", err)
+	}
+}

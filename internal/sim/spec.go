@@ -129,6 +129,17 @@ type Spec struct {
 	// handover. Protocols without error detection leave it nil.
 	Errored func(v ConfigView) bool
 
+	// EncodeState and DecodeState, if set, give state codes a portable
+	// encoding for engine snapshots (see StateCodec): EncodeState must
+	// be injective and DecodeState must map an encoding produced by any
+	// instance of the same protocol to the code naming that state in
+	// *this* instance — for interned specs, by decoding the product
+	// state and re-interning it. Specs whose codes are arithmetic (the
+	// code itself is the state) leave both nil and get the identity
+	// encoding. Set both or neither.
+	EncodeState func(q uint64) []byte
+	DecodeState func(b []byte) (uint64, error)
+
 	// Domain, if positive, declares that every reachable state code lies
 	// in [0, Domain). It is metadata, not a constraint the adapters
 	// enforce: a small declared domain lets NewSpecAgent precompile
@@ -159,6 +170,9 @@ func (s *Spec) validate() error {
 	}
 	if (s.Init == nil) == (s.InitSample == nil) {
 		return fmt.Errorf("sim: Spec %q must set exactly one of Init and InitSample", s.Name)
+	}
+	if (s.EncodeState == nil) != (s.DecodeState == nil) {
+		return fmt.Errorf("sim: Spec %q must set both EncodeState and DecodeState or neither", s.Name)
 	}
 	if s.Layout != nil && s.InitSample != nil {
 		// A fixed agent layout would silently override the sampler on

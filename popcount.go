@@ -95,7 +95,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("popcount: unknown algorithm %q", name)
+	return 0, fmt.Errorf("%w: %q (valid: approximate, exact, stable-approximate, stable-exact, tokenbag, geometric)", ErrUnknownAlgorithm, name)
 }
 
 // EngineKind selects the simulation engine backing a run.
@@ -158,7 +158,7 @@ func ParseEngineKind(name string) (EngineKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("popcount: unknown engine %q", name)
+	return 0, fmt.Errorf("%w: unknown engine %q (valid: agent, count, count-batched, auto)", ErrUnsupportedEngine, name)
 }
 
 // WithEngine selects the simulation engine (default EngineAgent).
@@ -196,6 +196,7 @@ type settings struct {
 	mkSched       func() Scheduler
 	observer      Observer
 	observeEvery  int64
+	interrupt     func() bool
 	faultInject   bool
 }
 
@@ -249,6 +250,18 @@ func WithParallelism(workers int) Option {
 	return func(s *settings) { s.parallelism = workers }
 }
 
+// WithInterrupt registers a hook the engine polls at every convergence
+// check (CheckEvery granularity): when it returns true the run stops
+// early at the next poll boundary with Result.Interrupted set. Because
+// the stop lands on a poll boundary, a Simulation interrupted this way
+// can be snapshotted and later resumed (RunToConvergence continues from
+// the current position), which is how popcountd checkpoints long jobs
+// without perturbing their trajectory. In RunEnsemble the hook is
+// polled alongside the context.
+func WithInterrupt(fn func() bool) Option {
+	return func(s *settings) { s.interrupt = fn }
+}
+
 // WithFaultInjection corrupts the search result of the stable protocol
 // variants (StableApproximate, StableCountExact), forcing their
 // error-detection → backup pipeline to engage — a demonstration and
@@ -287,6 +300,11 @@ type Result struct {
 	// (WithEngine), whose configuration is aggregate — materializing n
 	// entries would defeat its O(states) memory footprint.
 	Outputs []int64
+	// Interrupted reports that the run was stopped early by context
+	// cancellation (RunEnsemble) before reaching convergence or its
+	// interaction budget: the result reflects partial progress, not a
+	// completed trial.
+	Interrupted bool
 }
 
 // Count runs the chosen algorithm on a population of n agents until it
@@ -316,14 +334,28 @@ func ExactSize(n int, opts ...Option) (Result, error) {
 // O(n) protocol state.
 func validate(alg Algorithm, n int) error {
 	if n < 2 {
-		return fmt.Errorf("popcount: population size %d is below 2", n)
+		return fmt.Errorf("%w: population size %d is below 2", ErrInvalidN, n)
 	}
 	for _, a := range Algorithms() {
 		if a == alg {
 			return nil
 		}
 	}
-	return fmt.Errorf("popcount: unknown algorithm %v", alg)
+	return fmt.Errorf("%w: %v", ErrUnknownAlgorithm, alg)
+}
+
+// Validate checks an algorithm × population × option combination
+// without building any O(n) state: it is the O(1) request validation
+// the service layer runs at submit time. A nil error guarantees
+// NewSimulation and RunEnsemble will pass their constructors'
+// validation for the same arguments.
+func Validate(alg Algorithm, n int, opts ...Option) error {
+	if err := validate(alg, n); err != nil {
+		return err
+	}
+	set := newSettings(opts)
+	_, err := set.resolveEngine(alg)
+	return err
 }
 
 // specFor returns the canonical transition spec of alg over n agents
@@ -367,7 +399,7 @@ func newProtocol(alg Algorithm, n int, set settings) (sim.Protocol, error) {
 	if alg == TokenBag {
 		return baseline.NewTokenBag(n), nil
 	}
-	return nil, fmt.Errorf("popcount: unknown algorithm %v", alg)
+	return nil, fmt.Errorf("%w: %v", ErrUnknownAlgorithm, alg)
 }
 
 // newCountProtocol builds the count-based form of alg over n agents from
@@ -398,10 +430,10 @@ func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
 		return EngineAgent, nil
 	case EngineCount, EngineCountBatched:
 		if !supported {
-			return 0, fmt.Errorf("popcount: algorithm %v has no count-based form (its per-agent bag state has no configuration view worth keeping; see DESIGN.md)", alg)
+			return 0, fmt.Errorf("%w: algorithm %v has no count-based form (its per-agent bag state has no configuration view worth keeping; see DESIGN.md) — rerun with the agent engine", ErrUnsupportedEngine, alg)
 		}
 		if !uniform {
-			return 0, sim.ErrCountScheduler
+			return 0, fmt.Errorf("%w: %w — rerun with the agent engine or drop the scheduler override", ErrUnsupportedEngine, sim.ErrCountScheduler)
 		}
 		return set.engine, nil
 	case EngineAuto:
@@ -415,7 +447,7 @@ func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
 		}
 		return EngineAgent, nil
 	default:
-		return 0, fmt.Errorf("popcount: unknown engine kind %v", set.engine)
+		return 0, fmt.Errorf("%w: unknown engine kind %v", ErrUnsupportedEngine, set.engine)
 	}
 }
 
@@ -428,6 +460,7 @@ func (set settings) simConfig(alg Algorithm, p sim.Protocol, trial int) sim.Conf
 		CheckEvery:      set.checkEvery,
 		ConfirmWindow:   set.confirmWindow,
 		Scheduler:       set.newSimScheduler(),
+		Interrupt:       set.interrupt,
 	}
 	if set.observer != nil {
 		cfg.Observe = set.snapshotObserver(alg, p, trial)
@@ -442,6 +475,7 @@ type Simulation struct {
 	alg  Algorithm
 	n    int
 	kind EngineKind
+	set  settings // retained for Snapshot's header
 	// Exactly one of the two engines is non-nil.
 	p    sim.Protocol // agent path only
 	eng  *sim.Engine
@@ -458,6 +492,7 @@ func (set settings) countSimConfig(kind EngineKind) sim.Config {
 		ConfirmWindow:   set.confirmWindow,
 		BatchSteps:      kind == EngineCountBatched,
 		BatchMaxRounds:  set.batchRounds,
+		Interrupt:       set.interrupt,
 	}
 }
 
@@ -466,7 +501,12 @@ func (set settings) countSimConfig(kind EngineKind) sim.Config {
 // without a count form or a non-uniform scheduler under an explicit
 // count-engine request — error here, not at run time.
 func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
-	set := newSettings(opts)
+	return newSimulationFrom(alg, n, newSettings(opts))
+}
+
+// newSimulationFrom is the settings-level constructor shared by
+// NewSimulation and RestoreSimulation.
+func newSimulationFrom(alg Algorithm, n int, set settings) (*Simulation, error) {
 	kind, err := set.resolveEngine(alg)
 	if err != nil {
 		return nil, err
@@ -476,7 +516,7 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 	}
 	if kind == EngineCount || kind == EngineCountBatched {
 		cp, _ := newCountProtocol(alg, n, set)
-		s := &Simulation{alg: alg, n: n, kind: kind}
+		s := &Simulation{alg: alg, n: n, kind: kind, set: set}
 		cfg := set.countSimConfig(kind)
 		if set.observer != nil {
 			cfg.Observe = set.snapshotCountObserver(alg, func() *sim.CountEngine { return s.ceng }, 0)
@@ -496,7 +536,7 @@ func NewSimulation(alg Algorithm, n int, opts ...Option) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{alg: alg, n: n, kind: EngineAgent, p: p, eng: eng}, nil
+	return &Simulation{alg: alg, n: n, kind: EngineAgent, set: set, p: p, eng: eng}, nil
 }
 
 // EngineStats are deterministic, machine-independent run counters of
@@ -637,10 +677,17 @@ func (s *Simulation) result(res sim.Result) Result {
 		Stable:       res.Stable,
 		Output:       s.Output(0),
 		Outputs:      s.Outputs(),
+		Interrupted:  res.Interrupted,
 	}
 	out.Estimate = estimateFor(s.alg, out.Output)
 	return out
 }
+
+// EstimateOutput converts an agent output value of the given algorithm
+// into a population-size estimate — the same mapping Result.Estimate
+// uses. Callers that drive a Simulation stepwise (rather than through
+// RunToConvergence) use it to interpret Output values.
+func EstimateOutput(alg Algorithm, out int64) int64 { return estimateFor(alg, out) }
 
 // estimateFor converts an output value into a population-size estimate.
 func estimateFor(alg Algorithm, out int64) int64 {

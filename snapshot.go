@@ -1,0 +1,160 @@
+package popcount
+
+// Root-level snapshot envelope. A Simulation snapshot is the engine
+// blob produced by internal/sim wrapped in a header that records
+// everything NewSimulation needs to rebuild an equivalent engine:
+// the algorithm, the engine kind, the population size, and the
+// dynamics settings (seed, budgets, protocol parameters) the original
+// simulation was constructed with. RestoreSimulation rebuilds the
+// simulation from the header alone — callers supply only
+// non-dynamics options (observers, parallelism) — then hands the
+// inner blob to the engine's Restore, so a resumed run continues the
+// exact trajectory of the snapshotted one.
+//
+// Functional options that affect dynamics (seed, interaction budgets,
+// clock sizes, fault injection) are taken from the header, not from
+// the opts argument: a snapshot pins the dynamics of the run it came
+// from. A WithScheduler option, whose closure cannot be serialized,
+// makes the simulation non-snapshottable in the first place (the
+// engine layer rejects it), so restore never needs to reproduce one.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"popcount/internal/sim"
+)
+
+const (
+	rootSnapMagic   = 0x50435353 // "PCSS"
+	rootSnapVersion = 1
+)
+
+// Snapshot serializes the simulation's full dynamic state — engine
+// configuration or agent states, RNG stream position, interaction
+// clock, convergence record — together with its construction
+// parameters. The blob restores with RestoreSimulation, and the
+// resumed run is bit-for-bit identical to the uninterrupted one.
+//
+// It fails with ErrNotSnapshottable for simulations whose state has
+// no serialized form: TokenBag (per-agent token multisets with no
+// canonical codec) and any simulation running under WithScheduler.
+func (s *Simulation) Snapshot() ([]byte, error) {
+	var blob []byte
+	var err error
+	if s.ceng != nil {
+		blob, err = s.ceng.Snapshot()
+	} else {
+		blob, err = s.eng.Snapshot()
+	}
+	if err != nil {
+		if s.alg == TokenBag {
+			return nil, fmt.Errorf("%w: TokenBag agents hold token multisets with no canonical serialized form — use a counting algorithm (approximate, exact, stable-*) for checkpointable jobs", ErrNotSnapshottable)
+		}
+		return nil, mapSimSnapErr(err)
+	}
+
+	set := &s.set
+	buf := make([]byte, 0, 64+len(blob))
+	buf = binary.LittleEndian.AppendUint32(buf, rootSnapMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, rootSnapVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(s.alg))
+	buf = append(buf, byte(s.kind))
+	if set.faultInject {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	buf = binary.LittleEndian.AppendUint64(buf, set.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(set.maxI))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(set.checkEvery))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(set.confirmWindow))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.clockM))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.fastRounds))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.shift))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.batchRounds))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = append(buf, blob...)
+	return buf, nil
+}
+
+// rootSnapHeaderLen is the fixed byte length of the envelope header,
+// up to and including the engine-blob length field.
+const rootSnapHeaderLen = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4
+
+// RestoreSimulation rebuilds a Simulation from a Snapshot blob and
+// resumes it at the exact point the snapshot was taken. Dynamics
+// settings (algorithm, engine, population, seed, budgets, protocol
+// parameters) come from the snapshot; opts supplies only
+// non-dynamics options such as WithObserver. It fails with
+// ErrBadSnapshot if data is malformed, truncated, of an unknown
+// version, or internally inconsistent.
+func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
+	if len(data) < rootSnapHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), rootSnapHeaderLen)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != rootSnapMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSnapshot, m)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != rootSnapVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadSnapshot, v)
+	}
+	alg := Algorithm(binary.LittleEndian.Uint16(data[6:]))
+	kind := EngineKind(data[8])
+	faultInject := data[9] != 0
+	if data[9] > 1 {
+		return nil, fmt.Errorf("%w: bad fault-injection flag %d", ErrBadSnapshot, data[9])
+	}
+	n := binary.LittleEndian.Uint64(data[10:])
+	if n > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible population %d", ErrBadSnapshot, n)
+	}
+
+	set := newSettings(opts)
+	set.seed = binary.LittleEndian.Uint64(data[18:])
+	set.maxI = int64(binary.LittleEndian.Uint64(data[26:]))
+	set.checkEvery = int64(binary.LittleEndian.Uint64(data[34:]))
+	set.confirmWindow = int64(binary.LittleEndian.Uint64(data[42:]))
+	set.clockM = int(binary.LittleEndian.Uint32(data[50:]))
+	set.fastRounds = int(binary.LittleEndian.Uint32(data[54:]))
+	set.shift = int(binary.LittleEndian.Uint32(data[58:]))
+	set.batchRounds = int(binary.LittleEndian.Uint32(data[62:]))
+	set.engine = kind
+	set.faultInject = faultInject
+
+	blobLen := int(binary.LittleEndian.Uint32(data[66:]))
+	blob := data[rootSnapHeaderLen:]
+	if len(blob) != blobLen {
+		return nil, fmt.Errorf("%w: engine blob is %d bytes, header says %d", ErrBadSnapshot, len(blob), blobLen)
+	}
+
+	s, err := newSimulationFrom(alg, int(n), set)
+	if err != nil {
+		// The header named an algorithm/engine/size combination the
+		// library rejects — the blob is inconsistent, not the caller.
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	if s.ceng != nil {
+		err = s.ceng.Restore(blob)
+	} else {
+		err = s.eng.Restore(blob)
+	}
+	if err != nil {
+		return nil, mapSimSnapErr(err)
+	}
+	return s, nil
+}
+
+// mapSimSnapErr lifts engine-layer snapshot sentinels to the root
+// package's, preserving the detail message.
+func mapSimSnapErr(err error) error {
+	switch {
+	case errors.Is(err, sim.ErrNotSnapshottable):
+		return fmt.Errorf("%w: %v", ErrNotSnapshottable, err)
+	case errors.Is(err, sim.ErrSnapshotFormat):
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return err
+}
