@@ -49,7 +49,7 @@ var experiments = []struct {
 	{"E13", exp.E13BackupApprox}, {"E14", exp.E14BackupExact}, {"E15", exp.E15Baselines},
 	{"E16", exp.E16SchedulerRobustness}, {"E17", exp.E17Stabilization},
 	{"E18", exp.E18CountEngine}, {"E19", exp.E19BatchedEngine},
-	{"E20", exp.E20Service},
+	{"E20", exp.E20Service}, {"E21", exp.E21FaultRecovery},
 	{"A1", exp.A1ClockPeriod}, {"A2", exp.A2Shift}, {"A3", exp.A3FastLeaderRounds},
 }
 

@@ -11,6 +11,8 @@
 //	popsim -alg geometric -n 100000000 -engine count
 //	popsim -alg geometric -n 100000000 -engine count-batched
 //	popsim -alg approximate -n 100000000 -engine count-batched
+//	popsim -alg approximate -n 4096 -faults 'burst=8000:256;churn=20000:128'
+//	popsim -alg stable-exact -n 2048 -faults 'adversary=convergence;adv-agents=512'
 //
 // Algorithms: approximate, exact, stable-approximate, stable-exact,
 // tokenbag, geometric. Schedulers: uniform, biased, matching.
@@ -57,9 +59,14 @@ func run(args []string) error {
 		par      = fs.Int("par", 0, "parallel trials for ensembles (0 = one per CPU)")
 		engineN  = fs.String("engine", "agent", "simulation engine: agent | count | count-batched | auto (count simulates the configuration directly, enabling n >= 1e8 for supported algorithms; count-batched steps it in drift-bounded multinomial epochs for o(1) amortized cost per interaction — approximate, see DESIGN.md)")
 		batchR   = fs.Int("batch-rounds", 0, "count-batched: cap one batch epoch at this many rounds of n interactions (0 = engine default)")
+		faultsN  = fs.String("faults", "", "fault plan in key=value;… form, e.g. 'burst=2000:32;churn=4000:16;adversary=convergence;adv-agents=64' (see popcount.ParseFaultPlan)")
 		jsonOut  = fs.Bool("json", false, "print the popcountd result document (byte-identical to GET /v1/jobs/{id}/result for the same request) instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := popcount.ParseFaultPlan(*faultsN)
+	if err != nil {
 		return err
 	}
 	if *jsonOut {
@@ -84,6 +91,8 @@ func run(args []string) error {
 			MaxInteractions: *maxI,
 			ConfirmWindow:   *confirm,
 			BatchRounds:     *batchR,
+			FaultInjection:  plan.CorruptSearch,
+			Faults:          service.FaultRequestFromPlan(plan),
 		}, *par)
 	}
 	alg, err := popcount.ParseAlgorithm(*algName)
@@ -104,6 +113,9 @@ func run(args []string) error {
 	}
 	if *batchR > 0 {
 		opts = append(opts, popcount.WithBatchRounds(*batchR))
+	}
+	if *faultsN != "" {
+		opts = append(opts, popcount.WithFaults(plan))
 	}
 	switch *schedN {
 	case "uniform":
@@ -165,6 +177,18 @@ func run(args []string) error {
 		if s.Engine() == popcount.EngineCountBatched {
 			fmt.Printf("epochs:       %d (safety-net violations %d, half-epochs reused %d, re-planned %d)\n",
 				st.Epochs, st.Violations, st.HalfReuses, st.HalfDiscards)
+		}
+	}
+	if plan.Enabled() {
+		st := s.Stats()
+		fmt.Printf("faults:       %d events (%d corrupted, %d churned, %d forced interactions)\n",
+			st.FaultEvents, st.Corrupted, st.Churned, st.ForcedInteractions)
+		if st.Reconvergences > 0 {
+			fmt.Printf("recovery:     %d reconvergences, %d interactions total (max %d)\n",
+				st.Reconvergences, st.ReconvergeTotal, st.ReconvergeMax)
+		}
+		if st.ErrorLatency >= 0 {
+			fmt.Printf("error flag:   raised %d interactions after first corruption\n", st.ErrorLatency)
 		}
 	}
 	if !res.Converged {

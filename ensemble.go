@@ -121,6 +121,7 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 		CheckEvery:      set.checkEvery,
 		ConfirmWindow:   set.confirmWindow,
 		Interrupt:       ensembleInterrupt(ctx, set),
+		Faults:          set.faults.simPlan(),
 	}
 
 	par := set.parallelism

@@ -32,4 +32,9 @@ var (
 	// unknown version, or inconsistent with the simulation it is being
 	// restored into.
 	ErrBadSnapshot = errors.New("popcount: invalid snapshot")
+
+	// ErrBadFaultPlan marks a fault plan that is structurally invalid
+	// (bad event bounds or rates, unknown adversary) or a fault-plan
+	// text form ParseFaultPlan cannot parse.
+	ErrBadFaultPlan = errors.New("popcount: invalid fault plan")
 )

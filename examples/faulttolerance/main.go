@@ -1,14 +1,23 @@
 // Faulttolerance: what the stable protocols buy you — a demonstration of
-// the error-detection → backup pipeline (Section 3.4, Appendices B–C).
+// the error-detection → backup pipeline (Section 3.4, Appendices B–C)
+// under a deterministic fault plan (popcount.WithFaults).
 //
 // The w.h.p. protocols can, with small probability, settle on a wrong
 // answer (for example if leader election leaves two leaders, or a load
 // balancing phase does not finish in time). The stable variants detect
 // such inconsistencies, raise an error flag that spreads by one-way
 // epidemics, and fall back to a slow protocol that is correct with
-// probability 1. This example runs protocol Approximate's stable variant
-// with an artificially corrupted search result (WithFaultInjection) and
-// watches the machinery recover through the observer hook.
+// probability 1. This example stacks two faults onto the stable
+// variant of protocol CountExact:
+//
+//   - a mid-run corruption burst resets 32 agents to fresh initial
+//     states while the protocol is still working;
+//   - the convergence adversary waits for the first converged poll and
+//     then corrupts 64 agents, forcing a detect-and-recover cycle whose
+//     reconvergence window and error-flag latency the engine measures
+//     (Simulation.Stats).
+//
+// Run it with:
 //
 //	go run ./examples/faulttolerance
 package main
@@ -21,18 +30,25 @@ import (
 )
 
 func main() {
-	const n = 400
+	const n = 128
 
-	fmt.Println("running stable Approximate with a corrupted search result …")
+	plan := popcount.FaultPlan{
+		Seed:            17,
+		Bursts:          []popcount.FaultBurst{{At: int64(n) * 100, Agents: 32}},
+		Adversary:       popcount.AdversaryConvergence,
+		AdversaryAgents: 64,
+	}
+	fmt.Println("running stable CountExact under a fault plan:")
+	fmt.Printf("  %s\n\n", plan)
+
 	var s *popcount.Simulation
-	s, err := popcount.NewSimulation(popcount.StableApproximate, n,
-		popcount.WithSeed(77),
-		popcount.WithFaultInjection(), // corrupt the leader's k by −4 doublings
-		popcount.WithMaxInteractions(int64(n)*int64(n)*2000),
-		popcount.WithObserveEvery(int64(n)*1000),
+	s, err := popcount.NewSimulation(popcount.StableCountExact, n,
+		popcount.WithSeed(4),
+		popcount.WithFaults(plan),
+		popcount.WithObserveEvery(int64(n)*200),
 		popcount.WithObserver(func(snap popcount.Snapshot) {
 			fmt.Printf("t=%10d  error detected: %v  agent#0 output: %d\n",
-				snap.Interactions, s.Errored(), snap.Output)
+				snap.Interactions, snap.Errored || s.Errored(), snap.Output)
 		}))
 	if err != nil {
 		log.Fatal(err)
@@ -45,18 +61,18 @@ func main() {
 		log.Fatal("did not stabilize")
 	}
 
-	if !s.Errored() {
-		log.Fatal("the corrupted run was not detected — this should never happen")
-	}
-	want := int64(0)
-	for v := n; v > 1; v >>= 1 {
-		want++
-	}
+	st := s.Stats()
 	fmt.Printf("\nstabilized after %d interactions\n", res.Interactions)
-	fmt.Printf("error was detected and the backup protocol took over\n")
-	fmt.Printf("final output: %d (⌊log₂ %d⌋ = %d) — correct despite the fault\n",
-		res.Output, n, want)
-	if res.Output != want {
+	fmt.Printf("fault events applied: %d (%d agents corrupted)\n", st.FaultEvents, st.Corrupted)
+	if st.Reconvergences > 0 {
+		fmt.Printf("recovery: %d reconvergence(s), %d interactions to re-converge\n",
+			st.Reconvergences, st.ReconvergeTotal)
+	}
+	if st.ErrorLatency >= 0 {
+		fmt.Printf("error flag raised %d interactions after the adversary's strike\n", st.ErrorLatency)
+	}
+	fmt.Printf("final output: %d (population %d) — correct despite the faults\n", res.Output, n)
+	if res.Output != n {
 		log.Fatal("wrong final output")
 	}
 }

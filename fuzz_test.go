@@ -1,0 +1,76 @@
+package popcount
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoders —
+// the PCSS envelope directly, and the PSNA/PSNC engine decoders through
+// forged envelopes around the fuzz input — asserting they error cleanly:
+// no panics, and no attacker-controlled allocations (a forged header
+// cannot buy memory the input bytes did not pay for; the restored
+// simulation is bounded by the header's validated population).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed the corpus with genuine snapshots of both engine families so
+	// the fuzzer starts at the format's happy path.
+	for _, kind := range []EngineKind{EngineAgent, EngineCount} {
+		s, err := NewSimulation(Approximate, 32, WithSeed(3), WithEngine(kind),
+			WithFaults(FaultPlan{Seed: 1, Bursts: []FaultBurst{{At: 40, Agents: 4}}}))
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Step(128)
+		snap, err := s.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(snap)
+	}
+	f.Add([]byte("PCSS"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Latency tripwire: a decode (or the bounded 16-step resume) of
+		// arbitrary bytes must stay far under interactive time — a slow
+		// input means a forged header bought unbounded work.
+		start := time.Now()
+		defer func() {
+			if d := time.Since(start); d > 5*time.Second {
+				t.Fatalf("slow input: %v", d)
+			}
+		}()
+		// PCSS decoder on the raw input.
+		if s, err := RestoreSimulation(data); err == nil {
+			// A decodable blob must yield a working simulation.
+			s.Step(16)
+			_ = s.Stats()
+		}
+
+		// PSNA/PSNC decoders: wrap the input as the engine blob of an
+		// otherwise-valid envelope, so the inner parsers see arbitrary
+		// bytes behind a header that passes the envelope checks.
+		for _, kind := range []EngineKind{EngineAgent, EngineCount, EngineCountBatched} {
+			hdr := make([]byte, 0, rootSnapHeaderLen+len(data))
+			hdr = binary.LittleEndian.AppendUint32(hdr, rootSnapMagic)
+			hdr = binary.LittleEndian.AppendUint16(hdr, rootSnapVersion)
+			hdr = binary.LittleEndian.AppendUint16(hdr, uint16(Approximate))
+			hdr = append(hdr, byte(kind), 0)
+			hdr = binary.LittleEndian.AppendUint64(hdr, 16) // n
+			hdr = binary.LittleEndian.AppendUint64(hdr, 1)  // seed
+			hdr = binary.LittleEndian.AppendUint64(hdr, 0)  // maxI
+			hdr = binary.LittleEndian.AppendUint64(hdr, 0)  // checkEvery
+			hdr = binary.LittleEndian.AppendUint64(hdr, 0)  // confirmWindow
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // clockM
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // fastRounds
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // shift
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // batchRounds
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // faultLen
+			hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(data)))
+			hdr = append(hdr, data...)
+			if s, err := RestoreSimulation(hdr); err == nil {
+				s.Step(16)
+			}
+		}
+	})
+}

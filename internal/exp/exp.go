@@ -270,6 +270,7 @@ func All(o Options) []Table {
 		E18CountEngine(o),
 		E19BatchedEngine(o),
 		E20Service(o),
+		E21FaultRecovery(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+
+	"popcount"
+	"popcount/internal/clock"
+	"popcount/internal/leader"
+	"popcount/internal/sim"
+	"popcount/internal/stats"
+)
+
+// E21FaultRecovery measures recovery from deterministic fault plans
+// (popcount.WithFaults) in two regimes.
+//
+// Detect-and-restart: the convergence adversary waits for the first
+// converged poll and corrupts n/8 agents back to fresh initial states.
+// The counting protocols must re-converge — the stable hybrids
+// additionally raise their error flag, whose propagation latency the
+// engine records. Every protocol runs on all three engine forms under
+// the same plan, so the rows double as a cross-engine conformance
+// check: the schedule is identical, only the RNG consumption differs.
+//
+// Self-stabilization: the junta-driven phase clock runs under a
+// sustained Poisson corruption stream and must keep converging anyway —
+// its epidemics re-absorb corrupted agents indefinitely. Leader
+// election instead takes repeated corruption bursts during the active
+// tournament, which it absorbs; sustained corruption is deliberately
+// excluded, because a fresh contender injected after the tournament has
+// ended is never eliminated (self-stabilizing leader election is
+// impossible in this model), and the experiment should demonstrate the
+// recovery the protocol actually provides.
+func E21FaultRecovery(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:    "E21",
+		Title: "fault recovery: detect-and-restart and self-stabilization",
+		Claim: "robustness: stable hybrids detect post-convergence corruption and re-converge; the clock self-stabilizes under sustained corruption, leader election absorbs mid-tournament bursts",
+		Columns: []string{"protocol", "engine", "n", "conv",
+			"events", "recover T/(n ln n)", "err latency/(n ln n)"},
+	}
+
+	ns := o.sizes([]int{1 << 10}, []int{1 << 8})
+	trials := o.trials(2)
+
+	algs := []popcount.Algorithm{
+		popcount.Approximate, popcount.CountExact,
+		popcount.StableApproximate, popcount.StableCountExact,
+	}
+	engines := []popcount.EngineKind{
+		popcount.EngineAgent, popcount.EngineCount, popcount.EngineCountBatched,
+	}
+	for _, n := range ns {
+		plan := popcount.FaultPlan{
+			Seed:            o.Seed ^ 0xfa171, // decorrelate from scheduler seeds
+			Adversary:       popcount.AdversaryConvergence,
+			AdversaryAgents: n / 8,
+		}
+		for _, alg := range algs {
+			for _, engine := range engines {
+				var conv int
+				var events, total int64
+				var recov, lat []float64
+				for t := 0; t < trials; t++ {
+					// Recovery from an adversarially corrupted configuration
+					// is w.h.p., not certain — the stable guarantee covers
+					// valid initial configurations, and a strike can (rarely)
+					// land outside the recoverable set, wandering forever.
+					// A bounded budget (~10× the largest observed recovery
+					// window) makes such trials a reported non-convergence
+					// instead of a 67M-interaction stall.
+					s, err := popcount.NewSimulation(alg, n,
+						popcount.WithSeed(o.Seed+uint64(t)+1),
+						popcount.WithEngine(engine),
+						popcount.WithMaxInteractions(int64(n)*20000),
+						popcount.WithFaults(plan))
+					if err != nil {
+						panic(err)
+					}
+					res, err := s.RunToConvergence()
+					if err != nil {
+						panic(err)
+					}
+					total += res.Total
+					st := s.Stats()
+					events += st.FaultEvents
+					if engine != popcount.EngineAgent {
+						countEngineStats(sim.EngineStats{DeltaCalls: st.DeltaCalls, Epochs: st.Epochs})
+					}
+					if res.Converged {
+						conv++
+						recov = append(recov, float64(st.ReconvergeTotal)/nLogN(n))
+					}
+					if st.ErrorLatency >= 0 {
+						lat = append(lat, float64(st.ErrorLatency)/nLogN(n))
+					}
+				}
+				countTrials(int64(trials), int64(conv), total)
+				latCell := "—"
+				if len(lat) > 0 {
+					latCell = f2(stats.Mean(lat))
+				}
+				tbl.AddRow(alg.String(), engine.String(), itoa(n),
+					fmt.Sprintf("%d/%d", conv, trials), itoa(int(events)),
+					f2(stats.Mean(recov)), latCell)
+			}
+		}
+
+		// Self-stabilization of the building blocks. Corruption resets
+		// victims to fresh initial states: for the clock a phase-0 agent
+		// to re-absorb, for leader election a new contender the
+		// tournament must eliminate. (Random occupied targets would not
+		// self-stabilize: they can overwrite the last leader with a
+		// follower code, which no rule ever undoes.) The clock takes a
+		// sustained Poisson stream — one event per n/2 interactions
+		// throughout the run. Leader election takes three bursts spread
+		// across the active tournament instead: a contender injected
+		// after the tournament has ended is never eliminated, so
+		// sustained corruption would only demonstrate the known
+		// impossibility of self-stabilizing leader election.
+		blocks := []struct {
+			name string
+			mk   func(n int) *sim.Spec
+			plan sim.FaultPlan
+		}{
+			{"clock", func(n int) *sim.Spec {
+				return clock.NewSpec(n, clock.DefaultM, 2*sim.Log2Ceil(n), 6)
+			}, sim.FaultPlan{
+				Seed:          o.Seed ^ 0xfa172,
+				CorruptRate:   2,
+				CorruptAgents: n / 64,
+			}},
+			{"leader", func(n int) *sim.Spec {
+				return leader.NewSpec(n, clock.DefaultM, 2*sim.Log2Ceil(n))
+			}, sim.FaultPlan{
+				Seed: o.Seed ^ 0xfa172,
+				Bursts: []sim.FaultBurst{
+					{At: int64(n) * 20, Agents: n / 64},
+					{At: int64(n) * 80, Agents: n / 64},
+					{At: int64(n) * 150, Agents: n / 64},
+				},
+			}},
+		}
+		for _, b := range blocks {
+			var conv int
+			var events, total int64
+			var recov []float64
+			for t := 0; t < trials; t++ {
+				plan := b.plan
+				cfg := sim.Config{
+					Seed:            o.Seed + uint64(t) + 1,
+					MaxInteractions: int64(n) * 20000,
+					Faults:          &plan,
+				}
+				e, err := sim.NewEngine(sim.NewSpecAgent(b.mk(n)), cfg)
+				if err != nil {
+					panic(err)
+				}
+				res, err := e.RunToConvergence()
+				if err != nil {
+					panic(err)
+				}
+				total += res.Total
+				fs := e.FaultStats()
+				events += fs.Events
+				if res.Converged {
+					conv++
+					recov = append(recov, float64(fs.ReconvergeTotal)/nLogN(n))
+				}
+			}
+			countTrials(int64(trials), int64(conv), total)
+			tbl.AddRow(b.name, "agent", itoa(n),
+				fmt.Sprintf("%d/%d", conv, trials), itoa(int(events)),
+				f2(stats.Mean(recov)), "—")
+		}
+	}
+
+	tbl.AddNote("detect-and-restart: convergence adversary corrupts n/8 agents at the first converged poll; " +
+		"recover T is the total reconvergence window, err latency the corruption→error-flag delay (stable hybrids only); " +
+		"recovery is w.h.p. — a strike can land outside the recoverable set, so an occasional trial exhausts its 20000·n budget unconverged")
+	tbl.AddNote("self-stabilization: corrupted agents reset to fresh initial states; the clock takes a sustained Poisson stream " +
+		"(rate 2 per n interactions, n/64 agents) and must converge regardless, leader election takes three n/64-agent bursts " +
+		"during the active tournament (a contender injected after the tournament ends is never eliminated — " +
+		"self-stabilizing leader election is impossible, so only transient recovery is testable)")
+	return tbl
+}

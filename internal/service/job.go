@@ -39,6 +39,96 @@ type JobRequest struct {
 	Shift           int   `json:"shift,omitempty"`
 	BatchRounds     int   `json:"batch_rounds,omitempty"`
 	FaultInjection  bool  `json:"fault_injection,omitempty"`
+	// Faults attaches a deterministic fault plan (popcount.WithFaults)
+	// to the run. A plan that schedules nothing is dropped during
+	// canonicalization, so it cannot split the cache.
+	Faults *FaultPlanRequest `json:"faults,omitempty"`
+}
+
+// FaultEventRequest is the wire form of one scheduled fault event —
+// a corruption burst (Random selects random occupied target states)
+// or a churn event (no Random).
+type FaultEventRequest struct {
+	At     int64 `json:"at"`
+	Agents int   `json:"agents"`
+	Random bool  `json:"random,omitempty"`
+}
+
+// FaultPlanRequest is the wire form of a popcount.FaultPlan. Rates
+// are expected events per n interactions; the adversary is named by
+// its canonical string (stale-replay, initiator-bias, convergence).
+type FaultPlanRequest struct {
+	Seed            uint64              `json:"seed,omitempty"`
+	Bursts          []FaultEventRequest `json:"bursts,omitempty"`
+	CorruptRate     float64             `json:"corrupt_rate,omitempty"`
+	CorruptAgents   int                 `json:"corrupt_agents,omitempty"`
+	CorruptRandom   bool                `json:"corrupt_random,omitempty"`
+	Churn           []FaultEventRequest `json:"churn,omitempty"`
+	ChurnRate       float64             `json:"churn_rate,omitempty"`
+	ChurnAgents     int                 `json:"churn_agents,omitempty"`
+	Adversary       string              `json:"adversary,omitempty"`
+	AdversaryRate   float64             `json:"adversary_rate,omitempty"`
+	AdversaryAgents int                 `json:"adversary_agents,omitempty"`
+}
+
+// FaultRequestFromPlan converts a popcount.FaultPlan to its wire
+// form, nil when the plan schedules nothing. The CorruptSearch knob
+// is not part of the plan request — callers map it to the request's
+// FaultInjection field.
+func FaultRequestFromPlan(p popcount.FaultPlan) *FaultPlanRequest {
+	if !p.Enabled() {
+		return nil
+	}
+	f := &FaultPlanRequest{
+		Seed:            p.Seed,
+		CorruptRate:     p.CorruptRate,
+		CorruptAgents:   p.CorruptAgents,
+		CorruptRandom:   p.CorruptRandom,
+		ChurnRate:       p.ChurnRate,
+		ChurnAgents:     p.ChurnAgents,
+		AdversaryRate:   p.AdversaryRate,
+		AdversaryAgents: p.AdversaryAgents,
+	}
+	for _, b := range p.Bursts {
+		f.Bursts = append(f.Bursts, FaultEventRequest{At: b.At, Agents: b.Agents, Random: b.Random})
+	}
+	for _, c := range p.Churn {
+		f.Churn = append(f.Churn, FaultEventRequest{At: c.At, Agents: c.Agents})
+	}
+	if p.Adversary != popcount.AdversaryNone {
+		f.Adversary = p.Adversary.String()
+	}
+	return f
+}
+
+// Plan converts the wire form to a popcount.FaultPlan. A nil request
+// yields the zero plan. Errors wrap popcount.ErrBadFaultPlan.
+func (f *FaultPlanRequest) Plan() (popcount.FaultPlan, error) {
+	var p popcount.FaultPlan
+	if f == nil {
+		return p, nil
+	}
+	p.Seed = f.Seed
+	for _, b := range f.Bursts {
+		p.Bursts = append(p.Bursts, popcount.FaultBurst{At: b.At, Agents: b.Agents, Random: b.Random})
+	}
+	p.CorruptRate, p.CorruptAgents, p.CorruptRandom = f.CorruptRate, f.CorruptAgents, f.CorruptRandom
+	for _, c := range f.Churn {
+		if c.Random {
+			return p, fmt.Errorf("%w: churn events take no random flag", popcount.ErrBadFaultPlan)
+		}
+		p.Churn = append(p.Churn, popcount.FaultChurn{At: c.At, Agents: c.Agents})
+	}
+	p.ChurnRate, p.ChurnAgents = f.ChurnRate, f.ChurnAgents
+	if f.Adversary != "" {
+		a, err := popcount.ParseAdversary(f.Adversary)
+		if err != nil {
+			return p, err
+		}
+		p.Adversary = a
+	}
+	p.AdversaryRate, p.AdversaryAgents = f.AdversaryRate, f.AdversaryAgents
+	return p, nil
 }
 
 // Canonicalize validates the request and rewrites it into canonical
@@ -68,8 +158,26 @@ func (r JobRequest) Canonicalize() (JobRequest, error) {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	var noopFaults bool
+	if r.Faults != nil {
+		plan, err := r.Faults.Plan()
+		if err != nil {
+			return r, err
+		}
+		noopFaults = !plan.Enabled()
+		if plan.Adversary == popcount.AdversaryNone {
+			r.Faults.Adversary = ""
+		} else {
+			r.Faults.Adversary = plan.Adversary.String()
+		}
+	}
 	if err := popcount.Validate(alg, r.N, r.Options()...); err != nil {
 		return r, err
+	}
+	if noopFaults {
+		// A well-formed plan that schedules nothing means no faults:
+		// drop it so the request hashes like a plain one.
+		r.Faults = nil
 	}
 	return r, nil
 }
@@ -109,7 +217,14 @@ func (r JobRequest) Options() []popcount.Option {
 	if r.BatchRounds > 0 {
 		opts = append(opts, popcount.WithBatchRounds(r.BatchRounds))
 	}
+	if r.Faults != nil {
+		// Canonicalized requests carry only parseable plans.
+		plan, _ := r.Faults.Plan()
+		opts = append(opts, popcount.WithFaults(plan))
+	}
 	if r.FaultInjection {
+		// Applied after WithFaults: the plan replaces the whole fault
+		// state, the legacy knob only raises CorruptSearch on top.
 		opts = append(opts, popcount.WithFaultInjection())
 	}
 	return opts
@@ -126,6 +241,12 @@ func (r JobRequest) Fingerprint() string {
 		r.Algorithm, r.N, r.Trials, r.Seed, r.Engine,
 		r.MaxInteractions, r.CheckEvery, r.ConfirmWindow,
 		r.ClockM, r.FastRounds, r.Shift, r.BatchRounds, r.FaultInjection)
+	if r.Faults != nil {
+		// The plan's canonical text form keys the cache; fault-free
+		// requests keep their pre-fault-plane hashes.
+		plan, _ := r.Faults.Plan()
+		fmt.Fprintf(h, "|faults=%s", plan.String())
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -18,6 +18,12 @@ type metrics struct {
 	checkpoints  atomic.Int64
 	resumes      atomic.Int64
 	jobsFinished atomic.Int64
+	// workerPanics counts jobs failed by a recovered panic in the job
+	// body; checkpointRestoreFailures counts checkpoints that no longer
+	// restored (corruption, truncation, version skew) and forced a
+	// restart from scratch.
+	workerPanics              atomic.Int64
+	checkpointRestoreFailures atomic.Int64
 	// interactions per engine kind, indexed by engineSlot.
 	interactions [3]atomic.Int64
 }
@@ -74,6 +80,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP popcountd_checkpoints_total Engine checkpoints written.\n# TYPE popcountd_checkpoints_total counter\npopcountd_checkpoints_total %d\n", s.met.checkpoints.Load())
 	fmt.Fprintf(w, "# HELP popcountd_resumes_total Jobs resumed from a checkpoint.\n# TYPE popcountd_resumes_total counter\npopcountd_resumes_total %d\n", s.met.resumes.Load())
 	fmt.Fprintf(w, "# HELP popcountd_jobs_finished_total Jobs that reached a terminal state.\n# TYPE popcountd_jobs_finished_total counter\npopcountd_jobs_finished_total %d\n", s.met.jobsFinished.Load())
+	fmt.Fprintf(w, "# HELP popcountd_worker_panics_total Jobs failed by a recovered panic in the job body.\n# TYPE popcountd_worker_panics_total counter\npopcountd_worker_panics_total %d\n", s.met.workerPanics.Load())
+	fmt.Fprintf(w, "# HELP popcountd_checkpoint_restore_failures_total Checkpoints that failed to restore and forced a restart from scratch.\n# TYPE popcountd_checkpoint_restore_failures_total counter\npopcountd_checkpoint_restore_failures_total %d\n", s.met.checkpointRestoreFailures.Load())
 	fmt.Fprintf(w, "# HELP popcountd_interactions_total Interactions simulated, by engine.\n# TYPE popcountd_interactions_total counter\n")
 	for i, name := range engineSlotNames {
 		fmt.Fprintf(w, "popcountd_interactions_total{engine=%q} %d\n", name, s.met.interactions[i].Load())

@@ -50,6 +50,10 @@ type Server struct {
 	st      *store
 	met     metrics
 	cpEvery int64
+	// beforeRun, when non-nil, runs at the top of every job dispatch,
+	// inside the worker's panic guard. Tests use it to inject faults
+	// into the worker itself.
+	beforeRun func(*Job)
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -210,7 +214,8 @@ func errorStatus(err error) int {
 	case errors.Is(err, popcount.ErrInvalidN),
 		errors.Is(err, popcount.ErrUnknownAlgorithm),
 		errors.Is(err, popcount.ErrUnsupportedEngine),
-		errors.Is(err, popcount.ErrNotSnapshottable):
+		errors.Is(err, popcount.ErrNotSnapshottable),
+		errors.Is(err, popcount.ErrBadFaultPlan):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

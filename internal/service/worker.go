@@ -66,14 +66,7 @@ func (s *Server) runJob(j *Job) {
 	j.setState(JobRunning, "")
 	s.persist(j)
 
-	var doc ResultDoc
-	var outcome runOutcome
-	var failMsg string
-	if j.Req.Trials == 1 {
-		doc, outcome, failMsg = s.runSingle(ctx, j)
-	} else {
-		doc, outcome, failMsg = s.runEnsembleJob(ctx, j)
-	}
+	doc, outcome, failMsg := s.dispatch(ctx, j)
 
 	switch outcome {
 	case outDone:
@@ -111,6 +104,27 @@ func (s *Server) runJob(j *Job) {
 		s.persist(j)
 		s.met.jobsFinished.Add(1)
 	}
+}
+
+// dispatch runs the job body behind a panic guard: a panicking
+// protocol or engine fails that one job — recording the panic message
+// in its job record and result error — instead of killing the worker
+// goroutine and, with it, a share of the daemon's capacity.
+func (s *Server) dispatch(ctx context.Context, j *Job) (doc ResultDoc, outcome runOutcome, failMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.workerPanics.Add(1)
+			doc, outcome = ResultDoc{}, outFailed
+			failMsg = fmt.Sprintf("worker panic: %v", r)
+		}
+	}()
+	if s.beforeRun != nil {
+		s.beforeRun(j)
+	}
+	if j.Req.Trials == 1 {
+		return s.runSingle(ctx, j)
+	}
+	return s.runEnsembleJob(ctx, j)
 }
 
 // progressObserver builds the observer emitting throttled progress
@@ -170,8 +184,9 @@ func (s *Server) runSingle(ctx context.Context, j *Job) (ResultDoc, runOutcome, 
 			j.emit(Event{Type: "resumed", Interactions: lastCp})
 		} else {
 			// A checkpoint that no longer restores (version skew,
-			// corruption) falls back to a fresh run — losing progress, not
-			// the job.
+			// corruption, truncation) falls back to a fresh run — losing
+			// progress, not the job.
+			s.met.checkpointRestoreFailures.Add(1)
 			j.emit(Event{Type: "progress", Message: "checkpoint unusable, restarting: " + err.Error()})
 		}
 	}

@@ -195,6 +195,11 @@ type CountEngine struct {
 	// multinomial epoch planner of countbatch.go.
 	bp *batchPlanner
 
+	// fspec is the protocol's transition spec, resolved at construction
+	// when a fault plan is active (fault targets and the error probe
+	// are defined over the spec), nil without faults.
+	fspec *Spec
+
 	// occ lists the dense indices of currently occupied states in
 	// ascending order. The interned product-state specs discover far
 	// more states over a run than are ever occupied at once (a moving
@@ -270,6 +275,17 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 	}
 	if cfg.BatchSteps {
 		e.bp = newBatchPlanner(p, cfg, e.n)
+	}
+	if cfg.Faults != nil {
+		sp, ok := p.(interface{ Spec() *Spec })
+		if !ok {
+			return nil, fmt.Errorf("%w: count protocol %T is not spec-backed — fault transformations are defined over a Spec's state domain", ErrFaultPlan, p)
+		}
+		fs, err := compileFaults(cfg.Faults, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.fs, e.fspec = fs, sp.Spec()
 	}
 
 	// The one-shot initialization sampler (when implemented) runs here,
@@ -351,11 +367,23 @@ func (e *CountEngine) RunToConvergence() (Result, error) {
 
 // Step executes exactly count interactions without convergence checks,
 // in multinomial epochs when batch stepping is enabled (Config.
-// BatchSteps) and per interaction otherwise.
+// BatchSteps) and per interaction otherwise. With a fault plan,
+// scheduled events interleave at their exact interaction times — batch
+// epochs are truncated at fault boundaries, so the batched mode
+// executes the same schedule as the exact modes.
 func (e *CountEngine) Step(count int64) {
 	if count <= 0 {
 		return
 	}
+	if e.fs != nil {
+		e.stepFaulted(count, e.stepRaw, e)
+		return
+	}
+	e.stepRaw(count)
+}
+
+// stepRaw is the fault-free stepping body.
+func (e *CountEngine) stepRaw(count int64) {
 	if e.bp != nil {
 		e.stepBatched(count)
 		return
@@ -431,25 +459,33 @@ func geomSkip(r *rng.Rand, p float64) int64 {
 }
 
 // samplePair draws the initiator and responder states of one uniform
-// ordered pair of distinct agents, returned as dense indices. The
-// responder is drawn uniformly among the n−1 agents other than the
-// initiator: positions below the initiator's block are unchanged, the
-// initiator's block loses one slot, positions above shift by one.
-func (e *CountEngine) samplePair() (int, int) {
+// ordered pair of distinct agents, returned as dense indices.
+func (e *CountEngine) samplePair() (int, int) { return e.samplePairR(e.r) }
+
+// samplePairR is samplePair over an explicit generator — the fault
+// plane's adversaries draw from the fault stream, the hot path from the
+// scheduler stream, with identical draw order either way.
+func (e *CountEngine) samplePairR(r *rng.Rand) (int, int) {
+	i := e.c.s.Find(r.Int64n(e.n))
+	return i, e.responderIndex(i, r)
+}
+
+// responderIndex draws the responder state for an initiator in dense
+// state i, uniform among the n−1 agents other than the initiator:
+// positions below the initiator's block are unchanged, the initiator's
+// block loses one slot, positions above shift by one.
+func (e *CountEngine) responderIndex(i int, r *rng.Rand) int {
 	c := e.c
-	i := c.s.Find(e.r.Int64n(e.n))
-	y := e.r.Int64n(e.n - 1)
+	y := r.Int64n(e.n - 1)
 	pre := c.s.Prefix(i)
-	var j int
 	switch {
 	case y < pre:
-		j = c.s.Find(y)
+		return c.s.Find(y)
 	case y < pre+c.counts[i]-1:
-		j = i
+		return i
 	default:
-		j = c.s.Find(y + 1)
+		return c.s.Find(y + 1)
 	}
-	return i, j
 }
 
 // sampleResponder maps y — uniform over the elig(i) eligible responder

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultFixtureSpec is snapFixtureSpec plus an error predicate: a
+// configuration mixing absorbed (level-7) agents with fresh init levels
+// is only reachable through fault injection, so the predicate models the
+// stable hybrids' damage detection.
+func faultFixtureSpec(n int, skip bool) *Spec {
+	s := snapFixtureSpec(n, skip)
+	s.Errored = func(v ConfigView) bool {
+		return v.Count(7) > 0 && v.Count(7) < v.N()
+	}
+	return s
+}
+
+// richPlan exercises every fault family at once: scheduled bursts (one
+// spec-init, one random-target), Poisson corruption and churn streams,
+// and the stale-replay adversary.
+func richPlan() *FaultPlan {
+	return &FaultPlan{
+		Seed:          99,
+		Bursts:        []FaultBurst{{At: 400, Agents: 5}, {At: 1100, Agents: 3, Random: true}},
+		CorruptRate:   0.5,
+		CorruptAgents: 2,
+		Churn:         []FaultChurn{{At: 700, Agents: 4}},
+		ChurnRate:     0.25,
+		Adversary:     AdversaryStaleReplay,
+		AdversaryRate: 1.0,
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	n := 64
+	bad := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"negative burst time", FaultPlan{Bursts: []FaultBurst{{At: -1, Agents: 1}}}},
+		{"zero burst agents", FaultPlan{Bursts: []FaultBurst{{At: 0, Agents: 0}}}},
+		{"burst above n", FaultPlan{Bursts: []FaultBurst{{At: 0, Agents: n + 1}}}},
+		{"negative churn agents", FaultPlan{Churn: []FaultChurn{{At: 0, Agents: -2}}}},
+		{"negative rate", FaultPlan{CorruptRate: -0.5}},
+		{"corrupt agents above n", FaultPlan{CorruptRate: 1, CorruptAgents: n + 1}},
+		{"replay without rate", FaultPlan{Adversary: AdversaryStaleReplay}},
+		{"bias without rate", FaultPlan{Adversary: AdversaryInitiatorBias}},
+		{"unknown adversary", FaultPlan{Adversary: AdversaryKind(42)}},
+	}
+	for _, tc := range bad {
+		if err := tc.plan.Validate(n); !errors.Is(err, ErrFaultPlan) {
+			t.Errorf("%s: err = %v, want ErrFaultPlan", tc.name, err)
+		}
+	}
+	good := FaultPlan{}
+	if err := good.Validate(n); err != nil {
+		t.Errorf("zero plan: err = %v, want nil", err)
+	}
+	if good.Enabled() {
+		t.Error("zero plan reports Enabled")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Enabled() {
+		t.Error("nil plan reports Enabled")
+	}
+	if !richPlan().Enabled() {
+		t.Error("rich plan reports not Enabled")
+	}
+	if !(&FaultPlan{Adversary: AdversaryConvergence}).Enabled() {
+		t.Error("adversary-only plan reports not Enabled")
+	}
+}
+
+func TestFaultPlanNeedsSpecBackedProtocol(t *testing.T) {
+	cfg := Config{Seed: 1, Faults: richPlan()}
+	if _, err := NewEngine(&noSnapProtocol{n: 8}, cfg); !errors.Is(err, ErrFaultPlan) {
+		t.Fatalf("agent engine on non-spec protocol: err = %v, want ErrFaultPlan", err)
+	}
+	if _, err := NewEngine(NewSpecAgent(faultFixtureSpec(8, false)), cfg); err != nil {
+		t.Fatalf("agent engine on spec protocol: %v", err)
+	}
+}
+
+// TestFaultScheduleDeterministic pins seed reproducibility: two agent
+// engines built from equal (plan, Config) execute identical faulted
+// trajectories — same agent codes, same fault counters — while a
+// different plan seed diverges.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	const n = 128
+	chunks := []int64{300, 777, 1500, 2048}
+	run := func(planSeed uint64) (*Engine, *SpecAgent) {
+		t.Helper()
+		plan := richPlan()
+		plan.Seed = planSeed
+		p := NewSpecAgent(faultFixtureSpec(n, false))
+		e, err := NewEngine(p, Config{Seed: 11, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepChunks(e, chunks)
+		return e, p
+	}
+	e1, p1 := run(99)
+	e2, p2 := run(99)
+	if e1.FaultStats() != e2.FaultStats() {
+		t.Fatalf("fault stats diverged: %+v vs %+v", e1.FaultStats(), e2.FaultStats())
+	}
+	if e1.FaultStats().Events == 0 {
+		t.Fatal("rich plan applied no events")
+	}
+	for i := 0; i < n; i++ {
+		if p1.Code(i) != p2.Code(i) {
+			t.Fatalf("agent %d diverged: %#x vs %#x", i, p1.Code(i), p2.Code(i))
+		}
+	}
+	e3, _ := run(100)
+	if e1.FaultStats() == e3.FaultStats() {
+		t.Fatal("different plan seeds produced identical fault stats")
+	}
+}
+
+// TestFaultAgentSnapshotResume pins the tentpole's bit-for-bit claim on
+// the agent engine: a faulted run snapshotted mid-schedule and restored
+// into a fresh engine finishes identical to the uninterrupted run.
+func TestFaultAgentSnapshotResume(t *testing.T) {
+	const n = 128
+	cfg := Config{Seed: 5, Faults: richPlan()}
+	mk := func() (*Engine, *SpecAgent) {
+		t.Helper()
+		p := NewSpecAgent(faultFixtureSpec(n, false))
+		e, err := NewEngine(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, p
+	}
+	ref, refP := mk()
+	stepChunks(ref, []int64{450, 500}) // lands mid-schedule, past burst 1
+	snap, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := []int64{300, 1200, 2000}
+	stepChunks(ref, post)
+
+	res, resP := mk()
+	if err := res.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	stepChunks(res, post)
+	if ref.Interactions() != res.Interactions() {
+		t.Fatalf("interactions: want %d, got %d", ref.Interactions(), res.Interactions())
+	}
+	if ref.FaultStats() != res.FaultStats() {
+		t.Fatalf("fault stats: want %+v, got %+v", ref.FaultStats(), res.FaultStats())
+	}
+	for i := 0; i < n; i++ {
+		if refP.Code(i) != resP.Code(i) {
+			t.Fatalf("agent %d: want %#x, got %#x", i, refP.Code(i), resP.Code(i))
+		}
+	}
+}
+
+// TestFaultCountSnapshotResume pins the same property on the count
+// engine in all three modes (plain, self-loop skip, batched).
+func TestFaultCountSnapshotResume(t *testing.T) {
+	cases := []struct {
+		name  string
+		skip  bool
+		batch bool
+	}{
+		{"plain", false, false},
+		{"skip", true, false},
+		{"batched", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Seed: 21, BatchSteps: tc.batch, Faults: richPlan()}
+			mk := func() *CountEngine {
+				t.Helper()
+				e, err := NewCountEngine(NewSpecCount(faultFixtureSpec(512, tc.skip)), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			ref := mk()
+			stepChunks(ref, []int64{450, 500})
+			snap, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			post := []int64{300, 1200, 2000}
+			stepChunks(ref, post)
+
+			res := mk()
+			if err := res.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			stepChunks(res, post)
+			compareCountEngines(t, ref, res)
+			if ref.FaultStats() != res.FaultStats() {
+				t.Fatalf("fault stats: want %+v, got %+v", ref.FaultStats(), res.FaultStats())
+			}
+			if ref.FaultStats().Events == 0 {
+				t.Fatal("rich plan applied no events")
+			}
+		})
+	}
+
+	// A faulted snapshot must not restore into a fault-free engine (and
+	// vice versa): the feature flags disagree.
+	faulted, err := NewCountEngine(NewSpecCount(faultFixtureSpec(64, false)), Config{Seed: 1, Faults: richPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := faulted.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewCountEngine(NewSpecCount(faultFixtureSpec(64, false)), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Restore(snap); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("faulted snapshot into clean engine: err = %v, want ErrSnapshotFormat", err)
+	}
+}
+
+// TestFaultChurnConservesN pins the conservation invariant: churn
+// replaces agents, so Σcounts stays exactly n through an aggressive
+// churn-and-corruption schedule, on both count-engine modes.
+func TestFaultChurnConservesN(t *testing.T) {
+	const n = 256
+	plan := &FaultPlan{
+		Seed:        7,
+		ChurnRate:   4.0,
+		ChurnAgents: 8,
+		CorruptRate: 2.0,
+		Churn:       []FaultChurn{{At: 100, Agents: n}}, // full replacement
+		Bursts:      []FaultBurst{{At: 150, Agents: n, Random: true}},
+	}
+	for _, batch := range []bool{false, true} {
+		// The aggressive rates need an explicit horizon: over the default
+		// interaction budget they would compile past the event cap.
+		e, err := NewCountEngine(NewSpecCount(faultFixtureSpec(n, true)), Config{Seed: 3, MaxInteractions: 8000, BatchSteps: batch, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int64{90, 20, 50, 500, 3000} {
+			e.Step(chunk)
+			var sum int64
+			e.Counts().ForEach(func(_ uint64, cnt int64) { sum += cnt })
+			if sum != n {
+				t.Fatalf("batch=%v after t=%d: Σcounts = %d, want %d", batch, e.Interactions(), sum, n)
+			}
+		}
+		if churned := e.FaultStats().Churned; churned < n {
+			t.Fatalf("batch=%v: churned %d agents, want ≥ %d", batch, churned, n)
+		}
+	}
+}
+
+// TestFaultConvergenceAdversary pins the corruption-timed adversary and
+// the recovery instrumentation: the strike lands at the first converged
+// poll, the error flag is raised, and the run recovers to genuine
+// re-convergence with a recorded reconvergence window.
+func TestFaultConvergenceAdversary(t *testing.T) {
+	const n = 64
+	plan := &FaultPlan{Seed: 13, Adversary: AdversaryConvergence, AdversaryAgents: 16}
+	mkAgent := func() (Result, FaultStats) {
+		t.Helper()
+		e, err := NewEngine(NewSpecAgent(faultFixtureSpec(n, false)), Config{Seed: 2, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RunToConvergence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, e.FaultStats()
+	}
+	mkCount := func() (Result, FaultStats) {
+		t.Helper()
+		e, err := NewCountEngine(NewSpecCount(faultFixtureSpec(n, true)), Config{Seed: 2, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RunToConvergence()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, e.FaultStats()
+	}
+	for name, mk := range map[string]func() (Result, FaultStats){"agent": mkAgent, "count": mkCount} {
+		res, st := mk()
+		if !res.Converged {
+			t.Fatalf("%s: faulted run did not re-converge", name)
+		}
+		if st.Events != 1 || st.Corrupted != 16 {
+			t.Fatalf("%s: stats %+v, want exactly one 16-agent strike", name, st)
+		}
+		if st.Reconvergences != 1 || st.ReconvergeTotal <= 0 || st.ReconvergeMax != st.ReconvergeTotal {
+			t.Fatalf("%s: recovery window not recorded: %+v", name, st)
+		}
+		if st.ErrorLatency < 0 {
+			t.Fatalf("%s: error flag never detected: %+v", name, st)
+		}
+	}
+}
+
+// TestFaultInitiatorBias smoke-checks the bias adversary on both engine
+// forms: events are compiled, every event forces an interaction, and
+// the trajectory stays well-formed.
+func TestFaultInitiatorBias(t *testing.T) {
+	plan := &FaultPlan{Seed: 4, Adversary: AdversaryInitiatorBias, AdversaryRate: 2.0}
+	e, err := NewEngine(NewSpecAgent(faultFixtureSpec(64, false)), Config{Seed: 9, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step(4000)
+	st := e.FaultStats()
+	if st.Events == 0 || st.Forced != st.Events {
+		t.Fatalf("agent bias adversary: %+v, want every event forced", st)
+	}
+	ce, err := NewCountEngine(NewSpecCount(faultFixtureSpec(64, true)), Config{Seed: 9, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.Step(4000)
+	cst := ce.FaultStats()
+	if cst.Events == 0 || cst.Forced != cst.Events {
+		t.Fatalf("count bias adversary: %+v, want every event forced", cst)
+	}
+	var sum int64
+	ce.Counts().ForEach(func(_ uint64, cnt int64) { sum += cnt })
+	if sum != 64 {
+		t.Fatalf("count bias adversary: Σcounts = %d, want 64", sum)
+	}
+}

@@ -74,6 +74,11 @@ type Observation struct {
 	// Converged reports whether the convergence predicate held at this
 	// poll (always false for protocols without a Converger).
 	Converged bool
+	// Errored reports whether the protocol's error predicate held at
+	// this poll. It is only probed when a fault plan is active
+	// (Config.Faults) and the spec declares error detection; false
+	// otherwise.
+	Errored bool
 }
 
 // Config controls a single simulation run.
@@ -125,6 +130,13 @@ type Config struct {
 	// exceeds max(1, BatchDrift·count) is split and retried at half
 	// size. Zero selects 0.125. Only read when BatchSteps is set.
 	BatchDrift float64
+	// Faults, if non-nil, applies a deterministic fault schedule to the
+	// run (see FaultPlan): corruption bursts, Poisson corruption and
+	// churn streams, and adversarial interactions, identical across the
+	// engine forms. The protocol must be spec-backed (fault
+	// transformations are defined over a Spec's state domain) and the
+	// scheduler uniform; the engine constructors error otherwise.
+	Faults *FaultPlan
 }
 
 // Result reports the outcome of a run.
@@ -195,6 +207,13 @@ type engineOps interface {
 	// Converged reports whether the protocol's convergence predicate
 	// currently holds (false for protocols without one).
 	Converged() bool
+	// applyFault applies one fault event to the current configuration
+	// without advancing the interaction counter. Only called when a
+	// fault plan is active.
+	applyFault(ev faultEvent)
+	// faultErrored probes the protocol's error predicate (false for
+	// protocols without one). Only called when a fault plan is active.
+	faultErrored() bool
 }
 
 // engineCore is the engine state shared by the agent-array and
@@ -203,7 +222,8 @@ type engineOps interface {
 type engineCore struct {
 	cfg    Config // normalized: MaxInteractions and CheckEvery filled in
 	t      int64
-	convAt int64 // interactions at first observed convergence, -1 before
+	convAt int64       // interactions at first observed convergence, -1 before
+	fs     *faultState // compiled fault plan, nil when Config.Faults is nil
 }
 
 // normalizeConfig fills in the defaults that depend on the population
@@ -225,11 +245,18 @@ func (c *engineCore) Interactions() int64 { return c.t }
 // the observer, and returns the predicate's value.
 func (c *engineCore) poll(ops engineOps) bool {
 	conv := ops.Converged()
+	if c.fs != nil {
+		conv = c.fs.onPoll(c, ops, conv)
+	}
 	if conv && c.convAt < 0 {
 		c.convAt = c.t
 	}
 	if c.cfg.Observe != nil {
-		c.cfg.Observe(Observation{Interactions: c.t, Converged: conv})
+		obs := Observation{Interactions: c.t, Converged: conv}
+		if c.fs != nil {
+			obs.Errored = ops.faultErrored()
+		}
+		c.cfg.Observe(obs)
 	}
 	return conv
 }
@@ -324,6 +351,7 @@ type Engine struct {
 	uniform bool // sched is the uniform scheduler: draw pairs directly
 	n       int  // cached p.N(), hoisted out of the scalar step loop
 	r       *rng.Rand
+	fsa     *SpecAgent // fault-plane access to the agent array, nil without faults
 }
 
 // NewEngine validates p and cfg and returns an engine positioned at
@@ -352,6 +380,20 @@ func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 		e.bi, _ = p.(BatchInteractor)
 	}
 	e.conv, _ = p.(Converger)
+	if cfg.Faults != nil {
+		sa, ok := p.(*SpecAgent)
+		if !ok {
+			return nil, fmt.Errorf("%w: protocol %T is not spec-backed — fault transformations are defined over a Spec's state domain", ErrFaultPlan, p)
+		}
+		if !e.uniform {
+			return nil, fmt.Errorf("%w: fault plans require the uniform scheduler (got %T)", ErrFaultPlan, cfg.Scheduler)
+		}
+		fs, err := compileFaults(cfg.Faults, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.fs, e.fsa = fs, sa
+	}
 	// One-shot initialization sampling (spec.go) happens here, before
 	// any interaction, so the scalar and batched paths consume the
 	// random stream identically.
@@ -369,11 +411,21 @@ func (e *Engine) Protocol() Protocol { return e.p }
 func (e *Engine) Converged() bool { return e.conv != nil && e.conv.Converged() }
 
 // Step executes exactly count interactions without convergence checks,
-// using the batch fast path when the protocol supports it.
+// using the batch fast path when the protocol supports it. With a fault
+// plan, scheduled events interleave at their exact interaction times.
 func (e *Engine) Step(count int64) {
 	if count <= 0 {
 		return
 	}
+	if e.fs != nil {
+		e.stepFaulted(count, e.stepRaw, e)
+		return
+	}
+	e.stepRaw(count)
+}
+
+// stepRaw is the fault-free stepping body.
+func (e *Engine) stepRaw(count int64) {
 	switch {
 	case e.bi != nil:
 		e.bi.InteractBatch(count, e.sched, e.r)

@@ -42,6 +42,7 @@ const (
 
 	snapFlagSkip    uint8 = 1 << 0 // engine had the self-loop skip path
 	snapFlagPlanner uint8 = 1 << 1 // engine had the batch planner
+	snapFlagFaults  uint8 = 1 << 2 // engine carried a fault plan (count form)
 )
 
 // ErrNotSnapshottable is returned when an engine's protocol or
@@ -266,7 +267,15 @@ func (p *SpecAgent) RestoreState(b []byte) error {
 	}
 	r := &snapReader{buf: b}
 	dl := int(r.u32())
-	dict := make([]uint64, 0, dl)
+	// The declared length is untrusted input: cap the pre-allocation by
+	// what the remaining bytes could possibly hold (each entry is at
+	// least a u32 length prefix) so a forged header cannot force a
+	// gigantic allocation before the parse fails.
+	capHint := dl
+	if max := len(b) / 4; capHint > max {
+		capHint = max
+	}
+	dict := make([]uint64, 0, capHint)
 	for i := 0; i < dl && r.err == nil; i++ {
 		blob := r.bytes()
 		if r.err != nil {
@@ -355,6 +364,15 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w := &snapWriter{}
 	e.header(w, snapMagicAgent, int64(e.n), e.r.State())
 	w.bytes(blob)
+	// The fault section travels only for faulted runs, so fault-free
+	// snapshots stay byte-identical to the pre-fault-plane format.
+	if e.fs != nil {
+		enc := e.fsa.spec.EncodeState
+		if enc == nil {
+			enc = identityEncode
+		}
+		e.fs.snapshot(w, enc)
+	}
 	return w.buf, nil
 }
 
@@ -376,6 +394,14 @@ func (e *Engine) Restore(data []byte) error {
 		return err
 	}
 	blob := r.bytes()
+	var fsn faultSnap
+	if e.fs != nil {
+		dec := e.fsa.spec.DecodeState
+		if dec == nil {
+			dec = identityDecode
+		}
+		fsn = e.fs.readSnapshot(r, dec)
+	}
 	if err := r.done(); err != nil {
 		return err
 	}
@@ -384,6 +410,9 @@ func (e *Engine) Restore(data []byte) error {
 	}
 	e.t, e.convAt = t, convAt
 	e.r.SetState(rngState)
+	if e.fs != nil {
+		e.fs.restoreSnap(fsn)
+	}
 	return nil
 }
 
@@ -410,6 +439,9 @@ func (e *CountEngine) Snapshot() ([]byte, error) {
 	if e.bp != nil {
 		flags |= snapFlagPlanner
 	}
+	if e.fs != nil {
+		flags |= snapFlagFaults
+	}
 	w.u8(flags)
 	if e.bp != nil {
 		w.i64(e.bp.cool)
@@ -423,6 +455,9 @@ func (e *CountEngine) Snapshot() ([]byte, error) {
 	for i, code := range e.c.codes {
 		w.bytes(enc(code))
 		w.i64(e.c.counts[i])
+	}
+	if e.fs != nil {
+		e.fs.snapshot(w, enc)
 	}
 	return w.buf, nil
 }
@@ -456,6 +491,9 @@ func (e *CountEngine) Restore(data []byte) error {
 		if e.bp != nil {
 			want |= snapFlagPlanner
 		}
+		if e.fs != nil {
+			want |= snapFlagFaults
+		}
 		if flags != want {
 			r.fail("engine feature flags %#x, engine has %#x (different Config?)", flags, want)
 		}
@@ -470,7 +508,14 @@ func (e *CountEngine) Restore(data []byte) error {
 		code  uint64
 		count int64
 	}
-	states := make([]denseState, 0, k)
+	// Untrusted length: cap the pre-allocation by what the remaining
+	// bytes could hold (each state is at least a u32 length prefix plus
+	// an i64 count).
+	capHint := k
+	if max := (len(data) - r.off) / 12; capHint > max {
+		capHint = max
+	}
+	states := make([]denseState, 0, capHint)
 	var sum int64
 	for i := 0; i < k && r.err == nil; i++ {
 		blob := r.bytes()
@@ -491,6 +536,12 @@ func (e *CountEngine) Restore(data []byte) error {
 	}
 	if r.err == nil && sum != e.n {
 		r.fail("counts sum to %d, want n=%d", sum, e.n)
+	}
+	var fsn faultSnap
+	if e.fs != nil {
+		// Stale states decode after the full state list, so an interned
+		// codec has already re-discovered them in snapshot order.
+		fsn = e.fs.readSnapshot(r, dec)
 	}
 	if err := r.done(); err != nil {
 		return err
@@ -526,5 +577,8 @@ func (e *CountEngine) Restore(data []byte) error {
 	e.t, e.convAt = t, convAt
 	e.stats = stats
 	e.r.SetState(rngState)
+	if e.fs != nil {
+		e.fs.restoreSnap(fsn)
+	}
 	return nil
 }

@@ -18,6 +18,10 @@ type Snapshot struct {
 	Output int64
 	// Estimate is the population-size estimate implied by Output.
 	Estimate int64
+	// Errored reports whether the protocol's error flag was raised at
+	// this poll. It is probed only when a fault plan is active
+	// (WithFaults) and only the stable hybrids detect; false otherwise.
+	Errored bool
 }
 
 // Observer receives periodic snapshots of a running simulation. It is
@@ -61,6 +65,7 @@ func (set settings) snapshotCountObserver(alg Algorithm, eng func() *sim.CountEn
 			Trial:        trial,
 			Interactions: o.Interactions,
 			Converged:    o.Converged,
+			Errored:      o.Errored,
 		}
 		if e := eng(); e != nil {
 			if out, ok := e.PluralityOutput(); ok {
@@ -88,6 +93,7 @@ func (set settings) snapshotObserver(alg Algorithm, p sim.Protocol, trial int) f
 			Trial:        trial,
 			Interactions: o.Interactions,
 			Converged:    o.Converged,
+			Errored:      o.Errored,
 		}
 		if out != nil {
 			snap.Output = out.Output(0)

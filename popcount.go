@@ -197,7 +197,7 @@ type settings struct {
 	observer      Observer
 	observeEvery  int64
 	interrupt     func() bool
-	faultInject   bool
+	faults        FaultPlan
 }
 
 func newSettings(opts []Option) settings {
@@ -266,8 +266,10 @@ func WithInterrupt(fn func() bool) Option {
 // variants (StableApproximate, StableCountExact), forcing their
 // error-detection → backup pipeline to engage — a demonstration and
 // testing knob for the machinery of Theorem 1.2 and Appendix F. Other
-// algorithms ignore it.
-func WithFaultInjection() Option { return func(s *settings) { s.faultInject = true } }
+// algorithms ignore it. It is a thin alias for the FaultPlan's
+// CorruptSearch knob; schedule dynamic faults — corruption bursts,
+// churn, adversarial scheduling — with WithFaults.
+func WithFaultInjection() Option { return func(s *settings) { s.faults.CorruptSearch = true } }
 
 // Result reports the outcome of a completed simulation.
 type Result struct {
@@ -354,8 +356,10 @@ func Validate(alg Algorithm, n int, opts ...Option) error {
 		return err
 	}
 	set := newSettings(opts)
-	_, err := set.resolveEngine(alg)
-	return err
+	if _, err := set.resolveEngine(alg); err != nil {
+		return err
+	}
+	return set.faults.validate(n)
 }
 
 // specFor returns the canonical transition spec of alg over n agents
@@ -375,9 +379,9 @@ func specFor(alg Algorithm, n int, set settings) (*sim.Spec, bool) {
 	case CountExact:
 		return core.NewCountExactSpec(cfg).Spec, true
 	case StableApproximate:
-		return core.NewStableApproximateSpec(cfg, set.faultInject).Spec, true
+		return core.NewStableApproximateSpec(cfg, set.faults.CorruptSearch).Spec, true
 	case StableCountExact:
-		return core.NewStableCountExactSpec(cfg, set.faultInject).Spec, true
+		return core.NewStableCountExactSpec(cfg, set.faults.CorruptSearch).Spec, true
 	case GeometricEstimate:
 		return baseline.NewGeometricSpec(n), true
 	default:
@@ -425,6 +429,17 @@ func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
 	if set.mkSched != nil {
 		_, uniform = set.newSimScheduler().(sim.UniformScheduler)
 	}
+	if set.faults.Enabled() {
+		// Dynamic faults are code-to-code transformations over a Spec's
+		// state domain, applied under the uniform scheduler — reject
+		// incompatible combinations here, at construction.
+		if !supported {
+			return 0, fmt.Errorf("%w: algorithm %v is not spec-backed, so fault plans cannot transform its states — rerun without WithFaults", ErrUnsupportedEngine, alg)
+		}
+		if !uniform {
+			return 0, fmt.Errorf("%w: fault plans require the default uniform scheduler — drop the WithScheduler override", ErrUnsupportedEngine)
+		}
+	}
 	switch set.engine {
 	case EngineAgent:
 		return EngineAgent, nil
@@ -461,6 +476,7 @@ func (set settings) simConfig(alg Algorithm, p sim.Protocol, trial int) sim.Conf
 		ConfirmWindow:   set.confirmWindow,
 		Scheduler:       set.newSimScheduler(),
 		Interrupt:       set.interrupt,
+		Faults:          set.faults.simPlan(),
 	}
 	if set.observer != nil {
 		cfg.Observe = set.snapshotObserver(alg, p, trial)
@@ -493,6 +509,7 @@ func (set settings) countSimConfig(kind EngineKind) sim.Config {
 		BatchSteps:      kind == EngineCountBatched,
 		BatchMaxRounds:  set.batchRounds,
 		Interrupt:       set.interrupt,
+		Faults:          set.faults.simPlan(),
 	}
 }
 
@@ -512,6 +529,9 @@ func newSimulationFrom(alg Algorithm, n int, set settings) (*Simulation, error) 
 		return nil, err
 	}
 	if err := validate(alg, n); err != nil {
+		return nil, err
+	}
+	if err := set.faults.validate(n); err != nil {
 		return nil, err
 	}
 	if kind == EngineCount || kind == EngineCountBatched {
@@ -539,10 +559,12 @@ func newSimulationFrom(alg Algorithm, n int, set settings) (*Simulation, error) 
 	return &Simulation{alg: alg, n: n, kind: EngineAgent, set: set, p: p, eng: eng}, nil
 }
 
-// EngineStats are deterministic, machine-independent run counters of
-// the count engines: equal algorithms, seeds and run lengths produce
-// equal stats on any machine. All fields are zero on the agent engine,
-// whose only counter is the interaction count itself.
+// EngineStats are deterministic, machine-independent run counters:
+// equal algorithms, seeds and run lengths produce equal stats on any
+// machine. The batch counters (DeltaCalls through HalfDiscards) are
+// zero on the agent engine, whose only counter is the interaction count
+// itself; the fault counters are filled on every engine when a fault
+// plan is active (WithFaults) and zero otherwise.
 type EngineStats struct {
 	// DeltaCalls counts transition-rule invocations (the interactions
 	// the engine could not skip or bulk-apply).
@@ -555,21 +577,58 @@ type EngineStats struct {
 	// recheck; HalfDiscards counts the ones re-planned instead.
 	HalfReuses   int64
 	HalfDiscards int64
+
+	// FaultEvents counts applied fault events of every kind; Corrupted,
+	// Churned and ForcedInteractions break the damage down by family
+	// (agents corrupted, agents replaced by churn, adversarial
+	// interactions forced).
+	FaultEvents        int64
+	Corrupted          int64
+	Churned            int64
+	ForcedInteractions int64
+	// Reconvergences counts completed recovery cycles — a corruption or
+	// churn event opens a window, the next converged poll closes it —
+	// with ReconvergeTotal and ReconvergeMax aggregating the window
+	// lengths in interactions (mean = total/count).
+	Reconvergences  int64
+	ReconvergeTotal int64
+	ReconvergeMax   int64
+	// ErrorLatency is the number of interactions from the first damage
+	// event to the first poll at which the protocol's error flag was
+	// raised, or -1 while undetected (only the stable hybrids detect).
+	ErrorLatency int64
 }
 
 // Stats returns the simulation's deterministic engine counters.
 func (s *Simulation) Stats() EngineStats {
-	if s.ceng == nil {
-		return EngineStats{}
+	var out EngineStats
+	if s.ceng != nil {
+		st := s.ceng.Stats()
+		out = EngineStats{
+			DeltaCalls:   st.DeltaCalls,
+			Epochs:       st.Epochs,
+			Violations:   st.Violations,
+			HalfReuses:   st.HalfReuses,
+			HalfDiscards: st.HalfDiscards,
+		}
 	}
-	st := s.ceng.Stats()
-	return EngineStats{
-		DeltaCalls:   st.DeltaCalls,
-		Epochs:       st.Epochs,
-		Violations:   st.Violations,
-		HalfReuses:   st.HalfReuses,
-		HalfDiscards: st.HalfDiscards,
+	if s.set.faults.Enabled() {
+		var fst sim.FaultStats
+		if s.ceng != nil {
+			fst = s.ceng.FaultStats()
+		} else {
+			fst = s.eng.FaultStats()
+		}
+		out.FaultEvents = fst.Events
+		out.Corrupted = fst.Corrupted
+		out.Churned = fst.Churned
+		out.ForcedInteractions = fst.Forced
+		out.Reconvergences = fst.Reconvergences
+		out.ReconvergeTotal = fst.ReconvergeTotal
+		out.ReconvergeMax = fst.ReconvergeMax
+		out.ErrorLatency = fst.ErrorLatency
 	}
+	return out
 }
 
 // N returns the population size.

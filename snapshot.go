@@ -28,7 +28,7 @@ import (
 
 const (
 	rootSnapMagic   = 0x50435353 // "PCSS"
-	rootSnapVersion = 1
+	rootSnapVersion = 2
 )
 
 // Snapshot serializes the simulation's full dynamic state — engine
@@ -56,12 +56,18 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	}
 
 	set := &s.set
-	buf := make([]byte, 0, 64+len(blob))
+	// The fault plan travels as its canonical text form (ParseFaultPlan
+	// grammar), with the CorruptSearch knob carried by the header flag
+	// byte it has occupied since v1.
+	dyn := set.faults
+	dyn.CorruptSearch = false
+	faultSpec := dyn.String()
+	buf := make([]byte, 0, rootSnapHeaderLen+len(faultSpec)+len(blob))
 	buf = binary.LittleEndian.AppendUint32(buf, rootSnapMagic)
 	buf = binary.LittleEndian.AppendUint16(buf, rootSnapVersion)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(s.alg))
 	buf = append(buf, byte(s.kind))
-	if set.faultInject {
+	if set.faults.CorruptSearch {
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
@@ -75,14 +81,16 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.fastRounds))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.shift))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.batchRounds))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(faultSpec)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = append(buf, faultSpec...)
 	buf = append(buf, blob...)
 	return buf, nil
 }
 
 // rootSnapHeaderLen is the fixed byte length of the envelope header,
 // up to and including the engine-blob length field.
-const rootSnapHeaderLen = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4
+const rootSnapHeaderLen = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4
 
 // RestoreSimulation rebuilds a Simulation from a Snapshot blob and
 // resumes it at the exact point the snapshot was taken. Dynamics
@@ -103,9 +111,15 @@ func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
 	}
 	alg := Algorithm(binary.LittleEndian.Uint16(data[6:]))
 	kind := EngineKind(data[8])
-	faultInject := data[9] != 0
 	if data[9] > 1 {
 		return nil, fmt.Errorf("%w: bad fault-injection flag %d", ErrBadSnapshot, data[9])
+	}
+	corruptSearch := data[9] != 0
+	if alg == TokenBag {
+		// TokenBag simulations can never be snapshotted, so a header
+		// claiming one is forged — reject it before building the
+		// quadratic-state protocol.
+		return nil, fmt.Errorf("%w: TokenBag simulations have no snapshot form", ErrBadSnapshot)
 	}
 	n := binary.LittleEndian.Uint64(data[10:])
 	if n > 1<<40 {
@@ -118,16 +132,36 @@ func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
 	set.checkEvery = int64(binary.LittleEndian.Uint64(data[34:]))
 	set.confirmWindow = int64(binary.LittleEndian.Uint64(data[42:]))
 	set.clockM = int(binary.LittleEndian.Uint32(data[50:]))
+	// The clock package panics on out-of-range hour counts; a forged
+	// header must fail cleanly instead (zero selects the default).
+	if m := set.clockM; m != 0 && (m < 4 || m > 128 || m%2 != 0) {
+		return nil, fmt.Errorf("%w: clock hour count %d outside the even [4, 128] range", ErrBadSnapshot, m)
+	}
 	set.fastRounds = int(binary.LittleEndian.Uint32(data[54:]))
 	set.shift = int(binary.LittleEndian.Uint32(data[58:]))
 	set.batchRounds = int(binary.LittleEndian.Uint32(data[62:]))
 	set.engine = kind
-	set.faultInject = faultInject
 
-	blobLen := int(binary.LittleEndian.Uint32(data[66:]))
-	blob := data[rootSnapHeaderLen:]
+	faultLen := int(binary.LittleEndian.Uint32(data[66:]))
+	blobLen := int(binary.LittleEndian.Uint32(data[70:]))
+	rest := data[rootSnapHeaderLen:]
+	if faultLen < 0 || faultLen > len(rest) {
+		return nil, fmt.Errorf("%w: fault plan is %d bytes, header says %d", ErrBadSnapshot, len(rest), faultLen)
+	}
+	plan, err := ParseFaultPlan(string(rest[:faultLen]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	plan.CorruptSearch = corruptSearch
+	set.faults = plan
+	blob := rest[faultLen:]
 	if len(blob) != blobLen {
 		return nil, fmt.Errorf("%w: engine blob is %d bytes, header says %d", ErrBadSnapshot, len(blob), blobLen)
+	}
+	if kind == EngineAgent && blobLen < int(n) {
+		// Each agent costs at least one blob byte: a forged header
+		// cannot buy an O(n) protocol allocation with a short blob.
+		return nil, fmt.Errorf("%w: %d-byte engine blob cannot hold %d agents", ErrBadSnapshot, blobLen, n)
 	}
 
 	s, err := newSimulationFrom(alg, int(n), set)
