@@ -9,6 +9,7 @@
 //	benchdiff -baseline bench/baseline.json -current current.json -ids E1,E18 -threshold 0.4
 //	benchdiff -baseline bench/baseline.json -current current.json -counters=false
 //	benchdiff -baseline bench/baseline.json -current current.json -update
+//	benchdiff -baseline single-core.json -current multi-core.json -speedup 2.0
 //
 // The files hold the []experimentMetrics records popbench emits. For
 // every selected experiment id present in the baseline, benchdiff gates
@@ -30,6 +31,16 @@
 // the baseline from the current metrics instead of comparing (run it on
 // the reference machine when a PR legitimately shifts throughput or
 // dynamics, and commit the result).
+//
+// -speedup flips the throughput gate's direction for the multicore CI
+// job: instead of tolerating a bounded drop against a committed
+// baseline, it requires current interactions_per_sec to be at least the
+// given multiple of the baseline's. There the two files are the same
+// sharded workload run twice in one job — GOMAXPROCS pinned to one core
+// for the baseline and to all cores for the current — so the counter
+// gate tightens to full equality (no zero-skip): the sharded planner's
+// counters are functions of seed and shard count alone, and any
+// difference across the two pinnings is a determinism bug, not noise.
 //
 // Scheduler noise on shared runners is one-sided — contention only ever
 // slows a measurement down — so -current accepts several
@@ -61,6 +72,10 @@ type metrics struct {
 	InteractionsPerSec float64 `json:"interactions_per_sec"`
 	DeltaCalls         int64   `json:"delta_calls,omitempty"`
 	Epochs             int64   `json:"epochs,omitempty"`
+	ShardEpochs        int64   `json:"shard_epochs,omitempty"`
+	ShardBlocks        int64   `json:"shard_blocks,omitempty"`
+	MergeConflicts     int64   `json:"merge_conflicts,omitempty"`
+	StealEvents        int64   `json:"steal_events,omitempty"`
 }
 
 // counterChecks enumerates the machine-independent counters gated for
@@ -75,6 +90,10 @@ var counterChecks = []struct {
 	{"interactions", func(m metrics) int64 { return m.Interactions }},
 	{"delta_calls", func(m metrics) int64 { return m.DeltaCalls }},
 	{"epochs", func(m metrics) int64 { return m.Epochs }},
+	{"shard_epochs", func(m metrics) int64 { return m.ShardEpochs }},
+	{"shard_blocks", func(m metrics) int64 { return m.ShardBlocks }},
+	{"merge_conflicts", func(m metrics) int64 { return m.MergeConflicts }},
+	{"steal_events", func(m metrics) int64 { return m.StealEvents }},
 }
 
 func main() {
@@ -145,6 +164,7 @@ func run(args []string, w *os.File) error {
 		counters  = fs.Bool("counters", true, "gate the machine-independent counters (trials, interactions, delta_calls, epochs) for exact equality")
 		minWall   = fs.Float64("min-wall", 0.05, "baseline wall_seconds below which the throughput ratio is skipped (sub-noise-floor experiments carry no wall-clock signal; their counters are still gated exactly)")
 		update    = fs.Bool("update", false, "rewrite the baseline from -current (best run per experiment) instead of comparing")
+		speedup   = fs.Float64("speedup", 0, "multicore gate: require current interactions_per_sec >= this multiple of the baseline's (e.g. 2.0) and full counter equality with no zero-skip; 0 = regression mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,6 +174,12 @@ func run(args []string, w *os.File) error {
 	}
 	if *threshold <= 0 || *threshold >= 1 {
 		return fmt.Errorf("-threshold %v out of range (0, 1)", *threshold)
+	}
+	if *speedup < 0 {
+		return fmt.Errorf("-speedup %v must be positive", *speedup)
+	}
+	if *speedup > 0 && *update {
+		return fmt.Errorf("-speedup and -update are mutually exclusive")
 	}
 
 	cur, curOrder, err := loadBest(strings.Split(*curPath, ","))
@@ -211,20 +237,31 @@ func run(args []string, w *os.File) error {
 		}
 		ratio := c.InteractionsPerSec / b.InteractionsPerSec
 		verdict := "ok"
-		if b.WallSeconds < *minWall {
+		switch {
+		case b.WallSeconds < *minWall:
 			// A run this short is all measurement noise — a millisecond
 			// of scheduler jitter moves the ratio by tens of percent.
 			// The counter gate below still applies in full.
 			verdict = "ok (wall below noise floor, ratio not gated)"
-		} else if ratio < 1-*threshold {
+		case *speedup > 0:
+			if ratio < *speedup {
+				verdict = fmt.Sprintf("NO SPEEDUP (ratio %.2f < %.2f)", ratio, *speedup)
+				failures = append(failures, fmt.Sprintf("%s: interactions/sec %.3g -> %.3g (speedup %.2f, want >= %.2f)",
+					id, b.InteractionsPerSec, c.InteractionsPerSec, ratio, *speedup))
+			}
+		case ratio < 1-*threshold:
 			verdict = fmt.Sprintf("REGRESSION (>%.0f%% drop)", 100**threshold)
 			failures = append(failures, fmt.Sprintf("%s: interactions/sec %.3g -> %.3g (ratio %.2f)",
 				id, b.InteractionsPerSec, c.InteractionsPerSec, ratio))
 		}
 		if *counters {
 			for _, ck := range counterChecks {
+				// In speedup mode the two files are the same workload under
+				// different GOMAXPROCS pinnings, so every counter — zeros
+				// included — must agree; regression mode keeps the zero-skip
+				// for baselines that predate a counter.
 				want, got := ck.get(b), ck.get(c)
-				if want != 0 && got != want {
+				if got != want && (want != 0 || *speedup > 0) {
 					verdict = "COUNTER DRIFT"
 					failures = append(failures, fmt.Sprintf("%s: %s %d -> %d (machine-independent counter must match exactly)",
 						id, ck.name, want, got))

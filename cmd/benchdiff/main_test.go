@@ -225,6 +225,64 @@ func TestGateMinWallFloor(t *testing.T) {
 	}
 }
 
+// TestGateSpeedup pins -speedup, the multicore gate: the current file
+// must be at least the given multiple faster than the baseline, and the
+// machine-independent counters — shard counters and zeros included —
+// must match exactly across the two pinnings.
+func TestGateSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	sharded := func(ips float64, conflicts, steals int64) metrics {
+		mm := m("E22", ips)
+		mm.Interactions = 5_000_000
+		mm.Epochs = 900
+		mm.ShardEpochs = 880
+		mm.ShardBlocks = 7040
+		mm.MergeConflicts = conflicts
+		mm.StealEvents = steals
+		return mm
+	}
+	base := writeMetrics(t, dir, "single.json", []metrics{sharded(100, 3, 0)})
+
+	// 2.5× faster with identical counters passes a 2.0 gate.
+	fast := writeMetrics(t, dir, "multi.json", []metrics{sharded(250, 3, 0)})
+	if err := run([]string{"-baseline", base, "-current", fast, "-speedup", "2.0"}, os.Stdout); err != nil {
+		t.Fatalf("2.5× speedup failed a 2.0 gate: %v", err)
+	}
+
+	// 1.5× is not enough and the failure names the shortfall.
+	slow := writeMetrics(t, dir, "slow.json", []metrics{sharded(150, 3, 0)})
+	err := run([]string{"-baseline", base, "-current", slow, "-speedup", "2.0"}, os.Stdout)
+	if err == nil {
+		t.Fatal("1.5× speedup passed a 2.0 gate")
+	}
+	if !strings.Contains(err.Error(), "speedup") {
+		t.Fatalf("failure does not name the speedup shortfall: %v", err)
+	}
+
+	// Counter drift across the pinnings is a determinism bug even at
+	// ample speedup — including a counter whose baseline value is zero,
+	// which regression mode would skip.
+	drift := writeMetrics(t, dir, "drift.json", []metrics{sharded(300, 3, 4)})
+	err = run([]string{"-baseline", base, "-current", drift, "-speedup", "2.0"}, os.Stdout)
+	if err == nil {
+		t.Fatal("steal_events drift passed the speedup gate")
+	}
+	if !strings.Contains(err.Error(), "steal_events") {
+		t.Fatalf("failure does not name the drifted counter: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", drift}, os.Stdout); err != nil {
+		t.Fatalf("regression mode gated a zero-baseline counter: %v", err)
+	}
+
+	// Flag validation.
+	if err := run([]string{"-baseline", base, "-current", fast, "-speedup", "-1"}, os.Stdout); err == nil {
+		t.Fatal("negative -speedup accepted")
+	}
+	if err := run([]string{"-baseline", base, "-current", fast, "-speedup", "2", "-update"}, os.Stdout); err == nil {
+		t.Fatal("-speedup with -update accepted")
+	}
+}
+
 // TestUpdateRewritesBaseline pins -update.
 func TestUpdateRewritesBaseline(t *testing.T) {
 	dir := t.TempDir()

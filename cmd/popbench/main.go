@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E20 and
+// Command popbench runs the reproduction experiment suite (E1–E22 and
 // ablations A1–A3 from DESIGN.md) and prints the result tables that
 // EXPERIMENTS.md records.
 //
@@ -12,6 +12,7 @@
 //	popbench -exp E19 -full  # batched stepping up to n = 1e9
 //	popbench -json bench.json            # machine-readable metrics
 //	popbench -cpuprofile cpu.pprof       # pprof evidence for perf PRs
+//	popbench -exp E22 -shards 8 -json shard.json  # multicore CI gate workload
 package main
 
 import (
@@ -50,6 +51,7 @@ var experiments = []struct {
 	{"E16", exp.E16SchedulerRobustness}, {"E17", exp.E17Stabilization},
 	{"E18", exp.E18CountEngine}, {"E19", exp.E19BatchedEngine},
 	{"E20", exp.E20Service}, {"E21", exp.E21FaultRecovery},
+	{"E22", exp.E22ShardScaling},
 	{"A1", exp.A1ClockPeriod}, {"A2", exp.A2Shift}, {"A3", exp.A3FastLeaderRounds},
 }
 
@@ -80,6 +82,10 @@ type experimentMetrics struct {
 	InteractionsPerSec float64 `json:"interactions_per_sec"`
 	DeltaCalls         int64   `json:"delta_calls,omitempty"`
 	Epochs             int64   `json:"epochs,omitempty"`
+	ShardEpochs        int64   `json:"shard_epochs,omitempty"`
+	ShardBlocks        int64   `json:"shard_blocks,omitempty"`
+	MergeConflicts     int64   `json:"merge_conflicts,omitempty"`
+	StealEvents        int64   `json:"steal_events,omitempty"`
 }
 
 func run(args []string) error {
@@ -90,6 +96,7 @@ func run(args []string) error {
 		trials     = fs.Int("trials", 0, "trials per configuration (0 = default)")
 		par        = fs.Int("par", 8, "parallel trials")
 		seed       = fs.Uint64("seed", 0, "base seed (0 = default)")
+		shards     = fs.Int("shards", 0, "pin the intra-run shard count of shard-aware experiments (E22) instead of their default sweep")
 		figs       = fs.String("fig", "", "comma-separated figure ids (F1..F4) to emit as CSV instead of tables")
 		jsonPath   = fs.String("json", "", "write per-experiment metrics (trials, interactions, interactions/sec, convergence rate) to this JSON file")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -103,6 +110,7 @@ func run(args []string) error {
 		Trials:      *trials,
 		Parallelism: *par,
 		Seed:        *seed,
+		Shards:      *shards,
 	}
 
 	if *cpuProfile != "" {
@@ -186,14 +194,18 @@ func run(args []string) error {
 		fmt.Println(tbl.Format())
 		c := exp.CounterSnapshot()
 		m := experimentMetrics{
-			ID:           id,
-			Title:        tbl.Title,
-			WallSeconds:  wall,
-			Trials:       c.Trials,
-			Converged:    c.Converged,
-			Interactions: c.Interactions,
-			DeltaCalls:   c.DeltaCalls,
-			Epochs:       c.Epochs,
+			ID:             id,
+			Title:          tbl.Title,
+			WallSeconds:    wall,
+			Trials:         c.Trials,
+			Converged:      c.Converged,
+			Interactions:   c.Interactions,
+			DeltaCalls:     c.DeltaCalls,
+			Epochs:         c.Epochs,
+			ShardEpochs:    c.ShardEpochs,
+			ShardBlocks:    c.ShardBlocks,
+			MergeConflicts: c.MergeConflicts,
+			StealEvents:    c.StealEvents,
 		}
 		if c.Trials > 0 {
 			m.ConvergenceRate = float64(c.Converged) / float64(c.Trials)

@@ -59,6 +59,7 @@ func run(args []string) error {
 		par      = fs.Int("par", 0, "parallel trials for ensembles (0 = one per CPU)")
 		engineN  = fs.String("engine", "agent", "simulation engine: agent | count | count-batched | auto (count simulates the configuration directly, enabling n >= 1e8 for supported algorithms; count-batched steps it in drift-bounded multinomial epochs for o(1) amortized cost per interaction — approximate, see DESIGN.md)")
 		batchR   = fs.Int("batch-rounds", 0, "count-batched: cap one batch epoch at this many rounds of n interactions (0 = engine default)")
+		shards   = fs.Int("shards", 0, "count-batched: shard each batch epoch across this many independent RNG streams, planned concurrently (0 or 1 = serial, bit-compatible with older runs; results depend on the shard count but never on GOMAXPROCS)")
 		faultsN  = fs.String("faults", "", "fault plan in key=value;… form, e.g. 'burst=2000:32;churn=4000:16;adversary=convergence;adv-agents=64' (see popcount.ParseFaultPlan)")
 		jsonOut  = fs.Bool("json", false, "print the popcountd result document (byte-identical to GET /v1/jobs/{id}/result for the same request) instead of text")
 	)
@@ -91,6 +92,7 @@ func run(args []string) error {
 			MaxInteractions: *maxI,
 			ConfirmWindow:   *confirm,
 			BatchRounds:     *batchR,
+			Shards:          *shards,
 			FaultInjection:  plan.CorruptSearch,
 			Faults:          service.FaultRequestFromPlan(plan),
 		}, *par)
@@ -113,6 +115,11 @@ func run(args []string) error {
 	}
 	if *batchR > 0 {
 		opts = append(opts, popcount.WithBatchRounds(*batchR))
+	}
+	if *shards != 0 {
+		// Pass 1 (and invalid negatives) through so the library's
+		// validation owns the semantics; only 0 means "flag unset".
+		opts = append(opts, popcount.WithIntraRunParallelism(*shards))
 	}
 	if *faultsN != "" {
 		opts = append(opts, popcount.WithFaults(plan))
@@ -177,6 +184,10 @@ func run(args []string) error {
 		if s.Engine() == popcount.EngineCountBatched {
 			fmt.Printf("epochs:       %d (safety-net violations %d, half-epochs reused %d, re-planned %d)\n",
 				st.Epochs, st.Violations, st.HalfReuses, st.HalfDiscards)
+		}
+		if st.ShardEpochs > 0 {
+			fmt.Printf("sharded:      %d epochs, %d blocks (merge conflicts %d, steal events %d)\n",
+				st.ShardEpochs, st.ShardBlocks, st.MergeConflicts, st.StealEvents)
 		}
 	}
 	if plan.Enabled() {

@@ -82,6 +82,7 @@ func NewApproxSpec(n int) *sim.Spec {
 			return approxSelfLoop(DecodeApprox(qu), DecodeApprox(qv))
 		},
 		Skip:        true,
+		PureDelta:   true,
 		PreferCount: true,
 		Converged: func(v sim.ConfigView) bool {
 			want := int16(log2Floor(int(v.N())))
@@ -121,6 +122,7 @@ func NewSparseApproxSpec(n int) *sim.Spec {
 			return EncodeApprox(su), EncodeApprox(sv)
 		},
 		Skip:        true,
+		PureDelta:   true,
 		PreferCount: true,
 		Converged: func(v sim.ConfigView) bool {
 			// Theorem 1.3 allows the ≤ log n pile holders to disagree;
@@ -177,6 +179,7 @@ func NewExactSpec(n int) *sim.Spec {
 			ExactInteract(&su, &sv)
 			return encodeExact(su), encodeExact(sv)
 		},
+		PureDelta: true,
 		SelfLoop: func(qu, qv uint64) bool {
 			su, sv := decodeExact(qu), decodeExact(qv)
 			if !su.Counted && !sv.Counted {

@@ -76,6 +76,7 @@ func NewPowersSpec(n, kappa int, excludeLeader bool) *sim.Spec {
 			PowerOfTwo(&ku, &kv)
 			return encodePowers(ku, false), encodePowers(kv, false)
 		},
+		PureDelta: true,
 		SelfLoop: func(qu, qv uint64) bool {
 			if qu&powersLeaderBit != 0 || qv&powersLeaderBit != 0 {
 				return true
@@ -132,6 +133,7 @@ func NewClassicalSpec(loads []int64) *sim.Spec {
 			Classical(&lu, &lv)
 			return uint64(lu), uint64(lv)
 		},
+		PureDelta: true,
 		SelfLoop: func(qu, qv uint64) bool {
 			// Identity: equal loads, or the responder exactly one token
 			// ahead (⌊·⌋ to the initiator keeps both in place). The

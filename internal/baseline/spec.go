@@ -73,6 +73,7 @@ func NewGeometricSpec(n int) *sim.Spec {
 			return qu == qv && qu&1 == 1
 		},
 		Skip:        true,
+		PureDelta:   true,
 		PreferCount: true,
 		Converged: func(v sim.ConfigView) bool {
 			// All agents activated and agreeing on the maximum: exactly

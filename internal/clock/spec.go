@@ -93,6 +93,7 @@ func NewSpec(n, m, juntaSize, maxPhase int) *sim.Spec {
 			vp = capPhase(vp+vs.Phase, c.maxPhase)
 			return c.encode(us.Val, up, uj), c.encode(vs.Val, vp, vj)
 		},
+		PureDelta: true,
 		Converged: func(v sim.ConfigView) bool {
 			done := true
 			v.ForEach(func(code uint64, _ int64) {

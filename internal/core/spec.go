@@ -117,6 +117,19 @@ func NewApproximateSpec(cfg Config) *ApproximateSpec {
 			rule.stepPair(&a, &b, r)
 			return p.in.Code(canonApprox(a)), p.in.Code(canonApprox(b))
 		},
+		ShardDelta: func(k int) ([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), func() map[uint64]uint64) {
+			g := sim.ShardViews(p.in, k)
+			ds := make([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), k)
+			for i := range ds {
+				v := g.View(i)
+				ds[i] = func(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+					a, b := v.State(qu), v.State(qv)
+					rule.stepPair(&a, &b, r)
+					return v.Code(canonApprox(a)), v.Code(canonApprox(b))
+				}
+			}
+			return ds, g.Reconcile
+		},
 		Randomized: func(qu, qv uint64) bool {
 			return rule.pairDrawsCoins(p.in.State(qu), p.in.State(qv))
 		},

@@ -46,6 +46,19 @@ func NewStableApproximateSpec(cfg Config, faultInject bool) *StableApproximateSp
 			rule.stepPair(&a, &b, r)
 			return p.in.Code(canonStableApprox(a)), p.in.Code(canonStableApprox(b))
 		},
+		ShardDelta: func(k int) ([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), func() map[uint64]uint64) {
+			g := sim.ShardViews(p.in, k)
+			ds := make([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), k)
+			for i := range ds {
+				v := g.View(i)
+				ds[i] = func(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+					a, b := v.State(qu), v.State(qv)
+					rule.stepPair(&a, &b, r)
+					return v.Code(canonStableApprox(a)), v.Code(canonStableApprox(b))
+				}
+			}
+			return ds, g.Reconcile
+		},
 		Randomized: func(qu, qv uint64) bool {
 			return rule.pairDrawsCoins(p.in.State(qu), p.in.State(qv))
 		},

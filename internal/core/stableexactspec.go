@@ -55,6 +55,19 @@ func NewStableCountExactSpec(cfg Config, faultInject bool) *StableCountExactSpec
 			rule.stepPair(&a, &b, r)
 			return p.in.Code(canonStableExact(a)), p.in.Code(canonStableExact(b))
 		},
+		ShardDelta: func(k int) ([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), func() map[uint64]uint64) {
+			g := sim.ShardViews(p.in, k)
+			ds := make([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), k)
+			for i := range ds {
+				v := g.View(i)
+				ds[i] = func(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+					a, b := v.State(qu), v.State(qv)
+					rule.stepPair(&a, &b, r)
+					return v.Code(canonStableExact(a)), v.Code(canonStableExact(b))
+				}
+			}
+			return ds, g.Reconcile
+		},
 		Randomized: func(qu, qv uint64) bool {
 			return rule.pairDrawsCoins(p.in.State(qu), p.in.State(qv))
 		},

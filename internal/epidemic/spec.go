@@ -97,8 +97,9 @@ func rankSpec(n int, vals []int64, init map[uint64]int64, layout func() []uint64
 			}
 			return qu, qv
 		},
-		SelfLoop: selfLoop,
-		Skip:     true,
+		SelfLoop:  selfLoop,
+		Skip:      true,
+		PureDelta: true,
 		Converged: func(v sim.ConfigView) bool {
 			return v.Count(maxRank) == int64(n)
 		},

@@ -15,11 +15,15 @@ import (
 // never changes them — which is what cmd/benchdiff's counter gate
 // relies on. The counters are atomic — trials run concurrently.
 var (
-	ctrTrials       atomic.Int64
-	ctrConverged    atomic.Int64
-	ctrInteractions atomic.Int64
-	ctrDeltaCalls   atomic.Int64
-	ctrEpochs       atomic.Int64
+	ctrTrials         atomic.Int64
+	ctrConverged      atomic.Int64
+	ctrInteractions   atomic.Int64
+	ctrDeltaCalls     atomic.Int64
+	ctrEpochs         atomic.Int64
+	ctrShardEpochs    atomic.Int64
+	ctrShardBlocks    atomic.Int64
+	ctrMergeConflicts atomic.Int64
+	ctrStealEvents    atomic.Int64
 )
 
 // Counters is a snapshot of the run counters.
@@ -36,6 +40,15 @@ type Counters struct {
 	DeltaCalls int64
 	// Epochs is the total number of applied batch epochs.
 	Epochs int64
+	// ShardEpochs, ShardBlocks, MergeConflicts and StealEvents are the
+	// sharded planner's counters (sim.Config.Shards ≥ 2), summed over
+	// runs. Like the counters above they are deterministic in the seeds
+	// and the shard count — never in GOMAXPROCS — so the multicore CI
+	// gate compares them exactly across differently-pinned hosts.
+	ShardEpochs    int64
+	ShardBlocks    int64
+	MergeConflicts int64
+	StealEvents    int64
 }
 
 // ResetCounters zeroes the run counters. Call before an experiment to
@@ -46,17 +59,25 @@ func ResetCounters() {
 	ctrInteractions.Store(0)
 	ctrDeltaCalls.Store(0)
 	ctrEpochs.Store(0)
+	ctrShardEpochs.Store(0)
+	ctrShardBlocks.Store(0)
+	ctrMergeConflicts.Store(0)
+	ctrStealEvents.Store(0)
 }
 
 // CounterSnapshot returns the counters accumulated since the last
 // ResetCounters.
 func CounterSnapshot() Counters {
 	return Counters{
-		Trials:       ctrTrials.Load(),
-		Converged:    ctrConverged.Load(),
-		Interactions: ctrInteractions.Load(),
-		DeltaCalls:   ctrDeltaCalls.Load(),
-		Epochs:       ctrEpochs.Load(),
+		Trials:         ctrTrials.Load(),
+		Converged:      ctrConverged.Load(),
+		Interactions:   ctrInteractions.Load(),
+		DeltaCalls:     ctrDeltaCalls.Load(),
+		Epochs:         ctrEpochs.Load(),
+		ShardEpochs:    ctrShardEpochs.Load(),
+		ShardBlocks:    ctrShardBlocks.Load(),
+		MergeConflicts: ctrMergeConflicts.Load(),
+		StealEvents:    ctrStealEvents.Load(),
 	}
 }
 
@@ -72,4 +93,8 @@ func countTrials(trials, converged, interactions int64) {
 func countEngineStats(s sim.EngineStats) {
 	ctrDeltaCalls.Add(s.DeltaCalls)
 	ctrEpochs.Add(s.Epochs)
+	ctrShardEpochs.Add(s.ShardEpochs)
+	ctrShardBlocks.Add(s.ShardBlocks)
+	ctrMergeConflicts.Add(s.MergeConflicts)
+	ctrStealEvents.Add(s.StealEvents)
 }

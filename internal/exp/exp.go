@@ -32,6 +32,11 @@ type Options struct {
 	// Quick shrinks sweeps and trial counts so the whole suite finishes
 	// in benchmark-friendly time.
 	Quick bool
+	// Shards, when positive, pins the intra-run shard count of the
+	// shard-aware experiments (E22) instead of their default sweep —
+	// the multicore CI gate uses it to run the same sharded workload
+	// under differently pinned GOMAXPROCS.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -271,6 +276,7 @@ func All(o Options) []Table {
 		E19BatchedEngine(o),
 		E20Service(o),
 		E21FaultRecovery(o),
+		E22ShardScaling(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

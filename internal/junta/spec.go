@@ -58,7 +58,8 @@ func NewSpec(n int) *sim.Spec {
 			Interact(&su, &sv)
 			return Encode(su), Encode(sv)
 		},
-		Skip: true,
+		Skip:      true,
+		PureDelta: true,
 		Converged: func(v sim.ConfigView) bool {
 			done := true
 			v.ForEach(func(code uint64, _ int64) {

@@ -38,7 +38,12 @@ type JobRequest struct {
 	FastRounds      int   `json:"fast_rounds,omitempty"`
 	Shift           int   `json:"shift,omitempty"`
 	BatchRounds     int   `json:"batch_rounds,omitempty"`
-	FaultInjection  bool  `json:"fault_injection,omitempty"`
+	// Shards shards each batch epoch across that many deterministic
+	// work streams (popcount.WithIntraRunParallelism; count-batched
+	// engine only). Values ≤ 1 keep the serial planner and hash like an
+	// absent field.
+	Shards         int  `json:"shards,omitempty"`
+	FaultInjection bool `json:"fault_injection,omitempty"`
 	// Faults attaches a deterministic fault plan (popcount.WithFaults)
 	// to the run. A plan that schedules nothing is dropped during
 	// canonicalization, so it cannot split the cache.
@@ -158,6 +163,14 @@ func (r JobRequest) Canonicalize() (JobRequest, error) {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	if r.Shards < 0 {
+		return r, fmt.Errorf("%w: negative shard count %d", popcount.ErrInvalidN, r.Shards)
+	}
+	if r.Shards == 1 {
+		// One shard is the serial planner — canonicalize to the absent
+		// field so the request hashes like a plain one.
+		r.Shards = 0
+	}
 	var noopFaults bool
 	if r.Faults != nil {
 		plan, err := r.Faults.Plan()
@@ -217,6 +230,9 @@ func (r JobRequest) Options() []popcount.Option {
 	if r.BatchRounds > 0 {
 		opts = append(opts, popcount.WithBatchRounds(r.BatchRounds))
 	}
+	if r.Shards > 1 {
+		opts = append(opts, popcount.WithIntraRunParallelism(r.Shards))
+	}
 	if r.Faults != nil {
 		// Canonicalized requests carry only parseable plans.
 		plan, _ := r.Faults.Plan()
@@ -246,6 +262,11 @@ func (r JobRequest) Fingerprint() string {
 		// requests keep their pre-fault-plane hashes.
 		plan, _ := r.Faults.Plan()
 		fmt.Fprintf(h, "|faults=%s", plan.String())
+	}
+	if r.Shards > 1 {
+		// Sharding changes the random-stream layout, so the shard count
+		// keys the cache; serial requests keep their pre-sharding hashes.
+		fmt.Fprintf(h, "|shards=%d", r.Shards)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -26,6 +26,28 @@ type metrics struct {
 	checkpointRestoreFailures atomic.Int64
 	// interactions per engine kind, indexed by engineSlot.
 	interactions [3]atomic.Int64
+	// Sharded-planner counters (WithIntraRunParallelism jobs), summed
+	// over single-trial job segments run by this process: epochs planned
+	// by the sharded path, epochs that fell back to the serial replay,
+	// and blocks beyond the shard worker count (work available for
+	// stealing).
+	shardEpochs         atomic.Int64
+	shardMergeConflicts atomic.Int64
+	shardStealEvents    atomic.Int64
+}
+
+// countShardStats tallies the sharded-planner counters of one job
+// segment (end minus start of the engine's cumulative stats).
+func (m *metrics) countShardStats(start, end popcount.EngineStats) {
+	if d := end.ShardEpochs - start.ShardEpochs; d > 0 {
+		m.shardEpochs.Add(d)
+	}
+	if d := end.MergeConflicts - start.MergeConflicts; d > 0 {
+		m.shardMergeConflicts.Add(d)
+	}
+	if d := end.StealEvents - start.StealEvents; d > 0 {
+		m.shardStealEvents.Add(d)
+	}
 }
 
 // engineSlot maps an engine kind to its interactions-counter slot.
@@ -86,4 +108,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, name := range engineSlotNames {
 		fmt.Fprintf(w, "popcountd_interactions_total{engine=%q} %d\n", name, s.met.interactions[i].Load())
 	}
+	fmt.Fprintf(w, "# HELP popcountd_shard_epochs_total Batch epochs planned by the sharded planner (intra-run parallelism).\n# TYPE popcountd_shard_epochs_total counter\npopcountd_shard_epochs_total %d\n", s.met.shardEpochs.Load())
+	fmt.Fprintf(w, "# HELP popcountd_shard_merge_conflicts_total Sharded epochs that tripped the safety net and replayed serially.\n# TYPE popcountd_shard_merge_conflicts_total counter\npopcountd_shard_merge_conflicts_total %d\n", s.met.shardMergeConflicts.Load())
+	fmt.Fprintf(w, "# HELP popcountd_shard_steal_events_total Resolve-pass blocks beyond the shard worker count (work available for stealing).\n# TYPE popcountd_shard_steal_events_total counter\npopcountd_shard_steal_events_total %d\n", s.met.shardStealEvents.Load())
 }

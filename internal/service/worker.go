@@ -199,8 +199,10 @@ func (s *Server) runSingle(ctx context.Context, j *Job) (ResultDoc, runOutcome, 
 	}
 
 	startT := simu.Interactions()
+	startStats := simu.Stats()
 	defer func() {
 		s.met.countInteractions(simu.Engine(), simu.Interactions()-startT)
+		s.met.countShardStats(startStats, simu.Stats())
 	}()
 
 	for {

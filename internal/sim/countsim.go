@@ -195,6 +195,11 @@ type CountEngine struct {
 	// multinomial epoch planner of countbatch.go.
 	bp *batchPlanner
 
+	// Intra-run sharding state (allocated only when Config.Shards ≥ 2):
+	// the block partition, worker pool and per-block streams of
+	// countshard.go.
+	sr *shardRunner
+
 	// fspec is the protocol's transition spec, resolved at construction
 	// when a fault plan is active (fault targets and the error probe
 	// are defined over the spec), nil without faults.
@@ -238,6 +243,22 @@ type EngineStats struct {
 	// and re-planned — the recheck failed, or the first half did not
 	// complete at its sampled size.
 	HalfDiscards int64
+	// ShardEpochs counts batch epochs planned by the sharded path
+	// (zero unless Config.Shards ≥ 2). Like every field here it is a
+	// function of (protocol, seed, Shards, Step sequence) only — never
+	// of GOMAXPROCS or scheduling.
+	ShardEpochs int64
+	// ShardBlocks counts initiator-row blocks across all sharded
+	// epochs' resolve passes.
+	ShardBlocks int64
+	// MergeConflicts counts sharded epochs whose merged result tripped
+	// the post-leap safety net and fell back to the serial
+	// half-splitting plan application.
+	MergeConflicts int64
+	// StealEvents counts blocks beyond the shard worker count in
+	// fanned-out passes — Σ max(0, blocks−Shards) — the deterministic
+	// measure of how much work was available for stealing.
+	StealEvents int64
 }
 
 // Stats returns the engine's deterministic run counters.
@@ -275,6 +296,12 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 	}
 	if cfg.BatchSteps {
 		e.bp = newBatchPlanner(p, cfg, e.n)
+	}
+	if cfg.Shards >= 2 {
+		if !cfg.BatchSteps {
+			return nil, fmt.Errorf("sim: Config.Shards=%d requires BatchSteps — only batch epochs shard", cfg.Shards)
+		}
+		e.sr = newShardRunner(e, cfg)
 	}
 	if cfg.Faults != nil {
 		sp, ok := p.(interface{ Spec() *Spec })
@@ -384,6 +411,10 @@ func (e *CountEngine) Step(count int64) {
 
 // stepRaw is the fault-free stepping body.
 func (e *CountEngine) stepRaw(count int64) {
+	if e.sr != nil {
+		e.stepBatchedSharded(count)
+		return
+	}
 	if e.bp != nil {
 		e.stepBatched(count)
 		return
@@ -738,3 +769,7 @@ func RunCountTrials(f CountFactory, trials int, cfg Config, opt CountTrialOption
 	}
 	return runs, nil
 }
+
+// Discovered returns the number of states ever discovered (occupied now
+// or in the past) — the size of the engine's dense index space.
+func (c *CountConfig) Discovered() int { return len(c.codes) }

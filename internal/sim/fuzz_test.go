@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"popcount/internal/baseline"
@@ -209,5 +210,99 @@ func FuzzCountBatchEquivalence(f *testing.F) {
 		if states != len(want) {
 			t.Fatalf("occupied states differ: batched %d vs sequential %d", states, len(want))
 		}
+	})
+}
+
+// FuzzShardMergeEquivalence fuzzes the sharded batch planner
+// (sim.Config.Shards, countshard.go) across random protocols, shard
+// counts and batch interleavings. Three contracts: Σ counts == n with
+// non-negative counts and an exact interaction counter after every
+// batch at any shard count; Shards ≤ 1 is the compatibility stream,
+// bit-for-bit identical to the plain serial batched planner; and at a
+// fixed shard count ≥ 2 the run — configuration and every engine
+// counter — is identical on one core and many.
+func FuzzShardMergeEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint16(5000), uint8(0), uint8(0), []byte{0x5a})
+	f.Add(uint64(42), uint16(2), uint16(1), uint8(1), uint8(3), []byte{})
+	f.Add(uint64(7), uint16(800), uint16(60000), uint8(2), uint8(6), []byte{1, 2, 3, 4})
+	f.Add(uint64(9), uint16(64), uint16(256), uint8(3), uint8(1), []byte{0xff, 0x00})
+	f.Add(uint64(3), uint16(17), uint16(77), uint8(4), uint8(7), []byte{0x10, 0x9c, 0x33})
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, stepsRaw uint16, sel, shardsRaw uint8, raw []byte) {
+		n := int(nRaw)%1022 + 2 // [2, 1023]
+		steps := int64(stepsRaw)%30000 + 1
+		shards := int(shardsRaw)%7 + 2 // [2, 8]
+
+		// run steps a fresh engine through the shared uneven batch
+		// interleaving, checking the conservation invariants after every
+		// batch, and returns the final configuration and stats.
+		run := func(shards int) (map[uint64]int64, sim.EngineStats) {
+			e, err := sim.NewCountEngine(fuzzProto(sel, n, raw),
+				sim.Config{Seed: seed, BatchSteps: true, Shards: shards})
+			if err != nil {
+				t.Fatalf("NewCountEngine(shards=%d): %v", shards, err)
+			}
+			var done int64
+			for i := 0; done < steps; i++ {
+				batch := int64(1)
+				if len(raw) > 0 {
+					batch += int64(raw[i%len(raw)]) * (1 + int64(i)%97)
+				} else {
+					batch += int64(i) % 257
+				}
+				if batch > steps-done {
+					batch = steps - done
+				}
+				e.Step(batch)
+				done += batch
+				if got := e.Counts().Sum(); got != int64(n) {
+					t.Fatalf("shards=%d: Σ counts = %d after %d interactions, want %d", shards, got, done, n)
+				}
+				e.Counts().ForEach(func(code uint64, cnt int64) {
+					if cnt < 0 {
+						t.Fatalf("shards=%d: negative count %d for state %#x", shards, cnt, code)
+					}
+				})
+				if e.Interactions() != done {
+					t.Fatalf("shards=%d: Interactions = %d, want %d", shards, e.Interactions(), done)
+				}
+			}
+			counts := map[uint64]int64{}
+			e.Counts().ForEach(func(code uint64, cnt int64) { counts[code] = cnt })
+			return counts, e.Stats()
+		}
+		same := func(label string, a, b map[uint64]int64) {
+			if len(a) != len(b) {
+				t.Fatalf("%s: occupied states differ: %d vs %d", label, len(a), len(b))
+			}
+			for code, cnt := range a {
+				if b[code] != cnt {
+					t.Fatalf("%s: state %#x count %d vs %d", label, code, cnt, b[code])
+				}
+			}
+		}
+
+		// Compatibility stream: Shards values ≤ 1 keep the serial planner
+		// bit for bit.
+		serialCounts, serialStats := run(0)
+		compatCounts, compatStats := run(1)
+		if compatStats != serialStats {
+			t.Fatalf("Shards=1 stats %+v differ from serial %+v", compatStats, serialStats)
+		}
+		if compatStats.ShardEpochs != 0 {
+			t.Fatalf("compatibility mode planned %d sharded epochs", compatStats.ShardEpochs)
+		}
+		same("Shards=1 vs serial", serialCounts, compatCounts)
+
+		// GOMAXPROCS invariance: the sharded run's trajectory is a
+		// function of (protocol, seed, shards), never of the core count.
+		prev := runtime.GOMAXPROCS(1)
+		c1, s1 := run(shards)
+		runtime.GOMAXPROCS(4)
+		c4, s4 := run(shards)
+		runtime.GOMAXPROCS(prev)
+		if s1 != s4 {
+			t.Fatalf("shards=%d: stats differ across GOMAXPROCS: 1 core %+v, 4 cores %+v", shards, s1, s4)
+		}
+		same("GOMAXPROCS 1 vs 4", c1, c4)
 	})
 }

@@ -28,7 +28,11 @@
 //
 // An Interner is not safe for concurrent use. Spec constructors are
 // called once per trial (every trial builds a fresh spec), so engine
-// parallelism never shares one.
+// parallelism never shares one. Intra-run sharding (countshard.go) gets
+// structured concurrency through ShardViews: concurrent views read the
+// frozen base and park fresh states in per-shard provisional
+// namespaces, which a serial Reconcile folds back in deterministic
+// order.
 package sim
 
 // Interner assigns dense uint64 codes to product states in first-sight
@@ -65,3 +69,102 @@ func (in *Interner[S]) State(c uint64) S {
 // Len returns the number of interned states — the size of the reachable
 // alphabet fragment discovered so far.
 func (in *Interner[S]) Len() int { return len(in.states) }
+
+// Shard-provisional code namespace. During a sharded epoch's parallel
+// round (countshard.go) the base interner is frozen: concurrent shard
+// views may read it but not assign. A view that encounters a fresh
+// product state assigns a provisional code — the tag bit, the view's
+// shard number, and the view-local discovery index — private to that
+// view. Reconcile folds provisional states into the base namespace
+// serially, in ascending shard order then view-local discovery order,
+// so canonical code assignment is a deterministic function of the
+// epoch's content, never of goroutine scheduling.
+const (
+	internProvisionalBit   = uint64(1) << 63
+	internProvisionalShift = 48
+	internProvisionalMask  = (uint64(1) << internProvisionalShift) - 1
+)
+
+// InternGroup is one parallel round's set of shard views over a base
+// interner. The group is long-lived: the engine creates it once and
+// calls Reconcile after every round, which resets the views for reuse.
+type InternGroup[S comparable] struct {
+	base  *Interner[S]
+	views []InternView[S]
+}
+
+// InternView is one shard's interning view: reads resolve against the
+// frozen base first, misses are assigned provisional codes private to
+// the view. A view must only be used by one goroutine per round.
+type InternView[S comparable] struct {
+	base  *Interner[S]
+	tag   uint64
+	codes map[S]uint64
+	order []S
+}
+
+// ShardViews returns a group of k concurrent views over the base
+// interner. While any view is in use the base must be quiescent: no
+// Code calls on it, and no Reconcile.
+func ShardViews[S comparable](in *Interner[S], k int) *InternGroup[S] {
+	g := &InternGroup[S]{base: in, views: make([]InternView[S], k)}
+	for i := range g.views {
+		g.views[i] = InternView[S]{
+			base:  in,
+			tag:   internProvisionalBit | uint64(i)<<internProvisionalShift,
+			codes: make(map[S]uint64),
+		}
+	}
+	return g
+}
+
+// View returns shard i's view.
+func (g *InternGroup[S]) View(i int) *InternView[S] { return &g.views[i] }
+
+// Code returns the state's code: the canonical one when the base
+// already interned it, the view's provisional one otherwise (assigning
+// on first sight within the view).
+func (v *InternView[S]) Code(s S) uint64 {
+	if c, ok := v.base.codes[s]; ok {
+		return c
+	}
+	if c, ok := v.codes[s]; ok {
+		return c
+	}
+	c := v.tag | uint64(len(v.order))
+	v.codes[s] = c
+	v.order = append(v.order, s)
+	return c
+}
+
+// State resolves a code issued by the base or by this view. Codes from
+// other views cannot reach a view by construction (shard results only
+// mix at the serial merge, after Reconcile has rewritten them).
+func (v *InternView[S]) State(c uint64) S {
+	if c&internProvisionalBit != 0 {
+		return v.order[c&internProvisionalMask]
+	}
+	return v.base.State(c)
+}
+
+// Reconcile folds every view's provisional states into the base
+// interner — ascending shard order, then view-local discovery order —
+// resets the views for the next round, and returns the
+// provisional → canonical code remap (nil when no view assigned any).
+func (g *InternGroup[S]) Reconcile() map[uint64]uint64 {
+	var remap map[uint64]uint64
+	for i := range g.views {
+		v := &g.views[i]
+		for k, s := range v.order {
+			if remap == nil {
+				remap = make(map[uint64]uint64)
+			}
+			remap[v.tag|uint64(k)] = g.base.Code(s)
+		}
+		if len(v.order) > 0 {
+			clear(v.codes)
+			v.order = v.order[:0]
+		}
+	}
+	return remap
+}

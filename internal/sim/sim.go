@@ -130,6 +130,16 @@ type Config struct {
 	// exceeds max(1, BatchDrift·count) is split and retried at half
 	// size. Zero selects 0.125. Only read when BatchSteps is set.
 	BatchDrift float64
+	// Shards, when ≥ 2, shards each batch epoch across that many
+	// deterministic work streams (see countshard.go): epoch planning and
+	// the conditional-binomial decomposition run concurrently over
+	// pair-row blocks of the occupied alphabet, each block on an RNG
+	// stream derived from (Seed, epoch counter, block index), with a
+	// serial merge in ascending block order. Results depend on Shards
+	// but never on GOMAXPROCS or scheduling. Values ≤ 1 keep the serial
+	// planner, bit-for-bit identical to earlier releases. Only read when
+	// BatchSteps is set; the agent engine rejects values ≥ 2.
+	Shards int
 	// Faults, if non-nil, applies a deterministic fault schedule to the
 	// run (see FaultPlan): corruption bursts, Poisson corruption and
 	// churn streams, and adversarial interactions, identical across the
@@ -360,6 +370,9 @@ func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 	n := p.N()
 	if n < 2 {
 		return nil, ErrTooSmall
+	}
+	if cfg.Shards >= 2 {
+		return nil, fmt.Errorf("sim: Config.Shards=%d is only supported by the count engine's batched mode, not the agent engine", cfg.Shards)
 	}
 	cfg = normalizeConfig(cfg, n)
 	if cfg.Scheduler == nil {

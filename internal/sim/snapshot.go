@@ -43,6 +43,7 @@ const (
 	snapFlagSkip    uint8 = 1 << 0 // engine had the self-loop skip path
 	snapFlagPlanner uint8 = 1 << 1 // engine had the batch planner
 	snapFlagFaults  uint8 = 1 << 2 // engine carried a fault plan (count form)
+	snapFlagSharded uint8 = 1 << 3 // engine had the sharded batch planner
 )
 
 // ErrNotSnapshottable is returned when an engine's protocol or
@@ -442,10 +443,23 @@ func (e *CountEngine) Snapshot() ([]byte, error) {
 	if e.fs != nil {
 		flags |= snapFlagFaults
 	}
+	if e.sr != nil {
+		flags |= snapFlagSharded
+	}
 	w.u8(flags)
 	if e.bp != nil {
 		w.i64(e.bp.cool)
 		w.i64(e.bp.coolLen)
+	}
+	// The sharded planner's block streams derive from (seed, epoch
+	// counter, block), so the epoch counter must survive a checkpoint
+	// for the resumed run to continue the exact stream layout.
+	if e.sr != nil {
+		w.i64(e.stats.ShardEpochs)
+		w.i64(e.stats.ShardBlocks)
+		w.i64(e.stats.MergeConflicts)
+		w.i64(e.stats.StealEvents)
+		w.u64(e.sr.epochSeq)
 	}
 	// The full discovery history, zero-count states included: dense
 	// indices index the planner's pair cache and the sampling prefix
@@ -494,6 +508,9 @@ func (e *CountEngine) Restore(data []byte) error {
 		if e.fs != nil {
 			want |= snapFlagFaults
 		}
+		if e.sr != nil {
+			want |= snapFlagSharded
+		}
 		if flags != want {
 			r.fail("engine feature flags %#x, engine has %#x (different Config?)", flags, want)
 		}
@@ -502,6 +519,14 @@ func (e *CountEngine) Restore(data []byte) error {
 	if flags&snapFlagPlanner != 0 {
 		cool = r.i64()
 		coolLen = r.i64()
+	}
+	var epochSeq uint64
+	if flags&snapFlagSharded != 0 {
+		stats.ShardEpochs = r.i64()
+		stats.ShardBlocks = r.i64()
+		stats.MergeConflicts = r.i64()
+		stats.StealEvents = r.i64()
+		epochSeq = r.u64()
 	}
 	k := int(r.u32())
 	type denseState struct {
@@ -564,6 +589,10 @@ func (e *CountEngine) Restore(data []byte) error {
 	if e.bp != nil {
 		e.bp = newBatchPlanner(e.p, e.cfg, e.n)
 		e.bp.cool, e.bp.coolLen = cool, coolLen
+	}
+	if e.sr != nil {
+		e.sr = newShardRunner(e, e.cfg)
+		e.sr.epochSeq = epochSeq
 	}
 	for i, st := range states {
 		idx := e.stateIndex(st.code)

@@ -148,6 +148,27 @@ type Spec struct {
 	// sparse or interned codes leave it zero and keep the lazy paths.
 	Domain uint64
 
+	// ShardDelta, if set, equips the spec for the count engine's
+	// intra-run sharding (Config.Shards ≥ 2): ShardDelta(k) returns k
+	// Delta closures that may run concurrently with each other while the
+	// engine holds every other spec entry point quiescent, plus a
+	// reconcile function the engine calls serially after each parallel
+	// round. Interned specs back the closures with ShardViews — fresh
+	// product states get shard-provisional codes, and reconcile folds
+	// them into the canonical namespace (ascending shard order) and
+	// returns the provisional → canonical remap (nil when no fresh state
+	// appeared). Specs whose Delta is already safe to call concurrently
+	// set PureDelta instead; specs providing neither have their
+	// randomized pairs resolved serially under sharding, which only
+	// costs speed.
+	ShardDelta func(k int) (deltas []func(qu, qv uint64, r *rng.Rand) (uint64, uint64), reconcile func() map[uint64]uint64)
+
+	// PureDelta declares that Delta closes over no mutable state and may
+	// be invoked concurrently (each call still gets its own generator).
+	// Arithmetic-code specs qualify; interned specs never do — their
+	// Delta assigns codes on first sight and must use ShardDelta.
+	PureDelta bool
+
 	// PreferCount marks the count form as the profitable default: the
 	// public EngineAuto resolution picks the count engine only for specs
 	// that set it. Protocols with small occupied alphabets and
@@ -173,6 +194,9 @@ func (s *Spec) validate() error {
 	}
 	if (s.EncodeState == nil) != (s.DecodeState == nil) {
 		return fmt.Errorf("sim: Spec %q must set both EncodeState and DecodeState or neither", s.Name)
+	}
+	if s.PureDelta && s.ShardDelta != nil {
+		return fmt.Errorf("sim: Spec %q sets both PureDelta and ShardDelta", s.Name)
 	}
 	if s.Layout != nil && s.InitSample != nil {
 		// A fixed agent layout would silently override the sampler on
@@ -580,6 +604,24 @@ func (p *specCount) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
 	}
 	a, b := p.spec.Delta(qu, qv, nil)
 	return a, b, true
+}
+
+// ShardDelta implements ShardedDelta: the spec's own hook when set, k
+// aliases of a declared-pure Delta otherwise. Specs with neither return
+// nil, and the sharded planner resolves their randomized pairs
+// serially.
+func (p *specCount) ShardDelta(k int) ([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), func() map[uint64]uint64) {
+	if p.spec.ShardDelta != nil {
+		return p.spec.ShardDelta(k)
+	}
+	if p.spec.PureDelta {
+		ds := make([]func(qu, qv uint64, r *rng.Rand) (uint64, uint64), k)
+		for i := range ds {
+			ds[i] = p.spec.Delta
+		}
+		return ds, nil
+	}
+	return nil, nil
 }
 
 // CountConverged evaluates the spec's convergence predicate.

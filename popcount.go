@@ -179,6 +179,20 @@ func WithBatchRounds(rounds int) Option {
 	return func(s *settings) { s.batchRounds = rounds }
 }
 
+// WithIntraRunParallelism shards each batch epoch of EngineCountBatched
+// across the given number of deterministic work streams, executed
+// concurrently when cores are available. The default (1) keeps the
+// serial planner and is bit-for-bit the pre-sharding engine — every
+// committed baseline and conformance pin reproduces unchanged. Values
+// ≥ 2 change the run's random-stream layout (results depend on the
+// shard count but never on GOMAXPROCS: the same seed and shard count
+// give the same trajectory and Stats on any machine) and are rejected
+// at construction for any engine other than EngineCountBatched. See
+// DESIGN.md, "Sharding a single run".
+func WithIntraRunParallelism(shards int) Option {
+	return func(s *settings) { s.shards = shards }
+}
+
 // Option customizes a simulation or ensemble.
 type Option func(*settings)
 
@@ -193,6 +207,7 @@ type settings struct {
 	parallelism   int
 	engine        EngineKind
 	batchRounds   int
+	shards        int
 	mkSched       func() Scheduler
 	observer      Observer
 	observeEvery  int64
@@ -440,6 +455,14 @@ func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
 			return 0, fmt.Errorf("%w: fault plans require the default uniform scheduler — drop the WithScheduler override", ErrUnsupportedEngine)
 		}
 	}
+	if set.shards < 0 {
+		// A negative shard count is a mistake, not a request for the
+		// serial planner: reject it instead of silently ignoring it.
+		return 0, fmt.Errorf("%w: WithIntraRunParallelism(%d) — shard count must be non-negative", ErrInvalidN, set.shards)
+	}
+	if set.shards >= 2 && set.engine != EngineCountBatched {
+		return 0, fmt.Errorf("%w: WithIntraRunParallelism(%d) requires EngineCountBatched — only batch epochs shard (engine %v requested)", ErrUnsupportedEngine, set.shards, set.engine)
+	}
 	switch set.engine {
 	case EngineAgent:
 		return EngineAgent, nil
@@ -508,6 +531,7 @@ func (set settings) countSimConfig(kind EngineKind) sim.Config {
 		ConfirmWindow:   set.confirmWindow,
 		BatchSteps:      kind == EngineCountBatched,
 		BatchMaxRounds:  set.batchRounds,
+		Shards:          set.shards,
 		Interrupt:       set.interrupt,
 		Faults:          set.faults.simPlan(),
 	}
@@ -577,6 +601,19 @@ type EngineStats struct {
 	// recheck; HalfDiscards counts the ones re-planned instead.
 	HalfReuses   int64
 	HalfDiscards int64
+	// ShardEpochs, ShardBlocks, MergeConflicts and StealEvents describe
+	// the sharded planner of WithIntraRunParallelism (zero at the
+	// default parallelism of 1): epochs planned by the sharded path,
+	// initiator-row blocks across their resolve passes, epochs whose
+	// merged result tripped the safety net and replayed serially, and
+	// blocks beyond the shard worker count available for work stealing.
+	// All four are functions of (algorithm, seed, shard count) only —
+	// equal on any machine and at any GOMAXPROCS — which is what lets
+	// the multicore CI gate compare differently-pinned runs exactly.
+	ShardEpochs    int64
+	ShardBlocks    int64
+	MergeConflicts int64
+	StealEvents    int64
 
 	// FaultEvents counts applied fault events of every kind; Corrupted,
 	// Churned and ForcedInteractions break the damage down by family
@@ -605,11 +642,15 @@ func (s *Simulation) Stats() EngineStats {
 	if s.ceng != nil {
 		st := s.ceng.Stats()
 		out = EngineStats{
-			DeltaCalls:   st.DeltaCalls,
-			Epochs:       st.Epochs,
-			Violations:   st.Violations,
-			HalfReuses:   st.HalfReuses,
-			HalfDiscards: st.HalfDiscards,
+			DeltaCalls:     st.DeltaCalls,
+			Epochs:         st.Epochs,
+			Violations:     st.Violations,
+			HalfReuses:     st.HalfReuses,
+			HalfDiscards:   st.HalfDiscards,
+			ShardEpochs:    st.ShardEpochs,
+			ShardBlocks:    st.ShardBlocks,
+			MergeConflicts: st.MergeConflicts,
+			StealEvents:    st.StealEvents,
 		}
 	}
 	if s.set.faults.Enabled() {

@@ -27,8 +27,11 @@ import (
 )
 
 const (
-	rootSnapMagic   = 0x50435353 // "PCSS"
-	rootSnapVersion = 2
+	rootSnapMagic = 0x50435353 // "PCSS"
+	// rootSnapVersion 3 appended the intra-run shard count to the
+	// header; version-2 blobs (no sharding) still restore.
+	rootSnapVersion     = 3
+	rootSnapVersionPrev = 2
 )
 
 // Snapshot serializes the simulation's full dynamic state — engine
@@ -81,6 +84,7 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.fastRounds))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.shift))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.batchRounds))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.shards))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(faultSpec)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
 	buf = append(buf, faultSpec...)
@@ -88,9 +92,13 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	return buf, nil
 }
 
-// rootSnapHeaderLen is the fixed byte length of the envelope header,
-// up to and including the engine-blob length field.
-const rootSnapHeaderLen = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4
+// rootSnapHeaderLen is the fixed byte length of the version-3 envelope
+// header, up to and including the engine-blob length field;
+// rootSnapHeaderLenPrev is the version-2 length (no shard count).
+const (
+	rootSnapHeaderLen     = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 4
+	rootSnapHeaderLenPrev = rootSnapHeaderLen - 4
+)
 
 // RestoreSimulation rebuilds a Simulation from a Snapshot blob and
 // resumes it at the exact point the snapshot was taken. Dynamics
@@ -100,14 +108,22 @@ const rootSnapHeaderLen = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 
 // ErrBadSnapshot if data is malformed, truncated, of an unknown
 // version, or internally inconsistent.
 func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
-	if len(data) < rootSnapHeaderLen {
-		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), rootSnapHeaderLen)
+	if len(data) < rootSnapHeaderLenPrev {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), rootSnapHeaderLenPrev)
 	}
 	if m := binary.LittleEndian.Uint32(data[0:]); m != rootSnapMagic {
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSnapshot, m)
 	}
-	if v := binary.LittleEndian.Uint16(data[4:]); v != rootSnapVersion {
-		return nil, fmt.Errorf("%w: unknown version %d", ErrBadSnapshot, v)
+	version := binary.LittleEndian.Uint16(data[4:])
+	if version != rootSnapVersion && version != rootSnapVersionPrev {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadSnapshot, version)
+	}
+	headerLen := rootSnapHeaderLen
+	if version == rootSnapVersionPrev {
+		headerLen = rootSnapHeaderLenPrev
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), headerLen)
 	}
 	alg := Algorithm(binary.LittleEndian.Uint16(data[6:]))
 	kind := EngineKind(data[8])
@@ -142,9 +158,14 @@ func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
 	set.batchRounds = int(binary.LittleEndian.Uint32(data[62:]))
 	set.engine = kind
 
-	faultLen := int(binary.LittleEndian.Uint32(data[66:]))
-	blobLen := int(binary.LittleEndian.Uint32(data[70:]))
-	rest := data[rootSnapHeaderLen:]
+	off := 66
+	if version >= rootSnapVersion {
+		set.shards = int(binary.LittleEndian.Uint32(data[66:]))
+		off = 70
+	}
+	faultLen := int(binary.LittleEndian.Uint32(data[off:]))
+	blobLen := int(binary.LittleEndian.Uint32(data[off+4:]))
+	rest := data[headerLen:]
 	if faultLen < 0 || faultLen > len(rest) {
 		return nil, fmt.Errorf("%w: fault plan is %d bytes, header says %d", ErrBadSnapshot, len(rest), faultLen)
 	}
