@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E22 and
+// Command popbench runs the reproduction experiment suite (E1–E23 and
 // ablations A1–A3 from DESIGN.md) and prints the result tables that
 // EXPERIMENTS.md records.
 //
@@ -51,8 +51,19 @@ var experiments = []struct {
 	{"E16", exp.E16SchedulerRobustness}, {"E17", exp.E17Stabilization},
 	{"E18", exp.E18CountEngine}, {"E19", exp.E19BatchedEngine},
 	{"E20", exp.E20Service}, {"E21", exp.E21FaultRecovery},
-	{"E22", exp.E22ShardScaling},
+	{"E22", exp.E22ShardScaling}, {"E23", exp.E23InternedThroughput},
 	{"A1", exp.A1ClockPeriod}, {"A2", exp.A2Shift}, {"A3", exp.A3FastLeaderRounds},
+}
+
+// experimentIDs returns every registered id in canonical order — the
+// valid-id list unknown-id errors print, so a typo fails loudly with
+// the fix in hand instead of after a multi-run CI job.
+func experimentIDs() []string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.id
+	}
+	return ids
 }
 
 // runnerFor resolves an experiment id from the registry.
@@ -163,7 +174,8 @@ func run(args []string) error {
 		for _, id := range strings.Split(*sel, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runnerFor(id); !ok {
-				return fmt.Errorf("unknown experiment %q", id)
+				return fmt.Errorf("unknown experiment %q (valid: %s)",
+					id, strings.Join(experimentIDs(), ", "))
 			}
 			ids = append(ids, id)
 		}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunSelectedExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "E6", "-trials", "2", "-par", "4"}); err != nil {
@@ -15,8 +18,16 @@ func TestRunSelectedLowercase(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "E99"}); err == nil {
+	err := run([]string{"-exp", "E99"})
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	// The error must name the bad id and list every valid one, so a CI
+	// typo fails before the 3-run best-of burns minutes.
+	for _, want := range []string{`"E99"`, "E1", "E23", "A3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-experiment error %q does not mention %s", err, want)
+		}
 	}
 }
 

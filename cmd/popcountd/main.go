@@ -13,6 +13,14 @@
 //	curl -s localhost:8080/v1/jobs/<id>/result     # stored result document
 //	curl -s localhost:8080/metrics                 # queue, cache, throughput
 //
+// -pprof starts a second, separate listener serving net/http/pprof
+// (off by default; keep it on a loopback or otherwise private address —
+// profiles expose internals). It is the service-side twin of popbench
+// -cpuprofile:
+//
+//	popcountd -addr :8080 -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//
 // Identical submissions dedup onto one job — the result document is
 // stored content-addressed by the request fingerprint and re-served
 // byte-identical. On SIGTERM the daemon drains: running single-trial
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +58,7 @@ func run(args []string) error {
 		stateD  = fs.String("state", "popcountd-state", "state directory (job records, results, checkpoints)")
 		workers = fs.Int("workers", 2, "worker pool size")
 		cpEvery = fs.Int64("checkpoint-every", 0, "interactions between job checkpoints (0 = default 4Mi)")
+		pprofAt = fs.String("pprof", "", "serve net/http/pprof debug endpoints on this separate listen address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +80,30 @@ func run(args []string) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	// The listen line is the readiness signal scripts wait for.
 	fmt.Printf("popcountd listening on %s (state %s, %d workers)\n", ln.Addr(), *stateD, *workers)
+
+	if *pprofAt != "" {
+		// A dedicated listener and explicit mux: the debug surface never
+		// shares an address with the job API, and the main handler stays
+		// free of DefaultServeMux registrations.
+		dln, err := net.Listen("tcp", *pprofAt)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Handler: dmux}
+		defer ds.Close()
+		fmt.Printf("popcountd pprof on %s\n", dln.Addr())
+		go func() {
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "popcountd: pprof:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

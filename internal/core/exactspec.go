@@ -86,6 +86,10 @@ func NewCountExactSpec(cfg Config) *CountExactSpec {
 			return p.in.Code(canonExact(s)), nil
 		},
 	}
+	// Memoize the deterministic fragment on interned codes (see
+	// sim.DeltaMemo). CountExact's load alphabet is Õ(n), so the memo's
+	// open-addressed table matters more than its dense promotion here.
+	p.Spec.MemoizeDelta()
 	return p
 }
 

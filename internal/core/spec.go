@@ -148,6 +148,11 @@ func NewApproximateSpec(cfg Config) *ApproximateSpec {
 			return p.in.Code(canonApprox(s)), nil
 		},
 	}
+	// Each code pair decodes, steps and re-interns exactly once; repeats
+	// are pure code-space lookups. Shard views bypass the memo (their
+	// provisional codes carry the tag bit), so the closures above stay
+	// the parallel path.
+	p.Spec.MemoizeDelta()
 	return p
 }
 

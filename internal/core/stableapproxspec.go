@@ -92,6 +92,9 @@ func NewStableApproximateSpec(cfg Config, faultInject bool) *StableApproximateSp
 			return p.in.Code(canonStableApprox(s)), nil
 		},
 	}
+	// Memoize the deterministic fragment on interned codes (see
+	// sim.DeltaMemo); shard views bypass the memo by construction.
+	p.Spec.MemoizeDelta()
 	return p
 }
 

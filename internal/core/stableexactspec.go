@@ -95,6 +95,9 @@ func NewStableCountExactSpec(cfg Config, faultInject bool) *StableCountExactSpec
 			return p.in.Code(canonStableExact(s)), nil
 		},
 	}
+	// Memoize the deterministic fragment on interned codes (see
+	// sim.DeltaMemo); shard views bypass the memo by construction.
+	p.Spec.MemoizeDelta()
 	return p
 }
 

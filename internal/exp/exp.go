@@ -277,6 +277,7 @@ func All(o Options) []Table {
 		E20Service(o),
 		E21FaultRecovery(o),
 		E22ShardScaling(o),
+		E23InternedThroughput(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

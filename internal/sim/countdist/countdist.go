@@ -112,3 +112,106 @@ func (s *Sampler) grow(need int) {
 		}
 	}
 }
+
+// Sampler32 is a Sampler whose weights and total are bounded by 2³¹ —
+// the count engine's agent-count distribution qualifies (total = n,
+// capped by the engine at 2³¹). Storage is uint32, halving the Fenwick
+// tree's cache footprint on the per-interaction Find/Prefix descents;
+// the API stays int64 so the two samplers are drop-in interchangeable.
+// Arithmetic on the uint32 nodes wraps two's-complement under negative
+// Add deltas, which is exact as long as every true node value stays in
+// [0, 2³¹] — the caller's bound, not checked here.
+type Sampler32 struct {
+	tree  []uint32 // 1-based Fenwick tree over cap slots
+	w     []uint32 // plain weights, for O(1) Weight queries
+	total int64
+	cap   int
+}
+
+// NewSampler32 returns an empty bounded sampler sized for about hint
+// slots.
+func NewSampler32(hint int) *Sampler32 {
+	s := &Sampler32{}
+	if hint > 0 {
+		s.grow(hint)
+	}
+	return s
+}
+
+// Len returns the number of slots.
+func (s *Sampler32) Len() int { return len(s.w) }
+
+// Total returns the sum of all weights.
+func (s *Sampler32) Total() int64 { return s.total }
+
+// Weight returns the weight of slot i.
+func (s *Sampler32) Weight(i int) int64 { return int64(s.w[i]) }
+
+// Append adds a new slot with weight w and returns its index.
+func (s *Sampler32) Append(w int64) int {
+	i := len(s.w)
+	if i >= s.cap {
+		s.grow(i + 1)
+	}
+	s.w = append(s.w, 0)
+	if w != 0 {
+		s.Add(i, w)
+	}
+	return i
+}
+
+// Add adjusts slot i's weight by d. The resulting weight must stay in
+// [0, 2³¹]; the sampler does not check.
+func (s *Sampler32) Add(i int, d int64) {
+	if d == 0 {
+		return
+	}
+	s.w[i] += uint32(d)
+	s.total += d
+	for j := i + 1; j <= s.cap; j += j & -j {
+		s.tree[j] += uint32(d)
+	}
+}
+
+// Prefix returns the sum of the weights of slots 0..i-1.
+func (s *Sampler32) Prefix(i int) int64 {
+	var sum int64
+	for j := i; j > 0; j -= j & -j {
+		sum += int64(s.tree[j])
+	}
+	return sum
+}
+
+// Find returns the slot i holding cumulative position x, i.e. the unique
+// i with Prefix(i) <= x < Prefix(i)+Weight(i). x must be in [0, Total());
+// out-of-range x yields an arbitrary slot.
+func (s *Sampler32) Find(x int64) int {
+	pos := 0
+	for step := s.cap; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= s.cap && int64(s.tree[next]) <= x {
+			x -= int64(s.tree[next])
+			pos = next
+		}
+	}
+	if pos >= len(s.w) {
+		pos = len(s.w) - 1
+	}
+	return pos
+}
+
+// grow rebuilds the tree with capacity at least need (rounded up to a
+// power of two).
+func (s *Sampler32) grow(need int) {
+	c := 1
+	for c < need {
+		c <<= 1
+	}
+	s.cap = c
+	s.tree = make([]uint32, c+1)
+	for i, w := range s.w {
+		for j := i + 1; j <= c; j += j & -j {
+			s.tree[j] += w
+		}
+	}
+}

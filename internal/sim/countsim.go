@@ -116,8 +116,23 @@ type CountConfig struct {
 	counts []int64        // dense index -> number of agents in the state
 	index  map[uint64]int // state code -> dense index
 	n      int64
-	s      *countdist.Sampler // cumulative sampler over counts
+	s      *countdist.Sampler32 // cumulative sampler over counts (total n ≤ 2³¹)
+
+	// dense caches index for codes below denseCodeCap: dense[code] is
+	// index+1, zero means unregistered. Interner-backed specs emit
+	// first-sight-dense codes, so for them this turns the successor
+	// lookup on every state-changing interaction into one array load
+	// instead of a map probe. The map stays authoritative: every
+	// registration writes both, and any code ≥ denseCodeCap (raw packed
+	// state, shard-provisional tags) is served by the map alone.
+	dense []int32
 }
+
+// denseCodeCap bounds the code range the dense index cache covers —
+// 2²¹ slots is an 8 MiB worst case for a protocol whose codes are
+// small but sparse, and interned alphabets at the engine's practical
+// sizes sit far below it.
+const denseCodeCap = 1 << 21
 
 // N returns the population size.
 func (c *CountConfig) N() int64 { return c.n }
@@ -215,6 +230,13 @@ type CountEngine struct {
 	// decomposition order, and with it the random stream, bit-for-bit
 	// identical to a scan over the dense arrays.
 	occ []int
+
+	// trackOcc gates occ maintenance. Only the batch planner, the shard
+	// runner and the fault plane read the list — all fixed at
+	// construction — so the plain sequential engine skips the sorted
+	// splice its zero-crossing-heavy protocols (CountExact crosses on
+	// nearly every interaction) would otherwise pay per apply.
+	trackOcc bool
 
 	stats EngineStats
 }
@@ -314,6 +336,7 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 		}
 		e.fs, e.fspec = fs, sp.Spec()
 	}
+	e.trackOcc = e.bp != nil || e.sr != nil || e.fs != nil
 
 	// The one-shot initialization sampler (when implemented) runs here,
 	// at a fixed point of the random stream before any interaction.
@@ -341,7 +364,7 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 	e.c = &CountConfig{
 		index: make(map[uint64]int, len(codes)),
 		n:     e.n,
-		s:     countdist.NewSampler(len(codes)),
+		s:     countdist.NewSampler32(len(codes)),
 	}
 	for _, code := range codes {
 		e.shift(e.stateIndex(code), init[code])
@@ -649,6 +672,9 @@ func (e *CountEngine) occShift(idx int, d int64) {
 	c := e.c
 	was := c.counts[idx]
 	c.counts[idx] = was + d
+	if !e.trackOcc {
+		return
+	}
 	switch {
 	case was == 0 && c.counts[idx] > 0:
 		i := sort.SearchInts(e.occ, idx)
@@ -665,13 +691,34 @@ func (e *CountEngine) occShift(idx int, d int64) {
 // state on first sight.
 func (e *CountEngine) stateIndex(code uint64) int {
 	c := e.c
-	if i, ok := c.index[code]; ok {
-		return i
+	// Registration grows the dense cache past every small code it
+	// records, so for code < len(dense) the cache's answer — including
+	// "unregistered" — is definitive and the map is never probed.
+	if code < uint64(len(c.dense)) {
+		if v := c.dense[code]; v != 0 {
+			return int(v) - 1
+		}
+	} else if code >= denseCodeCap {
+		if i, ok := c.index[code]; ok {
+			return i
+		}
 	}
 	idx := len(c.codes)
 	c.codes = append(c.codes, code)
 	c.counts = append(c.counts, 0)
 	c.index[code] = idx
+	if code < denseCodeCap {
+		if need := int(code) + 1; need > len(c.dense) {
+			if need > cap(c.dense) {
+				grown := make([]int32, need, max(2*cap(c.dense), need))
+				copy(grown, c.dense)
+				c.dense = grown
+			} else {
+				c.dense = c.dense[:need]
+			}
+		}
+		c.dense[code] = int32(idx) + 1
+	}
 	c.s.Append(0)
 	if e.sl != nil {
 		e.extendNoop(code, idx)

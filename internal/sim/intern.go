@@ -38,6 +38,12 @@ package sim
 // Interner assigns dense uint64 codes to product states in first-sight
 // order. The zero value is not ready for use; call NewInterner.
 type Interner[S comparable] struct {
+	// codes stores code+1 so the zero value of a map read means "not
+	// interned": the hit path of Code is a single one-return map access
+	// (mapaccess1) instead of the comma-ok form, and the miss path is
+	// one access plus one insert — hashing the (large) product struct
+	// once per path where the comma-ok + insert sequence hashed it
+	// twice on miss.
 	codes  map[S]uint64
 	states []S
 }
@@ -50,13 +56,12 @@ func NewInterner[S comparable]() *Interner[S] {
 // Code returns the state's code, assigning the next free one on first
 // sight.
 func (in *Interner[S]) Code(s S) uint64 {
-	if c, ok := in.codes[s]; ok {
-		return c
+	if c := in.codes[s]; c != 0 {
+		return c - 1
 	}
-	c := uint64(len(in.states))
-	in.codes[s] = c
 	in.states = append(in.states, s)
-	return c
+	in.codes[s] = uint64(len(in.states)) // code+1; see the field comment
+	return uint64(len(in.states)) - 1
 }
 
 // State returns the state a code was assigned to. It panics on a code
@@ -91,6 +96,10 @@ const (
 type InternGroup[S comparable] struct {
 	base  *Interner[S]
 	views []InternView[S]
+	// remap is the provisional → canonical map Reconcile returns,
+	// allocated once with the group and cleared per round instead of
+	// reallocated inside the per-view fold loop.
+	remap map[uint64]uint64
 }
 
 // InternView is one shard's interning view: reads resolve against the
@@ -107,7 +116,11 @@ type InternView[S comparable] struct {
 // interner. While any view is in use the base must be quiescent: no
 // Code calls on it, and no Reconcile.
 func ShardViews[S comparable](in *Interner[S], k int) *InternGroup[S] {
-	g := &InternGroup[S]{base: in, views: make([]InternView[S], k)}
+	g := &InternGroup[S]{
+		base:  in,
+		views: make([]InternView[S], k),
+		remap: make(map[uint64]uint64),
+	}
 	for i := range g.views {
 		g.views[i] = InternView[S]{
 			base:  in,
@@ -123,12 +136,14 @@ func (g *InternGroup[S]) View(i int) *InternView[S] { return &g.views[i] }
 
 // Code returns the state's code: the canonical one when the base
 // already interned it, the view's provisional one otherwise (assigning
-// on first sight within the view).
+// on first sight within the view). Both map reads use the zero-means-
+// missing trick: base codes are stored +1, and provisional codes always
+// carry the tag bit, so neither is ever zero.
 func (v *InternView[S]) Code(s S) uint64 {
-	if c, ok := v.base.codes[s]; ok {
-		return c
+	if c := v.base.codes[s]; c != 0 {
+		return c - 1
 	}
-	if c, ok := v.codes[s]; ok {
+	if c := v.codes[s]; c != 0 {
 		return c
 	}
 	c := v.tag | uint64(len(v.order))
@@ -151,20 +166,27 @@ func (v *InternView[S]) State(c uint64) S {
 // interner — ascending shard order, then view-local discovery order —
 // resets the views for the next round, and returns the
 // provisional → canonical code remap (nil when no view assigned any).
+// The returned map is owned by the group and reused: it is valid until
+// the next Reconcile call, which the engine's use-immediately merge
+// respects.
 func (g *InternGroup[S]) Reconcile() map[uint64]uint64 {
-	var remap map[uint64]uint64
+	if len(g.remap) > 0 {
+		clear(g.remap)
+	}
+	any := false
 	for i := range g.views {
 		v := &g.views[i]
 		for k, s := range v.order {
-			if remap == nil {
-				remap = make(map[uint64]uint64)
-			}
-			remap[v.tag|uint64(k)] = g.base.Code(s)
+			g.remap[v.tag|uint64(k)] = g.base.Code(s)
+			any = true
 		}
 		if len(v.order) > 0 {
 			clear(v.codes)
 			v.order = v.order[:0]
 		}
 	}
-	return remap
+	if !any {
+		return nil
+	}
+	return g.remap
 }

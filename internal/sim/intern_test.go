@@ -1,0 +1,115 @@
+package sim_test
+
+import (
+	"testing"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+)
+
+// benchProduct approximates a core-spec product state: several machine
+// words, so the map-hash cost the interner pays per lookup is realistic.
+type benchProduct struct {
+	a, b, c, d uint64
+}
+
+func benchStates(n int) []benchProduct {
+	out := make([]benchProduct, n)
+	for i := range out {
+		x := uint64(i) * scatterMul
+		out[i] = benchProduct{a: x, b: x >> 7, c: x ^ 0xfeed, d: uint64(i)}
+	}
+	return out
+}
+
+// BenchmarkInternerCodeHit measures the repeat-lookup path — the one
+// every interned Delta call used to pay twice per interaction before
+// the successor memo.
+func BenchmarkInternerCodeHit(b *testing.B) {
+	in := sim.NewInterner[benchProduct]()
+	states := benchStates(1024)
+	for _, s := range states {
+		in.Code(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Code(states[i&1023])
+	}
+}
+
+// BenchmarkInternerCodeMiss measures the first-sight insert path (one
+// hash + one insert since the single-lookup rewrite, not two hashes).
+func BenchmarkInternerCodeMiss(b *testing.B) {
+	states := benchStates(b.N)
+	in := sim.NewInterner[benchProduct]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Code(states[i])
+	}
+}
+
+// BenchmarkInternViewCodeHit measures a shard view resolving a state
+// the frozen base already interned — the dominant read of a sharded
+// epoch's parallel round.
+func BenchmarkInternViewCodeHit(b *testing.B) {
+	in := sim.NewInterner[benchProduct]()
+	states := benchStates(1024)
+	for _, s := range states {
+		in.Code(s)
+	}
+	g := sim.ShardViews(in, 1)
+	v := g.View(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Code(states[i&1023])
+	}
+}
+
+// BenchmarkInternGroupReconcile measures a round's provisional fold:
+// two views each discover two fresh states, then Reconcile folds them.
+// The remap is group-owned and reused, so steady-state allocs/op stay
+// at the base interner's own inserts.
+func BenchmarkInternGroupReconcile(b *testing.B) {
+	in := sim.NewInterner[benchProduct]()
+	g := sim.ShardViews(in, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := uint64(i) * scatterMul
+		g.View(0).Code(benchProduct{a: x, d: 1})
+		g.View(0).Code(benchProduct{a: x, d: 2})
+		g.View(1).Code(benchProduct{a: x, d: 3})
+		g.View(1).Code(benchProduct{a: x, d: 4})
+		if remap := g.Reconcile(); len(remap) != 4 {
+			b.Fatalf("remap has %d entries, want 4", len(remap))
+		}
+	}
+}
+
+// BenchmarkDeltaMemoHit measures the memo's repeat-resolution path over
+// a small stable fragment — first on the probe table, then (after the
+// promotion stride) on the flat dense fragment.
+func BenchmarkDeltaMemoHit(b *testing.B) {
+	in := sim.NewInterner[benchProduct]()
+	states := benchStates(16)
+	codes := make([]uint64, len(states))
+	for i, s := range states {
+		codes[i] = in.Code(s)
+	}
+	m := sim.NewDeltaMemo(func(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
+		// The underlying closure pays the interned round trip the memo
+		// is there to skip.
+		a := in.State(qu)
+		bb := in.State(qv)
+		a.d, bb.d = bb.d, a.d
+		return in.Code(a), in.Code(bb)
+	}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Delta(codes[i&15], codes[(i>>4)&15], nil)
+	}
+}

@@ -578,7 +578,7 @@ func (e *CountEngine) Restore(data []byte) error {
 	e.c = &CountConfig{
 		index: make(map[uint64]int, len(states)),
 		n:     e.n,
-		s:     countdist.NewSampler(len(states)),
+		s:     countdist.NewSampler32(len(states)),
 	}
 	e.occ = nil
 	if e.sl != nil {

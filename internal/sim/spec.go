@@ -176,6 +176,13 @@ type Spec struct {
 	// protocols — whose count form trades per-interaction struct ops for
 	// interning — stay on the agent engine unless explicitly requested.
 	PreferCount bool
+
+	// Memo, set by MemoizeDelta, is the code-indexed successor memo the
+	// Delta and Randomized fields resolve through. The adapters use it
+	// to answer DeltaDet and derived self-loop queries in one probe
+	// instead of a classify + resolve pair. It is derived state — never
+	// serialized into snapshots, rebuilt lazily on restore.
+	Memo *DeltaMemo
 }
 
 // validate checks the spec's structural invariants.
@@ -198,6 +205,11 @@ func (s *Spec) validate() error {
 	if s.PureDelta && s.ShardDelta != nil {
 		return fmt.Errorf("sim: Spec %q sets both PureDelta and ShardDelta", s.Name)
 	}
+	if s.PureDelta && s.Memo != nil {
+		// The memo writes its table on first resolutions, so a memoized
+		// Delta is never safe to call concurrently.
+		return fmt.Errorf("sim: Spec %q sets PureDelta on a memoized Delta", s.Name)
+	}
 	if s.Layout != nil && s.InitSample != nil {
 		// A fixed agent layout would silently override the sampler on
 		// the agent adapter while the count adapter draws from it — the
@@ -219,11 +231,32 @@ func (s *Spec) selfLoop(qu, qv uint64) bool {
 	if s.SelfLoop != nil {
 		return s.SelfLoop(qu, qv)
 	}
+	if m := s.Memo; m != nil {
+		a, b, ok := m.DeltaDet(qu, qv)
+		return ok && a == qu && b == qv
+	}
 	if s.randomized(qu, qv) {
 		return false
 	}
 	a, b := s.Delta(qu, qv, nil)
 	return a == qu && b == qv
+}
+
+// MemoizeDelta routes the spec's Delta and Randomized through a
+// code-indexed successor memo (see DeltaMemo): repeated deterministic
+// resolutions become one table probe, bit-for-bit equivalent to the raw
+// closures. Call it last in a spec constructor, after Delta and
+// Randomized are set. Interned product-state specs are the intended
+// users; the memo assumes Randomized is a pure function of the code
+// pair with no interning side effects.
+func (s *Spec) MemoizeDelta() *DeltaMemo {
+	m := NewDeltaMemo(s.Delta, s.Randomized)
+	s.Delta = m.Delta
+	if s.Randomized != nil {
+		s.Randomized = m.Randomized
+	}
+	s.Memo = m
+	return m
 }
 
 // initCounts resolves the initial configuration, drawing it when the
@@ -597,8 +630,12 @@ func (p *specCount) Delta(qu, qv uint64, r *rng.Rand) (uint64, uint64) {
 
 // DeltaDet exposes the deterministic fragment of the rule as the batch
 // planner's transition matrix: every pair not claimed by the spec's
-// Randomized predicate resolves to a single successor pair.
+// Randomized predicate resolves to a single successor pair. Memoized
+// specs answer both the classification and the successors in one probe.
 func (p *specCount) DeltaDet(qu, qv uint64) (uint64, uint64, bool) {
+	if m := p.spec.Memo; m != nil {
+		return m.DeltaDet(qu, qv)
+	}
 	if p.spec.randomized(qu, qv) {
 		return 0, 0, false
 	}
