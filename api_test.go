@@ -3,6 +3,7 @@ package popcount
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -54,26 +55,64 @@ func TestWithSchedulerReproducibility(t *testing.T) {
 func TestPublicSchedulersMatchEngine(t *testing.T) {
 	cases := []struct {
 		name   string
-		public Scheduler
-		engine sim.Scheduler
+		public func() Scheduler
+		engine func() sim.Scheduler
 	}{
-		{"uniform", UniformPairs(), sim.UniformScheduler{}},
-		{"biased", BiasedPairs(2, 0.3), sim.BiasedScheduler{Hot: 2, Bias: 0.3}},
-		{"matching", RandomMatching(), sim.NewMatchingScheduler()},
+		{"uniform",
+			UniformPairs,
+			func() sim.Scheduler { return sim.UniformScheduler{} }},
+		{"biased",
+			func() Scheduler { return BiasedPairs(2, 0.3) },
+			func() sim.Scheduler { return sim.BiasedScheduler{Hot: 2, Bias: 0.3} }},
+		{"matching",
+			RandomMatching,
+			func() sim.Scheduler { return sim.NewMatchingScheduler() }},
+		{"ring",
+			GraphRing,
+			func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindRing} }},
+		{"torus",
+			GraphTorus,
+			func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindTorus} }},
+		{"kron",
+			func() Scheduler { return GraphKronecker(sim.DefaultKronInitiator, 6, 0) },
+			func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindKron, K: 6} }},
 	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			const n = 11
-			rp, re := rng.New(42), rng.New(42)
-			for i := 0; i < 10_000; i++ {
-				pu, pv := c.public.Next(n, rp)
-				eu, ev := c.engine.Next(n, re)
+	// Both even and odd populations: the matching scheduler's refill
+	// logic differs by parity (odd n leaves one agent out per round),
+	// and a drift there shows up only pair-for-pair.
+	for _, n := range []int{12, 33} {
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/n=%d", c.name, n), func(t *testing.T) {
+				pub, eng := c.public(), c.engine()
+				rp, re := rng.New(42), rng.New(42)
+				for i := 0; i < 10_000; i++ {
+					pu, pv := pub.Next(n, rp)
+					eu, ev := eng.Next(n, re)
+					if pu != eu || pv != ev {
+						t.Fatalf("draw %d: public (%d,%d) vs engine (%d,%d)", i, pu, pv, eu, ev)
+					}
+				}
+			})
+		}
+	}
+
+	// A population-size change mid-stream must reset stateful
+	// schedulers identically on both sides (the matching round and any
+	// built graph are n-specific).
+	t.Run("n-change", func(t *testing.T) {
+		for _, c := range cases {
+			pub, eng := c.public(), c.engine()
+			rp, re := rng.New(7), rng.New(7)
+			for i, n := range []int{12, 12, 12, 33, 33, 8, 9, 12} {
+				pu, pv := pub.Next(n, rp)
+				eu, ev := eng.Next(n, re)
 				if pu != eu || pv != ev {
-					t.Fatalf("draw %d: public (%d,%d) vs engine (%d,%d)", i, pu, pv, eu, ev)
+					t.Fatalf("%s: draw %d (n=%d): public (%d,%d) vs engine (%d,%d)",
+						c.name, i, n, pu, pv, eu, ev)
 				}
 			}
-		})
-	}
+		}
+	})
 }
 
 func TestBiasedPairsValidation(t *testing.T) {

@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E23 and
+// Command popbench runs the reproduction experiment suite (E1–E24 and
 // ablations A1–A3 from DESIGN.md) and prints the result tables that
 // EXPERIMENTS.md records.
 //
@@ -52,6 +52,7 @@ var experiments = []struct {
 	{"E18", exp.E18CountEngine}, {"E19", exp.E19BatchedEngine},
 	{"E20", exp.E20Service}, {"E21", exp.E21FaultRecovery},
 	{"E22", exp.E22ShardScaling}, {"E23", exp.E23InternedThroughput},
+	{"E24", exp.E24GraphSchedulers},
 	{"A1", exp.A1ClockPeriod}, {"A2", exp.A2Shift}, {"A3", exp.A3FastLeaderRounds},
 }
 

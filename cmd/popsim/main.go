@@ -8,6 +8,8 @@
 //	popsim -alg stable-exact -n 2000 -confirm 100000
 //	popsim -alg exact -n 4096 -trials 32 -par 8
 //	popsim -alg approximate -n 4096 -sched matching
+//	popsim -alg approximate -n 4096 -sched ring
+//	popsim -alg exact -n 4096 -sched kron:12
 //	popsim -alg geometric -n 100000000 -engine count
 //	popsim -alg geometric -n 100000000 -engine count-batched
 //	popsim -alg approximate -n 100000000 -engine count-batched
@@ -15,7 +17,9 @@
 //	popsim -alg stable-exact -n 2048 -faults 'adversary=convergence;adv-agents=512'
 //
 // Algorithms: approximate, exact, stable-approximate, stable-exact,
-// tokenbag, geometric. Schedulers: uniform, biased, matching.
+// tokenbag, geometric. Schedulers: uniform, biased, matching, and the
+// interaction-graph schedulers ring, torus and kron:<k>[:<seed>]
+// (stochastic-Kronecker random graph of depth k).
 // Engines: agent (default), count, count-batched, auto — the count
 // engine simulates the configuration (per-state agent counts) directly;
 // count-batched additionally steps the configuration in multinomial
@@ -52,7 +56,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "scheduler seed (runs are reproducible)")
 		maxI     = fs.Int64("max", 0, "interaction cap (0 = engine default)")
 		progress = fs.Bool("progress", false, "print progress snapshots while running")
-		schedN   = fs.String("sched", "uniform", "scheduler: uniform | biased | matching")
+		schedN   = fs.String("sched", "uniform", "scheduler: uniform | biased | matching | ring | torus | kron:<k>[:<seed>[:<a>,<b>,<c>,<d>]]")
 		bias     = fs.Float64("bias", 0.2, "initiator bias of agent 0 under -sched biased")
 		confirm  = fs.Int64("confirm", 0, "confirmation window in interactions (0 = none); reports stabilization")
 		trials   = fs.Int("trials", 1, "independent trials; >1 runs an ensemble and prints aggregate statistics")
@@ -74,11 +78,13 @@ func run(args []string) error {
 		// The JSON path goes through the same request canonicalization,
 		// run options and document encoder as popcountd, so the printed
 		// bytes match what the service stores for this request. Only
-		// request-expressible runs qualify: the JobRequest schema has no
-		// scheduler field (uniform only), and progress text would corrupt
-		// the document.
-		if *schedN != "uniform" {
-			return fmt.Errorf("-json supports only the uniform scheduler (the popcountd job schema has no scheduler field)")
+		// request-expressible runs qualify: the JobRequest schema carries
+		// the uniform and graph schedulers (ring, torus, kron) but not
+		// biased or matching, and progress text would corrupt the
+		// document.
+		switch *schedN {
+		case "biased", "matching":
+			return fmt.Errorf("-json supports only the uniform and graph schedulers (the popcountd job schema has no %s form)", *schedN)
 		}
 		if *progress {
 			return fmt.Errorf("-json and -progress are mutually exclusive")
@@ -89,6 +95,7 @@ func run(args []string) error {
 			Trials:          *trials,
 			Seed:            *seed,
 			Engine:          *engineN,
+			Scheduler:       *schedN,
 			MaxInteractions: *maxI,
 			ConfirmWindow:   *confirm,
 			BatchRounds:     *batchR,
@@ -138,7 +145,13 @@ func run(args []string) error {
 	case "matching":
 		opts = append(opts, popcount.WithScheduler(popcount.RandomMatching))
 	default:
-		return fmt.Errorf("unknown scheduler %q", *schedN)
+		// Graph schedulers (ring, torus, kron:<k>…) parse from the same
+		// canonical spec grammar the job schema and snapshots use.
+		mkSched, _, err := popcount.ParseSchedulerSpec(*schedN)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, popcount.WithScheduler(mkSched))
 	}
 	if *progress {
 		opts = append(opts,

@@ -94,6 +94,9 @@ func RunEnsemble(ctx context.Context, alg Algorithm, n, trials int, opts ...Opti
 	if err != nil {
 		return EnsembleResult{}, err
 	}
+	if err := set.validateScheduler(n); err != nil {
+		return EnsembleResult{}, err
+	}
 	if kind == EngineCount || kind == EngineCountBatched {
 		return runCountEnsemble(ctx, alg, n, trials, kind, set)
 	}

@@ -24,8 +24,9 @@ var (
 	ErrUnsupportedEngine = errors.New("popcount: unsupported engine for this configuration")
 
 	// ErrNotSnapshottable marks a simulation whose state has no
-	// serialized form (TokenBag's per-agent bags, or a non-uniform
-	// scheduler's internal state).
+	// serialized form (TokenBag's per-agent bags, or the internal state
+	// of a scheduler other than the uniform default and the graph
+	// schedulers).
 	ErrNotSnapshottable = errors.New("popcount: simulation cannot be snapshotted")
 
 	// ErrBadSnapshot marks a snapshot blob that is malformed, of an
@@ -37,4 +38,11 @@ var (
 	// (bad event bounds or rates, unknown adversary) or a fault-plan
 	// text form ParseFaultPlan cannot parse.
 	ErrBadFaultPlan = errors.New("popcount: invalid fault plan")
+
+	// ErrBadScheduler marks a scheduler whose parameters are invalid for
+	// the simulated population — a BiasedPairs hot index outside [0, n),
+	// a torus over a prime population, a Kronecker graph with fewer
+	// vertices than agents — or a scheduler text form ParseSchedulerSpec
+	// cannot parse.
+	ErrBadScheduler = errors.New("popcount: invalid scheduler")
 )

@@ -4,7 +4,60 @@ import (
 	"encoding/binary"
 	"testing"
 	"time"
+
+	"popcount/internal/rng"
+	"popcount/internal/sim"
 )
+
+// FuzzSchedulerPairs drives every built-in scheduler — uniform, biased,
+// matching, and the three graph families — over fuzzed (n, seed) inputs
+// and asserts the Scheduler contract: both indices in [0, n), initiator
+// distinct from responder, and bit-for-bit determinism when the same
+// scheduler is rebuilt and replayed on an equal random stream.
+func FuzzSchedulerPairs(f *testing.F) {
+	f.Add(uint64(1), 8, 64)
+	f.Add(uint64(42), 33, 256)
+	f.Add(uint64(7), 1024, 128)
+	f.Fuzz(func(t *testing.T, seed uint64, n, draws int) {
+		// Keep graph construction cheap: small-to-moderate populations,
+		// composite so the torus accepts them, bounded draw counts.
+		if n < 4 || n > 1<<14 {
+			t.Skip()
+		}
+		n &^= 1 // even ⇒ composite ⇒ every scheduler accepts n
+		if draws < 1 || draws > 512 {
+			draws = 64
+		}
+		mks := map[string]func() Scheduler{
+			"uniform":  UniformPairs,
+			"biased":   func() Scheduler { return BiasedPairs(n/2, 0.3) },
+			"matching": RandomMatching,
+			"ring":     GraphRing,
+			"torus":    GraphTorus,
+			"kron":     func() Scheduler { return GraphKronecker(sim.DefaultKronInitiator, 14, seed|1) },
+			"kron0": func() Scheduler {
+				return GraphKronecker([4]float64{0.4, 0.25, 0.25, 0.1}, 14, 0)
+			},
+		}
+		for name, mk := range mks {
+			r1, r2 := rng.New(seed), rng.New(seed)
+			s1, s2 := mk(), mk()
+			for i := 0; i < draws; i++ {
+				u, v := s1.Next(n, r1)
+				if u < 0 || u >= n || v < 0 || v >= n {
+					t.Fatalf("%s: pair (%d, %d) outside [0, %d)", name, u, v, n)
+				}
+				if u == v {
+					t.Fatalf("%s: self-pair %d at draw %d", name, u, i)
+				}
+				u2, v2 := s2.Next(n, r2)
+				if u != u2 || v != v2 {
+					t.Fatalf("%s: draw %d diverged under equal seeds: (%d,%d) vs (%d,%d)", name, i, u, v, u2, v2)
+				}
+			}
+		}
+	})
+}
 
 // FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoders —
 // the PCSS envelope directly, and the PSNA/PSNC engine decoders through
@@ -65,6 +118,8 @@ func FuzzSnapshotDecode(f *testing.F) {
 			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // fastRounds
 			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // shift
 			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // batchRounds
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // shards
+			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // schedLen
 			hdr = binary.LittleEndian.AppendUint32(hdr, 0)  // faultLen
 			hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(data)))
 			hdr = append(hdr, data...)

@@ -1,0 +1,219 @@
+package popcount
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"popcount/internal/sim"
+)
+
+func graphFactories() map[string]func() Scheduler {
+	return map[string]func() Scheduler{
+		"ring":  GraphRing,
+		"torus": GraphTorus,
+		// Seed 0: the graph seed is drawn from the trial's random
+		// stream, so the snapshot must carry the drawn value.
+		"kron": func() Scheduler { return GraphKronecker(sim.DefaultKronInitiator, 6, 0) },
+	}
+}
+
+// TestBadSchedulerValidation pins the ErrBadScheduler sentinel at both
+// construction surfaces: an out-of-range BiasedPairs hot index (legal
+// at BiasedPairs time, where n is unknown) and graph/population
+// mismatches must fail NewSimulation and RunEnsemble up front instead
+// of skewing the run.
+func TestBadSchedulerValidation(t *testing.T) {
+	cases := map[string]func() Scheduler{
+		"biased-hot-high": func() Scheduler { return BiasedPairs(32, 0.2) }, // hot == n
+		"biased-hot-huge": func() Scheduler { return BiasedPairs(1<<20, 0.2) },
+		"torus-prime-n":   GraphTorus, // 31 is prime: no grid factors
+		"kron-k-small":    func() Scheduler { return GraphKronecker(sim.DefaultKronInitiator, 4, 0) },
+	}
+	for name, mk := range cases {
+		n := 32
+		if name == "torus-prime-n" {
+			n = 31
+		}
+		if _, err := NewSimulation(Approximate, n, WithScheduler(mk)); !errors.Is(err, ErrBadScheduler) {
+			t.Errorf("NewSimulation/%s: err = %v, want ErrBadScheduler", name, err)
+		}
+		if _, err := RunEnsemble(context.Background(), Approximate, n, 2, WithScheduler(mk)); !errors.Is(err, ErrBadScheduler) {
+			t.Errorf("RunEnsemble/%s: err = %v, want ErrBadScheduler", name, err)
+		}
+	}
+
+	// In-range hot indices must keep working.
+	if _, err := NewSimulation(Approximate, 32,
+		WithScheduler(func() Scheduler { return BiasedPairs(31, 0.2) })); err != nil {
+		t.Errorf("NewSimulation with hot = n-1: %v", err)
+	}
+
+	// An explicit count engine under a graph scheduler is an engine
+	// mismatch, not a scheduler bug — no public algorithm has a ring
+	// count form.
+	_, err := NewSimulation(Approximate, 32, WithEngine(EngineCount),
+		WithScheduler(GraphRing))
+	if !errors.Is(err, ErrUnsupportedEngine) {
+		t.Errorf("count engine + ring: err = %v, want ErrUnsupportedEngine", err)
+	}
+}
+
+// TestUniformSchedulerNormalization pins the explicit uniform scheduler
+// to the nil default: same trajectory, byte-identical snapshots (so a
+// run that spells out WithScheduler(UniformPairs) still takes the
+// batched devirtualized path and restores interchangeably).
+func TestUniformSchedulerNormalization(t *testing.T) {
+	plain, err := NewSimulation(Approximate, 32, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := NewSimulation(Approximate, 32, WithSeed(9),
+		WithScheduler(UniformPairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Step(256)
+	explicit.Step(256)
+	ps, err := plain.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := explicit.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ps, es) {
+		t.Fatal("explicit uniform scheduler snapshot differs from the default's")
+	}
+
+	// Round trip: the restored run continues the explicit-uniform one
+	// bit-for-bit.
+	res, err := RestoreSimulation(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit.Step(256)
+	res.Step(256)
+	a, err := explicit.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("restored uniform run diverged from the original")
+	}
+}
+
+// TestGraphSnapshotRoundTrip checkpoints graph-restricted runs mid-way
+// and asserts the resumed run is bit-for-bit the uninterrupted one —
+// including the Kronecker case whose graph seed was drawn from the
+// trial stream before the checkpoint.
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	for name, mk := range graphFactories() {
+		t.Run(name, func(t *testing.T) {
+			for _, pre := range []int64{0, 200} {
+				ref, err := NewSimulation(Approximate, 32, WithSeed(11), WithScheduler(mk))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.Step(pre)
+				snap, err := ref.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RestoreSimulation(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.Step(300)
+				res.Step(300)
+				a, err := ref.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := res.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("pre=%d: resumed run diverged from the uninterrupted one", pre)
+				}
+			}
+		})
+	}
+}
+
+// TestGraphEnsembleDeterministic runs graph-restricted ensembles and
+// asserts reproducibility across parallelism — each trial draws its own
+// graph from its own stream, so worker scheduling must not leak in.
+func TestGraphEnsembleDeterministic(t *testing.T) {
+	for name, mk := range graphFactories() {
+		t.Run(name, func(t *testing.T) {
+			run := func(par int) EnsembleResult {
+				t.Helper()
+				// A tight interaction budget: the protocols need not
+				// converge on a restricted graph — only reproduce.
+				ens, err := RunEnsemble(context.Background(), Approximate, 64, 8,
+					WithSeed(13), WithParallelism(par), WithScheduler(mk),
+					WithMaxInteractions(100_000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ens
+			}
+			if a, b := run(1), run(4); !reflect.DeepEqual(a, b) {
+				t.Fatal("graph ensemble differs between parallelism 1 and 4")
+			}
+		})
+	}
+}
+
+// TestParseSchedulerSpec pins the scheduler spec grammar: canonical
+// forms, default elision, and rejection of malformed specs with
+// ErrBadScheduler.
+func TestParseSchedulerSpec(t *testing.T) {
+	good := map[string]string{
+		"":                              "",
+		"uniform":                       "",
+		"ring":                          "ring",
+		"torus":                         "torus",
+		"kron:12":                       "kron:12",
+		"kron:12:0":                     "kron:12",
+		"kron:12:7":                     "kron:12:7",
+		"kron:12:0:0.57,0.19,0.19,0.05": "kron:12",
+		"kron:8:3:0.4,0.25,0.25,0.1":    "kron:8:3:0.4,0.25,0.25,0.1",
+	}
+	for spec, want := range good {
+		mk, canon, err := ParseSchedulerSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSchedulerSpec(%q): %v", spec, err)
+			continue
+		}
+		if canon != want {
+			t.Errorf("ParseSchedulerSpec(%q) canonical = %q, want %q", spec, canon, want)
+		}
+		if (mk == nil) != (want == "") {
+			t.Errorf("ParseSchedulerSpec(%q): factory nil-ness %v inconsistent with canonical %q", spec, mk == nil, want)
+		}
+		// Canonical forms are fixed points.
+		if _, again, err := ParseSchedulerSpec(canon); err != nil || again != canon {
+			t.Errorf("canonical %q is not a fixed point: %q, %v", canon, again, err)
+		}
+	}
+	bad := []string{
+		"mesh", "kron", "kron:", "kron:0", "kron:31", "kron:x",
+		"kron:12:y", "kron:12:1:0.5,0.5", "kron:12:1:a,b,c,d",
+		"ring:3", "biased", "matching",
+	}
+	for _, spec := range bad {
+		if _, _, err := ParseSchedulerSpec(spec); !errors.Is(err, ErrBadScheduler) {
+			t.Errorf("ParseSchedulerSpec(%q): err = %v, want ErrBadScheduler", spec, err)
+		}
+	}
+}

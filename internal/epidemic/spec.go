@@ -66,7 +66,13 @@ func NewSingleSourceSpec(n int, oneWay bool) *sim.Spec {
 		out[0] = 1
 		return out
 	}
-	return rankSpec(n, vals, init, layout, oneWay)
+	sp := rankSpec(n, vals, init, layout, oneWay)
+	// One seeded agent spreading a monotone maximum keeps the informed
+	// set a contiguous arc on a ring, so per-state counts stay a
+	// sufficient statistic under the ring scheduler. The general
+	// NewSpec does not qualify: multiple seeds fragment the arc.
+	sp.RingExchangeable = true
+	return sp
 }
 
 // rankSpec assembles the broadcast spec over value ranks from a

@@ -278,6 +278,7 @@ func All(o Options) []Table {
 		E21FaultRecovery(o),
 		E22ShardScaling(o),
 		E23InternedThroughput(o),
+		E24GraphSchedulers(o),
 		A1ClockPeriod(o),
 		A2Shift(o),
 		A3FastLeaderRounds(o),

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -299,5 +300,30 @@ func TestA1A2AblationTables(t *testing.T) {
 		if row[3] != "100%" {
 			t.Errorf("A2 shift run inexact: %v", row)
 		}
+	}
+}
+
+func TestE24GraphSchedulers(t *testing.T) {
+	tbl := E24GraphSchedulers(tiny())
+	// One quick Herman size, four epidemic schedulers, and the
+	// agent/count ring pair.
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "100%" {
+			t.Errorf("row not fully converged: %v", row)
+		}
+	}
+	// The Herman ratio must sit under the 0.64 bound with slack.
+	herman, err := strconv.ParseFloat(tbl.Rows[0][6], 64)
+	if err != nil || herman <= 0 || herman > 0.64 {
+		t.Errorf("herman E[T_rounds]/N² = %v (err %v), want in (0, 0.64]", herman, err)
+	}
+	// The agent and count ring rows must agree within sampling noise.
+	a, err1 := strconv.ParseFloat(tbl.Rows[5][6], 64)
+	c, err2 := strconv.ParseFloat(tbl.Rows[6][6], 64)
+	if err1 != nil || err2 != nil || a <= 0 || c/a > 1.5 || a/c > 1.5 {
+		t.Errorf("ring engines disagree: agent %v count %v", a, c)
 	}
 }

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSchedulerJobEndToEnd runs a graph-restricted job through the
+// HTTP API: the spec reaches the engine, the run completes, and the
+// fingerprint separates graph-restricted from uniform submissions.
+func TestSchedulerJobEndToEnd(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	req := JobRequest{Algorithm: "approximate", N: 512, Seed: 7, Scheduler: "ring",
+		MaxInteractions: 300_000}
+	st, code := submit(t, hs.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if st.Req.Scheduler != "ring" {
+		t.Fatalf("scheduler lost in canonicalization: %+v", st.Req)
+	}
+	waitState(t, hs.URL, st.ID, JobDone)
+	var doc ResultDoc
+	if err := json.Unmarshal(getResult(t, hs.URL, st.ID), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Request.Scheduler != "ring" {
+		t.Fatal("result document dropped the scheduler")
+	}
+
+	// The same request under the uniform default is a different job.
+	plain := req
+	plain.Scheduler = ""
+	stPlain, _ := submit(t, hs.URL, plain)
+	if stPlain.ID == st.ID {
+		t.Fatal("ring and uniform requests share a fingerprint")
+	}
+}
+
+// TestSchedulerFingerprint pins the cache-key behavior of scheduler
+// specs: explicit uniform hashes like an absent field, non-canonical
+// spellings fold to the canonical form, and spec changes change the
+// hash.
+func TestSchedulerFingerprint(t *testing.T) {
+	canon := func(r JobRequest) JobRequest {
+		t.Helper()
+		c, err := r.Canonicalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	plain := canon(JobRequest{Algorithm: "approximate", N: 500})
+	uniform := canon(JobRequest{Algorithm: "approximate", N: 500, Scheduler: " UNIFORM "})
+	if uniform.Scheduler != "" || uniform.Fingerprint() != plain.Fingerprint() {
+		t.Fatal("explicit uniform scheduler split the cache")
+	}
+
+	ring := canon(JobRequest{Algorithm: "approximate", N: 500, Scheduler: "ring"})
+	if ring.Fingerprint() == plain.Fingerprint() {
+		t.Fatal("ring request hashes like a plain one")
+	}
+
+	// Seed 0 and the default initiator are canonical-form noise.
+	kron := canon(JobRequest{Algorithm: "approximate", N: 500, Scheduler: "kron:12"})
+	folded := canon(JobRequest{Algorithm: "approximate", N: 500,
+		Scheduler: "KRON:12:0:0.57,0.19,0.19,0.05"})
+	if folded.Scheduler != "kron:12" || folded.Fingerprint() != kron.Fingerprint() {
+		t.Fatalf("equivalent kron specs hash differently (canonical %q)", folded.Scheduler)
+	}
+	pinned := canon(JobRequest{Algorithm: "approximate", N: 500, Scheduler: "kron:12:9"})
+	if pinned.Fingerprint() == kron.Fingerprint() {
+		t.Fatal("pinned and drawn graph seeds hash identically")
+	}
+}
+
+// TestSchedulerValidationErrors pins the 400 mapping of bad scheduler
+// specs: grammar errors and graph/population mismatches both fail at
+// submission, not in the worker.
+func TestSchedulerValidationErrors(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown graph", `{"algorithm":"approximate","n":100,"scheduler":"mesh"}`},
+		{"kron depth zero", `{"algorithm":"approximate","n":100,"scheduler":"kron:0"}`},
+		{"kron too shallow", `{"algorithm":"approximate","n":100,"scheduler":"kron:5"}`},
+		{"torus prime n", `{"algorithm":"approximate","n":101,"scheduler":"torus"}`},
+		{"count engine graph", `{"algorithm":"approximate","n":100,"engine":"count","scheduler":"ring"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}

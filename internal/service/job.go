@@ -30,6 +30,12 @@ type JobRequest struct {
 	// Engine selects the simulation engine: agent, count,
 	// count-batched, auto (default agent).
 	Engine string `json:"engine,omitempty"`
+	// Scheduler restricts interactions to an interaction graph, in
+	// popcount.ParseSchedulerSpec syntax: "" or "uniform" (the
+	// default), "ring", "torus", "kron:<k>[:<seed>[:<a>,<b>,<c>,<d>]]".
+	// Canonicalization drops the uniform default and normalizes graph
+	// specs, so an explicit "uniform" hashes like an absent field.
+	Scheduler string `json:"scheduler,omitempty"`
 
 	MaxInteractions int64 `json:"max_interactions,omitempty"`
 	CheckEvery      int64 `json:"check_every,omitempty"`
@@ -154,6 +160,11 @@ func (r JobRequest) Canonicalize() (JobRequest, error) {
 		return r, err
 	}
 	r.Engine = engine.String()
+	_, schedCanon, err := popcount.ParseSchedulerSpec(strings.ToLower(strings.TrimSpace(r.Scheduler)))
+	if err != nil {
+		return r, err
+	}
+	r.Scheduler = schedCanon
 	if r.Trials == 0 {
 		r.Trials = 1
 	}
@@ -233,6 +244,11 @@ func (r JobRequest) Options() []popcount.Option {
 	if r.Shards > 1 {
 		opts = append(opts, popcount.WithIntraRunParallelism(r.Shards))
 	}
+	if r.Scheduler != "" {
+		// Canonicalized requests carry only parseable scheduler specs.
+		mkSched, _, _ := popcount.ParseSchedulerSpec(r.Scheduler)
+		opts = append(opts, popcount.WithScheduler(mkSched))
+	}
 	if r.Faults != nil {
 		// Canonicalized requests carry only parseable plans.
 		plan, _ := r.Faults.Plan()
@@ -267,6 +283,11 @@ func (r JobRequest) Fingerprint() string {
 		// Sharding changes the random-stream layout, so the shard count
 		// keys the cache; serial requests keep their pre-sharding hashes.
 		fmt.Fprintf(h, "|shards=%d", r.Shards)
+	}
+	if r.Scheduler != "" {
+		// The canonical scheduler spec keys the cache; uniform requests
+		// keep their pre-graph-scheduler hashes.
+		fmt.Fprintf(h, "|sched=%s", r.Scheduler)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -215,7 +215,8 @@ func errorStatus(err error) int {
 		errors.Is(err, popcount.ErrUnknownAlgorithm),
 		errors.Is(err, popcount.ErrUnsupportedEngine),
 		errors.Is(err, popcount.ErrNotSnapshottable),
-		errors.Is(err, popcount.ErrBadFaultPlan):
+		errors.Is(err, popcount.ErrBadFaultPlan),
+		errors.Is(err, popcount.ErrBadScheduler):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

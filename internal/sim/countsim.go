@@ -94,11 +94,14 @@ type SelfLooper interface {
 }
 
 // ErrCountScheduler is returned when a CountEngine is configured with a
-// non-uniform scheduler: the configuration view is only equivalent to
-// the agent view under the paper's uniform random scheduler (agents in
-// the same state must be exchangeable, which a biased or matching
-// scheduler breaks).
-var ErrCountScheduler = errors.New("sim: count engine supports only the uniform scheduler")
+// scheduler it has no count-level dynamics for: the configuration view
+// is only equivalent to the agent view when agents in the same state
+// are exchangeable under the scheduler. That holds for the paper's
+// uniform scheduler always, and for the ring scheduler exactly when
+// the protocol's spec certifies Spec.RingExchangeable (single-source
+// monotone spread); biased and matching schedulers, and the torus and
+// Kronecker graphs (where cluster geometry matters), break it.
+var ErrCountScheduler = errors.New("sim: count engine does not support this scheduler")
 
 // MaxCountPopulation bounds the count engine's population size: the
 // engine's pair-weight arithmetic works in int64 over n·(n−1) ordered
@@ -191,6 +194,13 @@ type CountEngine struct {
 	r    *rng.Rand
 	c    *CountConfig
 	n    int64 // population size
+
+	// ring is the spec's self-loop predicate when the engine runs the
+	// ring-restricted dynamics (GraphScheduler of GraphKindRing over a
+	// RingExchangeable spec), nil for the clique dynamics. In ring mode
+	// the configuration is a contiguous arc of the spreading state, so
+	// the boundary-pair weight replaces the clique pair weights.
+	ring func(qu, qv uint64) bool
 
 	// Self-loop skip state (allocated only when sl != nil). For each
 	// dense state index i:
@@ -287,8 +297,9 @@ type EngineStats struct {
 func (e *CountEngine) Stats() EngineStats { return e.stats }
 
 // NewCountEngine validates p and cfg and returns a count engine
-// positioned at interaction 0. cfg.Scheduler must be nil or the uniform
-// scheduler (ErrCountScheduler otherwise).
+// positioned at interaction 0. cfg.Scheduler must be nil, the uniform
+// scheduler, or a ring GraphScheduler over a RingExchangeable spec
+// (ErrCountScheduler otherwise).
 func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 	n := p.N()
 	if n < 2 {
@@ -297,8 +308,30 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 	if int64(n) > MaxCountPopulation {
 		return nil, fmt.Errorf("sim: count engine population %d exceeds %d (int64 pair-weight bound)", n, int64(MaxCountPopulation))
 	}
+	var ringSL func(qu, qv uint64) bool
 	if cfg.Scheduler != nil {
-		if _, ok := cfg.Scheduler.(UniformScheduler); !ok {
+		switch sched := cfg.Scheduler.(type) {
+		case UniformScheduler:
+			// The paper's scheduler: the plain clique dynamics.
+		case *GraphScheduler:
+			if err := sched.Validate(n); err != nil {
+				return nil, err
+			}
+			if sched.Kind != GraphKindRing {
+				return nil, fmt.Errorf("%w: %v graphs have no count form (cluster geometry is not a function of per-state counts)", ErrCountScheduler, sched.Kind)
+			}
+			sp, ok := p.(interface{ Spec() *Spec })
+			if !ok || !sp.Spec().RingExchangeable {
+				return nil, fmt.Errorf("%w: ring dynamics need a RingExchangeable spec (got %T)", ErrCountScheduler, p)
+			}
+			if cfg.BatchSteps || cfg.Shards >= 2 {
+				return nil, fmt.Errorf("%w: ring dynamics have no batched or sharded form", ErrCountScheduler)
+			}
+			if cfg.Faults != nil {
+				return nil, fmt.Errorf("%w: fault plans require the uniform scheduler", ErrCountScheduler)
+			}
+			ringSL = sp.Spec().selfLoop
+		default:
 			return nil, ErrCountScheduler
 		}
 	}
@@ -308,8 +341,9 @@ func NewCountEngine(p CountProtocol, cfg Config) (*CountEngine, error) {
 		p:          p,
 		r:          rng.New(cfg.Seed),
 		n:          int64(n),
+		ring:       ringSL,
 	}
-	if !cfg.DisableBatch {
+	if !cfg.DisableBatch && e.ring == nil {
 		e.sl, _ = p.(SelfLooper)
 	}
 	e.conv, _ = p.(CountConverger)
@@ -434,6 +468,10 @@ func (e *CountEngine) Step(count int64) {
 
 // stepRaw is the fault-free stepping body.
 func (e *CountEngine) stepRaw(count int64) {
+	if e.ring != nil {
+		e.stepRing(count)
+		return
+	}
 	if e.sr != nil {
 		e.stepBatchedSharded(count)
 		return
@@ -443,6 +481,88 @@ func (e *CountEngine) stepRaw(count int64) {
 		return
 	}
 	e.stepExact(count)
+}
+
+// stepRing is the ring-restricted dynamics over a RingExchangeable
+// spec. The spreading state occupies one contiguous arc, so of the 2n
+// equiprobable directed ring-adjacent draws only the arc's two
+// boundary adjacencies can be productive: 2 directed draws per
+// orientation class ((lo, hi) and (hi, lo)), each productive exactly
+// when the spec's no-op predicate rejects it. Runs of no-op draws are
+// applied as one geometric jump of the interaction clock, mirroring
+// the clique engine's skip path.
+func (e *CountEngine) stepRing(count int64) {
+	rem := count
+	total := 2 * e.n // directed ring-adjacent (agent, direction) draws
+	for rem > 0 {
+		lo, hi, k := e.ringBoundary()
+		if k > 2 {
+			panic("sim: RingExchangeable contract violated: more than two occupied states")
+		}
+		var w int64
+		if k == 2 {
+			if !e.ring(lo, hi) {
+				w += 2
+			}
+			if !e.ring(hi, lo) {
+				w += 2
+			}
+		}
+		if w == 0 {
+			// Fully spread (or a single frozen state): the remaining
+			// interactions pass in one jump.
+			e.t += rem
+			return
+		}
+		if w < total {
+			skip := geomSkip(e.r, float64(w)/float64(total))
+			if skip >= rem {
+				e.t += rem
+				return
+			}
+			e.t += skip
+			rem -= skip
+		}
+		qu, qv := lo, hi
+		switch {
+		case w == 4:
+			// Both orientations productive and equally weighted.
+			if e.r.Bool() {
+				qu, qv = hi, lo
+			}
+		case e.ring(lo, hi):
+			// Only (hi, lo) is productive.
+			qu, qv = hi, lo
+		}
+		i, j := e.c.index[qu], e.c.index[qv]
+		a, b := e.p.Delta(qu, qv, e.r)
+		e.apply(i, j, a, b)
+		e.stats.DeltaCalls++
+		e.t++
+		rem--
+	}
+}
+
+// ringBoundary scans the configuration for its occupied states,
+// returning the smallest and largest occupied codes and the occupied
+// count. A RingExchangeable trajectory has at most two occupied
+// states (the spreading state and the one it displaces).
+func (e *CountEngine) ringBoundary() (lo, hi uint64, k int) {
+	for i, cnt := range e.c.counts {
+		if cnt <= 0 {
+			continue
+		}
+		code := e.c.codes[i]
+		if k == 0 {
+			lo, hi = code, code
+		} else if code < lo {
+			lo = code
+		} else if code > hi {
+			hi = code
+		}
+		k++
+	}
+	return lo, hi, k
 }
 
 // stepEach is the per-interaction path: one categorical pair draw and

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"popcount/internal/rng"
+)
+
+// ErrScheduler marks a scheduler whose parameters are invalid for the
+// population it is asked to schedule: a biased hot index outside
+// [0, n), a torus over a population with no 2-D factorization, a
+// Kronecker graph with fewer vertices than agents. Engines probe for
+// SchedulerValidator at construction so these surface as errors
+// instead of panics deep inside a trial.
+var ErrScheduler = errors.New("sim: invalid scheduler configuration")
+
+// SchedulerValidator is implemented by schedulers whose parameters can
+// be invalid for a given population size. NewEngine and NewCountEngine
+// call Validate(n) before the first step and refuse construction on
+// error.
+type SchedulerValidator interface {
+	Validate(n int) error
+}
+
+// SchedulerSnapshotter is implemented by non-uniform schedulers whose
+// internal state has a deterministic serialized form. A scheduler that
+// implements it can ride in PSNA snapshots: Engine.Snapshot appends
+// SchedulerState() after the fault section, and Engine.Restore feeds
+// the bytes back through RestoreSchedulerState so a resumed run
+// replays bit-for-bit. Schedulers without it (arbitrary closures) stay
+// refused by the snapshot layer.
+type SchedulerSnapshotter interface {
+	SchedulerState() []byte
+	RestoreSchedulerState(state []byte) error
+}
+
+// GraphRand is the randomness a graph scheduler draws from. It is the
+// intersection of *rng.Rand and the public popcount.Rand, so the graph
+// sampling logic exists once and both the engine path and the public
+// scheduler path share it.
+type GraphRand interface {
+	Uint64() uint64
+	Intn(n int) int
+	Float64() float64
+	Bool() bool
+}
+
+// GraphKind selects the interaction-graph family of a GraphScheduler.
+type GraphKind uint8
+
+const (
+	// GraphKindRing is the cycle C_n: agent i interacts with i±1 mod n.
+	GraphKindRing GraphKind = iota + 1
+	// GraphKindTorus is the 2-D torus on the most-square rows×cols
+	// factorization of n: agent (r, c) interacts with its four
+	// axis-aligned neighbors, wrapping at the edges.
+	GraphKindTorus
+	// GraphKindKron is a stochastic-Kronecker (R-MAT) random graph:
+	// kronEdgeFactor·n edges sampled by K-level quadrant descent over
+	// the 2×2 initiator matrix, vertex ids folded mod n, self-loops
+	// rewired to the successor vertex, stored in CSR form for O(1)
+	// directed-edge draws.
+	GraphKindKron
+)
+
+// String names the graph kind for error messages and the canonical
+// scheduler spec form.
+func (k GraphKind) String() string {
+	switch k {
+	case GraphKindRing:
+		return "ring"
+	case GraphKindTorus:
+		return "torus"
+	case GraphKindKron:
+		return "kron"
+	default:
+		return fmt.Sprintf("GraphKind(%d)", uint8(k))
+	}
+}
+
+// DefaultKronInitiator is the Graph500 reference initiator matrix
+// (a, b, c, d): heavy self-similar clustering with a power-law degree
+// tail, the standard parameterization in the R-MAT literature.
+var DefaultKronInitiator = [4]float64{0.57, 0.19, 0.19, 0.05}
+
+// kronEdgeFactor is the sampled undirected edge count per vertex
+// (Graph500 uses 16; 8 keeps the CSR arrays compact while staying far
+// above the ~½·log₂ n / vertex connectivity threshold of the
+// connected regime characterized by Łuczak & Tabor).
+const kronEdgeFactor = 8
+
+// maxKronN bounds Kronecker populations so the int32 CSR arrays
+// (2·kronEdgeFactor·n entries) stay well inside addressable memory.
+const maxKronN = 1 << 26
+
+// GraphScheduler restricts interactions to the edges of an interaction
+// graph. Next draws a uniform random directed edge (u, v) of the
+// graph; ring and torus neighborhoods are computed arithmetically,
+// Kronecker graphs are sampled once (per trial, or once globally when
+// Seed is pinned) and stored in CSR form.
+//
+// The zero value is invalid; set Kind. For GraphKindKron, K is the
+// Kronecker recursion depth (graph has 2^K vertices before folding
+// mod n), Initiator the 2×2 probability matrix in row-major (a, b, c,
+// d) order (the zero value selects DefaultKronInitiator), and Seed the
+// graph seed — 0 draws a fresh graph seed from the trial's scheduler
+// RNG at the first Next call (so every trial sees an independent
+// graph, yet the run stays a pure function of the trial seed), any
+// other value pins one graph across all trials.
+//
+// A GraphScheduler is single-goroutine state, like every Scheduler:
+// build one per trial (TrialOptions.MakeScheduler does).
+type GraphScheduler struct {
+	Kind      GraphKind
+	K         int
+	Initiator [4]float64
+	Seed      uint64
+
+	// Lazily built adjacency state, a pure function of (Kind, K,
+	// Initiator, graphSeed, n).
+	n          int
+	built      bool
+	seeded     bool
+	graphSeed  uint64
+	rows, cols int
+	off        []int32 // CSR row offsets, len n+1
+	adj        []int32 // edge targets, len 2·kronEdgeFactor·n
+	esrc       []int32 // edge sources (parallel to adj), for O(1) edge draws
+}
+
+// Next implements Scheduler.
+func (s *GraphScheduler) Next(n int, r *rng.Rand) (u, v int) {
+	return s.NextPair(n, r)
+}
+
+// NextPair draws a uniform random directed edge of the interaction
+// graph. It is Next generalized over the randomness source so the
+// public popcount scheduler wrapper can share the exact sampling
+// logic (and hence the exact draw sequence) with the engine.
+func (s *GraphScheduler) NextPair(n int, r GraphRand) (u, v int) {
+	if !s.built || s.n != n {
+		s.build(n, r)
+	}
+	switch s.Kind {
+	case GraphKindRing:
+		u = r.Intn(n)
+		if r.Bool() {
+			return u, (u + 1) % n
+		}
+		return u, (u + n - 1) % n
+	case GraphKindTorus:
+		u = r.Intn(n)
+		row, col := u/s.cols, u%s.cols
+		switch r.Intn(4) {
+		case 0:
+			col = (col + 1) % s.cols
+		case 1:
+			col = (col + s.cols - 1) % s.cols
+		case 2:
+			row = (row + 1) % s.rows
+		default:
+			row = (row + s.rows - 1) % s.rows
+		}
+		return u, row*s.cols + col
+	default:
+		e := r.Intn(len(s.adj))
+		return int(s.esrc[e]), int(s.adj[e])
+	}
+}
+
+// build materializes the adjacency state for population n. The
+// parameters were validated at engine construction, so failing here is
+// a programming bug.
+func (s *GraphScheduler) build(n int, r GraphRand) {
+	if err := s.Validate(n); err != nil {
+		panic(err)
+	}
+	s.n = n
+	switch s.Kind {
+	case GraphKindTorus:
+		s.rows, s.cols = torusDims(n)
+	case GraphKindKron:
+		if s.Seed != 0 {
+			s.graphSeed, s.seeded = s.Seed, true
+		} else if !s.seeded {
+			// One draw from the trial's scheduler stream seeds the graph;
+			// the position of the draw (before any pair) is part of the
+			// snapshot contract, so a restored run re-draws identically.
+			s.graphSeed, s.seeded = r.Uint64(), true
+		}
+		s.buildKron(n)
+	}
+	s.built = true
+}
+
+// buildKron samples kronEdgeFactor·n edges by R-MAT quadrant descent
+// and stores both orientations of each in CSR form.
+func (s *GraphScheduler) buildKron(n int) {
+	g := rng.New(s.graphSeed)
+	init := s.Initiator
+	if init == ([4]float64{}) {
+		init = DefaultKronInitiator
+	}
+	sum := init[0] + init[1] + init[2] + init[3]
+	ta := init[0] / sum
+	tb := ta + init[1]/sum
+	tc := tb + init[2]/sum
+	m := kronEdgeFactor * n
+	us := make([]int32, m)
+	vs := make([]int32, m)
+	for e := 0; e < m; e++ {
+		var u, v int
+		for level := 0; level < s.K; level++ {
+			x := g.Float64()
+			var ub, vb int
+			switch {
+			case x < ta: // quadrant a: (0, 0)
+			case x < tb: // quadrant b: (0, 1)
+				vb = 1
+			case x < tc: // quadrant c: (1, 0)
+				ub = 1
+			default: // quadrant d: (1, 1)
+				ub, vb = 1, 1
+			}
+			u = u<<1 | ub
+			v = v<<1 | vb
+		}
+		u, v = u%n, v%n
+		if u == v {
+			// Fold collisions onto the successor so the sampled graph
+			// stays loop-free (self-pairs are not interactions).
+			v = (v + 1) % n
+		}
+		us[e], vs[e] = int32(u), int32(v)
+	}
+	// CSR over both orientations: 2m directed edges.
+	deg := make([]int32, n+1)
+	for e := 0; e < m; e++ {
+		deg[us[e]+1]++
+		deg[vs[e]+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	s.off = deg
+	s.adj = make([]int32, 2*m)
+	s.esrc = make([]int32, 2*m)
+	cur := make([]int32, n)
+	copy(cur, s.off[:n])
+	for e := 0; e < m; e++ {
+		u, v := us[e], vs[e]
+		s.esrc[cur[u]], s.adj[cur[u]] = u, v
+		cur[u]++
+		s.esrc[cur[v]], s.adj[cur[v]] = v, u
+		cur[v]++
+	}
+}
+
+// Validate implements SchedulerValidator.
+func (s *GraphScheduler) Validate(n int) error {
+	switch s.Kind {
+	case GraphKindRing:
+		if n < 2 {
+			return fmt.Errorf("%w: ring needs n ≥ 2, got %d", ErrScheduler, n)
+		}
+	case GraphKindTorus:
+		if n < 4 {
+			return fmt.Errorf("%w: torus needs n ≥ 4, got %d", ErrScheduler, n)
+		}
+		if rows, _ := torusDims(n); rows < 2 {
+			return fmt.Errorf("%w: torus needs a composite population, %d is prime", ErrScheduler, n)
+		}
+	case GraphKindKron:
+		if s.K < 1 || s.K > 30 {
+			return fmt.Errorf("%w: Kronecker depth %d outside [1, 30]", ErrScheduler, s.K)
+		}
+		if n < 2 {
+			return fmt.Errorf("%w: Kronecker graph needs n ≥ 2, got %d", ErrScheduler, n)
+		}
+		if n > maxKronN {
+			return fmt.Errorf("%w: Kronecker population %d exceeds limit %d", ErrScheduler, n, maxKronN)
+		}
+		if s.K < 31 && n > 1<<s.K {
+			return fmt.Errorf("%w: Kronecker graph has 2^%d vertices, fewer than n=%d", ErrScheduler, s.K, n)
+		}
+		init := s.Initiator
+		if init == ([4]float64{}) {
+			init = DefaultKronInitiator
+		}
+		var sum float64
+		for i, p := range init {
+			if p < 0 || p != p || p > 1e18 {
+				return fmt.Errorf("%w: Kronecker initiator entry %d is %v", ErrScheduler, i, p)
+			}
+			sum += p
+		}
+		if sum <= 0 {
+			return fmt.Errorf("%w: Kronecker initiator sums to zero", ErrScheduler)
+		}
+		if init[1]+init[2] <= 0 {
+			// All mass on the diagonal quadrants folds every edge onto
+			// u == v: no off-diagonal mass means no productive edges.
+			return fmt.Errorf("%w: Kronecker initiator needs off-diagonal mass (b+c > 0)", ErrScheduler)
+		}
+	default:
+		return fmt.Errorf("%w: unknown graph kind %d", ErrScheduler, s.Kind)
+	}
+	return nil
+}
+
+// torusDims returns the most-square rows×cols factorization of n with
+// rows ≤ cols (rows is the largest divisor of n at most √n).
+func torusDims(n int) (rows, cols int) {
+	rows = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			rows = d
+		}
+	}
+	return rows, n / rows
+}
+
+// SchedulerState implements SchedulerSnapshotter. Ring and torus
+// schedulers are stateless (the encoded seed bytes are zero); a
+// Kronecker scheduler's whole state is whether its graph seed has
+// been drawn plus the seed itself — the CSR arrays are a pure
+// function of it and are rebuilt lazily after restore.
+func (s *GraphScheduler) SchedulerState() []byte {
+	b := make([]byte, 9)
+	if s.seeded {
+		b[0] = 1
+		for i := 0; i < 8; i++ {
+			b[1+i] = byte(s.graphSeed >> (8 * i))
+		}
+	}
+	return b
+}
+
+// RestoreSchedulerState implements SchedulerSnapshotter.
+func (s *GraphScheduler) RestoreSchedulerState(state []byte) error {
+	if len(state) != 9 || state[0] > 1 {
+		return fmt.Errorf("%w: malformed graph scheduler state", ErrSnapshotFormat)
+	}
+	s.seeded = state[0] == 1
+	s.graphSeed = 0
+	for i := 0; i < 8; i++ {
+		s.graphSeed |= uint64(state[1+i]) << (8 * i)
+	}
+	s.built = false
+	return nil
+}

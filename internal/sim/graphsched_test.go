@@ -1,0 +1,266 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"popcount/internal/epidemic"
+	"popcount/internal/rng"
+	"popcount/internal/sim"
+	"popcount/internal/stats"
+)
+
+// TestGraphSchedulerPairs pins the structural invariants of every graph
+// family: pairs are distinct graph neighbours, deterministic under
+// equal seeds, and the adjacency itself is reproducible.
+func TestGraphSchedulerPairs(t *testing.T) {
+	const n = 36
+	cases := map[string]func() *sim.GraphScheduler{
+		"ring":  func() *sim.GraphScheduler { return &sim.GraphScheduler{Kind: sim.GraphKindRing} },
+		"torus": func() *sim.GraphScheduler { return &sim.GraphScheduler{Kind: sim.GraphKindTorus} },
+		"kron":  func() *sim.GraphScheduler { return &sim.GraphScheduler{Kind: sim.GraphKindKron, K: 6} },
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			s1, s2 := mk(), mk()
+			r1, r2 := rng.New(3), rng.New(3)
+			for i := 0; i < 20_000; i++ {
+				u, v := s1.Next(n, r1)
+				if u < 0 || u >= n || v < 0 || v >= n || u == v {
+					t.Fatalf("draw %d: bad pair (%d, %d)", i, u, v)
+				}
+				if u2, v2 := s2.Next(n, r2); u != u2 || v != v2 {
+					t.Fatalf("draw %d: diverged under equal seeds", i)
+				}
+				switch name {
+				case "ring":
+					if d := (v - u + n) % n; d != 1 && d != n-1 {
+						t.Fatalf("ring pair (%d, %d) not adjacent", u, v)
+					}
+				case "torus":
+					// 6×6 grid: neighbours differ by one step in exactly
+					// one coordinate, modulo wraparound.
+					ur, uc, vr, vc := u/6, u%6, v/6, v%6
+					dr := (vr - ur + 6) % 6
+					dc := (vc - uc + 6) % 6
+					rowStep := (dr == 1 || dr == 5) && dc == 0
+					colStep := (dc == 1 || dc == 5) && dr == 0
+					if !rowStep && !colStep {
+						t.Fatalf("torus pair (%d, %d) not grid-adjacent", u, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGraphSchedulerValidate exercises the typed validation errors the
+// engines surface at construction.
+func TestGraphSchedulerValidate(t *testing.T) {
+	bad := map[string]*sim.GraphScheduler{
+		"torus-prime":  {Kind: sim.GraphKindTorus},
+		"torus-small":  {Kind: sim.GraphKindTorus},
+		"kron-k0":      {Kind: sim.GraphKindKron},
+		"kron-k-small": {Kind: sim.GraphKindKron, K: 4},
+		"kron-neg-p":   {Kind: sim.GraphKindKron, K: 8, Initiator: [4]float64{-1, 1, 1, 1}},
+		"kron-no-off":  {Kind: sim.GraphKindKron, K: 8, Initiator: [4]float64{0.5, 0, 0, 0.5}},
+	}
+	ns := map[string]int{
+		"torus-prime": 31, "torus-small": 3,
+		"kron-k0": 32, "kron-k-small": 32, "kron-neg-p": 32, "kron-no-off": 32,
+	}
+	for name, g := range bad {
+		if err := g.Validate(ns[name]); !errors.Is(err, sim.ErrScheduler) {
+			t.Errorf("%s: Validate(%d) = %v, want ErrScheduler", name, ns[name], err)
+		}
+		if _, err := sim.NewEngine(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(ns[name], true)),
+			sim.Config{Seed: 1, Scheduler: g}); !errors.Is(err, sim.ErrScheduler) {
+			t.Errorf("%s: NewEngine accepted the scheduler: %v", name, err)
+		}
+	}
+	// The ring accepts every population an engine accepts, so its only
+	// invalid input sits below the engine's own floor.
+	if err := (&sim.GraphScheduler{Kind: sim.GraphKindRing}).Validate(1); !errors.Is(err, sim.ErrScheduler) {
+		t.Errorf("ring Validate(1) = %v, want ErrScheduler", err)
+	}
+	good := map[int]*sim.GraphScheduler{
+		2:  {Kind: sim.GraphKindRing},
+		4:  {Kind: sim.GraphKindTorus},
+		33: {Kind: sim.GraphKindTorus},
+		64: {Kind: sim.GraphKindKron, K: 6},
+	}
+	for n, g := range good {
+		if err := g.Validate(n); err != nil {
+			t.Errorf("Validate(%d) on %v: %v", n, g.Kind, err)
+		}
+	}
+}
+
+// TestBiasedSchedulerValidate pins the engine-level biased validation:
+// a hot index outside [0, n) fails NewEngine with ErrScheduler.
+func TestBiasedSchedulerValidate(t *testing.T) {
+	for _, c := range []sim.BiasedScheduler{{Hot: 16, Bias: 0.2}, {Hot: -1, Bias: 0.2}} {
+		_, err := sim.NewEngine(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(16, true)),
+			sim.Config{Seed: 1, Scheduler: c})
+		if !errors.Is(err, sim.ErrScheduler) {
+			t.Errorf("hot=%d: NewEngine err = %v, want ErrScheduler", c.Hot, err)
+		}
+	}
+	if err := (sim.BiasedScheduler{Hot: 15, Bias: 0.2}).Validate(16); err != nil {
+		t.Errorf("in-range hot rejected: %v", err)
+	}
+}
+
+// TestGraphCountRingConformance runs the one-way single-source epidemic
+// on a ring under the agent engine and under the count engine's exact
+// boundary dynamics, and compares the distributions of the completion
+// time. The count form replaces per-agent simulation with a two-point
+// boundary process — a mismatch in the productive-draw weights or the
+// orientation coin shows up as a shifted mean.
+func TestGraphCountRingConformance(t *testing.T) {
+	const n, trials = 256, 40
+	mean := func(run func(seed uint64) int64) float64 {
+		var xs []float64
+		for i := 0; i < trials; i++ {
+			xs = append(xs, float64(run(sim.TrialSeed(99, i))))
+		}
+		return stats.Mean(xs)
+	}
+	agent := mean(func(seed uint64) int64 {
+		res, err := sim.Run(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(n, true)),
+			sim.Config{Seed: seed, Scheduler: &sim.GraphScheduler{Kind: sim.GraphKindRing}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("agent ring epidemic did not converge")
+		}
+		return res.Interactions
+	})
+	count := mean(func(seed uint64) int64 {
+		res, err := sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, true)),
+			sim.Config{Seed: seed, Scheduler: &sim.GraphScheduler{Kind: sim.GraphKindRing}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("count ring epidemic did not converge")
+		}
+		return res.Interactions
+	})
+	// Each mean is an average of ~n²-spread variates; 15% brackets the
+	// sampling noise at these trial counts with a wide margin while
+	// still catching any systematic weight error (the smallest possible
+	// mistake — a factor 2 in the productive weight — shifts the mean
+	// 100%).
+	if ratio := count / agent; math.Abs(ratio-1) > 0.15 {
+		t.Fatalf("count/agent mean completion ratio %.3f (agent %.0f, count %.0f)", ratio, agent, count)
+	}
+
+	// Two-way dynamics double the boundary weight; the same bound.
+	agent2 := mean(func(seed uint64) int64 {
+		res, err := sim.Run(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(n, false)),
+			sim.Config{Seed: seed, Scheduler: &sim.GraphScheduler{Kind: sim.GraphKindRing}})
+		if err != nil || !res.Converged {
+			t.Fatalf("two-way agent run: %v converged=%v", err, res.Converged)
+		}
+		return res.Interactions
+	})
+	count2 := mean(func(seed uint64) int64 {
+		res, err := sim.RunCount(sim.NewSpecCount(epidemic.NewSingleSourceSpec(n, false)),
+			sim.Config{Seed: seed, Scheduler: &sim.GraphScheduler{Kind: sim.GraphKindRing}})
+		if err != nil || !res.Converged {
+			t.Fatalf("two-way count run: %v converged=%v", err, res.Converged)
+		}
+		return res.Interactions
+	})
+	if ratio := count2 / agent2; math.Abs(ratio-1) > 0.15 {
+		t.Fatalf("two-way count/agent mean completion ratio %.3f (agent %.0f, count %.0f)", ratio, agent2, count2)
+	}
+	// One-way spread pays roughly twice the interactions of two-way
+	// (half the productive boundary draws) — sanity-check the ordering.
+	if agent <= agent2 {
+		t.Errorf("one-way mean %.0f not slower than two-way mean %.0f", agent, agent2)
+	}
+}
+
+// TestGraphCountRingRejections pins the count engine's refusals: only
+// ring graphs, only RingExchangeable specs, no batching, no sharding,
+// no fault plans.
+func TestGraphCountRingRejections(t *testing.T) {
+	ringSched := func() *sim.GraphScheduler { return &sim.GraphScheduler{Kind: sim.GraphKindRing} }
+	spec := func() sim.CountProtocol { return sim.NewSpecCount(epidemic.NewSingleSourceSpec(64, true)) }
+	cases := map[string]sim.Config{
+		"torus": {Seed: 1, Scheduler: &sim.GraphScheduler{Kind: sim.GraphKindTorus}},
+		"kron":  {Seed: 1, Scheduler: &sim.GraphScheduler{Kind: sim.GraphKindKron, K: 6}},
+		"batch": {Seed: 1, Scheduler: ringSched(), BatchSteps: true},
+		"shard": {Seed: 1, Scheduler: ringSched(), Shards: 2, BatchSteps: true},
+		"fault": {Seed: 1, Scheduler: ringSched(),
+			Faults: &sim.FaultPlan{Seed: 1, Bursts: []sim.FaultBurst{{At: 10, Agents: 2}}}},
+	}
+	for name, cfg := range cases {
+		if _, err := sim.NewCountEngine(spec(), cfg); !errors.Is(err, sim.ErrCountScheduler) {
+			t.Errorf("%s: err = %v, want ErrCountScheduler", name, err)
+		}
+	}
+	// A multi-seed epidemic spec is not RingExchangeable: the informed
+	// set fragments into several arcs.
+	multi := sim.NewSpecCount(epidemic.NewSpec([]int64{1, 0, 0, 1, 0, 0, 0, 0}, true))
+	if _, err := sim.NewCountEngine(multi, sim.Config{Seed: 1, Scheduler: ringSched()}); !errors.Is(err, sim.ErrCountScheduler) {
+		t.Errorf("non-exchangeable spec: err = %v, want ErrCountScheduler", err)
+	}
+	// And the qualified combination works.
+	if _, err := sim.NewCountEngine(spec(), sim.Config{Seed: 1, Scheduler: ringSched()}); err != nil {
+		t.Errorf("qualified ring count engine rejected: %v", err)
+	}
+}
+
+// TestGraphSchedulerSnapshot round-trips the agent engine's scheduler
+// state section: a mid-run checkpoint under each graph family resumes
+// bit-for-bit, including the Kronecker drawn-seed state.
+func TestGraphSchedulerSnapshot(t *testing.T) {
+	mks := map[string]func() sim.Scheduler{
+		"ring":      func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindRing} },
+		"torus":     func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindTorus} },
+		"kron":      func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindKron, K: 6} },
+		"kron-seed": func() sim.Scheduler { return &sim.GraphScheduler{Kind: sim.GraphKindKron, K: 6, Seed: 42} },
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			const n = 64
+			ref, err := sim.NewEngine(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(n, true)),
+				sim.Config{Seed: 17, Scheduler: mk()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Step(100)
+			snap, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := sim.NewEngine(sim.NewSpecAgent(epidemic.NewSingleSourceSpec(n, true)),
+				sim.Config{Seed: 0xdead, Scheduler: mk()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			ref.Step(200)
+			resumed.Step(200)
+			a, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := resumed.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatal("resumed graph run diverged from the uninterrupted one")
+			}
+		})
+	}
+}

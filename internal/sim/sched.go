@@ -1,6 +1,10 @@
 package sim
 
-import "popcount/internal/rng"
+import (
+	"fmt"
+
+	"popcount/internal/rng"
+)
 
 // Scheduler selects the ordered agent pair for each interaction. The
 // paper's probabilistic scheduler is UniformScheduler; the other
@@ -30,6 +34,20 @@ type BiasedScheduler struct {
 	// Bias is the probability the favoured agent initiates, on top of
 	// its uniform chance. Must be in [0, 1).
 	Bias float64
+}
+
+// Validate implements SchedulerValidator: Hot must be a valid agent
+// index and Bias a probability below 1. Engines check this at
+// construction so a misconfigured bias is an error, not a mid-trial
+// panic.
+func (s BiasedScheduler) Validate(n int) error {
+	if s.Hot < 0 || s.Hot >= n {
+		return fmt.Errorf("%w: biased hot index %d outside [0, %d)", ErrScheduler, s.Hot, n)
+	}
+	if s.Bias < 0 || s.Bias >= 1 {
+		return fmt.Errorf("%w: bias %v outside [0, 1)", ErrScheduler, s.Bias)
+	}
+	return nil
 }
 
 // Next returns the next pair under the bias. It panics when Hot is not a

@@ -378,6 +378,11 @@ func NewEngine(p Protocol, cfg Config) (*Engine, error) {
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = UniformScheduler{}
 	}
+	if v, ok := cfg.Scheduler.(SchedulerValidator); ok {
+		if err := v.Validate(n); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
 		engineCore: engineCore{cfg: cfg, convAt: -1},
 		p:          p,

@@ -44,6 +44,7 @@ const (
 	snapFlagPlanner uint8 = 1 << 1 // engine had the batch planner
 	snapFlagFaults  uint8 = 1 << 2 // engine carried a fault plan (count form)
 	snapFlagSharded uint8 = 1 << 3 // engine had the sharded batch planner
+	snapFlagRing    uint8 = 1 << 4 // engine ran the ring-restricted count path
 )
 
 // ErrNotSnapshottable is returned when an engine's protocol or
@@ -347,16 +348,18 @@ func (c *engineCore) readHeader(r *snapReader, magic uint32, n int64) (t, convAt
 }
 
 // Snapshot serializes the engine's full dynamic state. The protocol
-// must implement ProtocolSnapshotter and the run must use the uniform
-// scheduler (non-uniform schedulers may be stateful and have no
-// serialized form); ErrNotSnapshottable otherwise.
+// must implement ProtocolSnapshotter, and the run must use either the
+// uniform scheduler or a scheduler with a deterministic serialized
+// form (SchedulerSnapshotter — the graph schedulers); arbitrary
+// stateful schedulers get ErrNotSnapshottable.
 func (e *Engine) Snapshot() ([]byte, error) {
 	ps, ok := e.p.(ProtocolSnapshotter)
 	if !ok {
 		return nil, fmt.Errorf("%w: protocol %T has no state codec", ErrNotSnapshottable, e.p)
 	}
-	if !e.uniform {
-		return nil, fmt.Errorf("%w: non-uniform scheduler %T", ErrNotSnapshottable, e.sched)
+	ss, snapSched := e.sched.(SchedulerSnapshotter)
+	if !e.uniform && !snapSched {
+		return nil, fmt.Errorf("%w: non-uniform scheduler %T has no serialized form", ErrNotSnapshottable, e.sched)
 	}
 	blob, err := ps.SnapshotState()
 	if err != nil {
@@ -374,6 +377,13 @@ func (e *Engine) Snapshot() ([]byte, error) {
 		}
 		e.fs.snapshot(w, enc)
 	}
+	// The scheduler section travels only for non-uniform runs (faults
+	// require the uniform scheduler, so the two sections never
+	// coexist); uniform snapshots stay byte-identical to the
+	// pre-graph-scheduler format.
+	if !e.uniform && snapSched {
+		w.bytes(ss.SchedulerState())
+	}
 	return w.buf, nil
 }
 
@@ -386,8 +396,9 @@ func (e *Engine) Restore(data []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: protocol %T has no state codec", ErrNotSnapshottable, e.p)
 	}
-	if !e.uniform {
-		return fmt.Errorf("%w: non-uniform scheduler %T", ErrNotSnapshottable, e.sched)
+	ss, snapSched := e.sched.(SchedulerSnapshotter)
+	if !e.uniform && !snapSched {
+		return fmt.Errorf("%w: non-uniform scheduler %T has no serialized form", ErrNotSnapshottable, e.sched)
 	}
 	r := &snapReader{buf: data}
 	t, convAt, rngState, err := e.readHeader(r, snapMagicAgent, int64(e.n))
@@ -403,11 +414,20 @@ func (e *Engine) Restore(data []byte) error {
 		}
 		fsn = e.fs.readSnapshot(r, dec)
 	}
+	var sblob []byte
+	if !e.uniform && snapSched {
+		sblob = r.bytes()
+	}
 	if err := r.done(); err != nil {
 		return err
 	}
 	if err := ps.RestoreState(blob); err != nil {
 		return err
+	}
+	if !e.uniform && snapSched {
+		if err := ss.RestoreSchedulerState(sblob); err != nil {
+			return err
+		}
 	}
 	e.t, e.convAt = t, convAt
 	e.r.SetState(rngState)
@@ -445,6 +465,9 @@ func (e *CountEngine) Snapshot() ([]byte, error) {
 	}
 	if e.sr != nil {
 		flags |= snapFlagSharded
+	}
+	if e.ring != nil {
+		flags |= snapFlagRing
 	}
 	w.u8(flags)
 	if e.bp != nil {
@@ -510,6 +533,9 @@ func (e *CountEngine) Restore(data []byte) error {
 		}
 		if e.sr != nil {
 			want |= snapFlagSharded
+		}
+		if e.ring != nil {
+			want |= snapFlagRing
 		}
 		if flags != want {
 			r.fail("engine feature flags %#x, engine has %#x (different Config?)", flags, want)

@@ -177,6 +177,18 @@ type Spec struct {
 	// interning — stay on the agent engine unless explicitly requested.
 	PreferCount bool
 
+	// RingExchangeable certifies that the spec's dynamics remain a
+	// function of per-state counts under the ring interaction graph:
+	// from the spec's initial configurations, every reachable ring
+	// configuration keeps the spreading state's agents on one contiguous
+	// arc whose two boundary adjacencies are the only productive
+	// interactions. Single-source monotone spread (one seeded agent, a
+	// totally ordered state set, Delta only ever lifts toward the
+	// maximum) qualifies; anything with multiple seeds or non-monotone
+	// rules does not. The count engine accepts a ring GraphScheduler
+	// only for specs that set it — others fall back to the agent engine.
+	RingExchangeable bool
+
 	// Memo, set by MemoizeDelta, is the code-indexed successor memo the
 	// Delta and Randomized fields resolve through. The adapters use it
 	// to answer DeltaDet and derived self-loop queries in one probe

@@ -374,7 +374,10 @@ func Validate(alg Algorithm, n int, opts ...Option) error {
 	if _, err := set.resolveEngine(alg); err != nil {
 		return err
 	}
-	return set.faults.validate(n)
+	if err := set.faults.validate(n); err != nil {
+		return err
+	}
+	return set.validateScheduler(n)
 }
 
 // specFor returns the canonical transition spec of alg over n agents
@@ -442,7 +445,11 @@ func (set settings) resolveEngine(alg Algorithm) (EngineKind, error) {
 	spec, supported := specFor(alg, 2, set)
 	uniform := true
 	if set.mkSched != nil {
-		_, uniform = set.newSimScheduler().(sim.UniformScheduler)
+		// The explicitly-uniform factory normalizes to the nil engine
+		// default, so both nil and the engine's uniform type count.
+		if sched := set.newSimScheduler(); sched != nil {
+			_, uniform = sched.(sim.UniformScheduler)
+		}
 	}
 	if set.faults.Enabled() {
 		// Dynamic faults are code-to-code transformations over a Spec's
@@ -556,6 +563,9 @@ func newSimulationFrom(alg Algorithm, n int, set settings) (*Simulation, error) 
 		return nil, err
 	}
 	if err := set.faults.validate(n); err != nil {
+		return nil, err
+	}
+	if err := set.validateScheduler(n); err != nil {
 		return nil, err
 	}
 	if kind == EngineCount || kind == EngineCountBatched {

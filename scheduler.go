@@ -1,6 +1,10 @@
 package popcount
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"popcount/internal/rng"
 	"popcount/internal/sim"
 )
@@ -65,7 +69,8 @@ func (uniformSched) Next(n int, r Rand) (int, int) { return r.Pair(n) }
 // uniform). This models a "chatty" agent — a mild violation of the model
 // under which the w.h.p. analyses no longer apply verbatim. It panics
 // unless bias is in [0, 1) and hot is non-negative; hot must also be a
-// valid index of the simulated population.
+// valid index of the simulated population, which NewSimulation and
+// RunEnsemble enforce with ErrBadScheduler once n is known.
 func BiasedPairs(hot int, bias float64) Scheduler {
 	if bias < 0 || bias >= 1 {
 		panic("popcount: BiasedPairs bias must be in [0, 1)")
@@ -120,26 +125,198 @@ func (s *matchingSched) Next(n int, r Rand) (int, int) {
 	return u, v
 }
 
+// GraphRing returns a scheduler that restricts interactions to the
+// ring (cycle) graph C_n: each draw picks a uniform agent and one of
+// its two neighbors, i.e. a uniform directed ring edge. Ring runs
+// snapshot and resume like uniform ones, and epidemic-style
+// single-source algorithms additionally keep a count-engine form.
+func GraphRing() Scheduler {
+	return &graphSched{g: &sim.GraphScheduler{Kind: sim.GraphKindRing}}
+}
+
+// GraphTorus returns a scheduler that restricts interactions to the
+// 2-D torus over the most-square rows×cols factorization of n (each
+// draw is a uniform directed torus edge: an agent and one of its four
+// axis-aligned neighbors). n must be composite; a prime population
+// has no 2-D factorization and is rejected with ErrBadScheduler.
+func GraphTorus() Scheduler {
+	return &graphSched{g: &sim.GraphScheduler{Kind: sim.GraphKindTorus}}
+}
+
+// GraphKronecker returns a scheduler over a stochastic-Kronecker
+// (R-MAT) random graph: 8n edges sampled by k-level quadrant descent
+// over the 2×2 initiator matrix (row-major a, b, c, d; the zero value
+// selects the Graph500 reference (0.57, 0.19, 0.19, 0.05)), vertex
+// ids folded mod n, self-loops rewired to the successor vertex. Each
+// draw is a uniform directed edge of the sampled graph. seed pins one
+// graph across every trial; seed 0 samples a fresh graph per trial
+// from the trial's scheduler stream, so runs remain a pure function
+// of the simulation seed either way. The graph needs 2^k ≥ n.
+func GraphKronecker(initiator [4]float64, k int, seed uint64) Scheduler {
+	return &graphSched{g: &sim.GraphScheduler{Kind: sim.GraphKindKron, K: k, Initiator: initiator, Seed: seed}}
+}
+
+// graphSched wraps the engine-native graph scheduler for the public
+// interface. Next delegates to the engine implementation's NextPair so
+// the public path and the engine path consume randomness identically.
+type graphSched struct {
+	g *sim.GraphScheduler
+}
+
+func (s *graphSched) Next(n int, r Rand) (int, int) { return s.g.NextPair(n, r) }
+
+// spec returns the scheduler's canonical text form (the -sched flag /
+// job-request syntax parsed by ParseSchedulerSpec).
+func (s *graphSched) spec() string {
+	g := s.g
+	switch g.Kind {
+	case sim.GraphKindRing:
+		return "ring"
+	case sim.GraphKindTorus:
+		return "torus"
+	default:
+		init := g.Initiator
+		if init == ([4]float64{}) {
+			init = sim.DefaultKronInitiator
+		}
+		custom := init != sim.DefaultKronInitiator
+		spec := fmt.Sprintf("kron:%d", g.K)
+		if g.Seed != 0 || custom {
+			spec += fmt.Sprintf(":%d", g.Seed)
+		}
+		if custom {
+			parts := make([]string, 4)
+			for i, p := range init {
+				parts[i] = strconv.FormatFloat(p, 'g', -1, 64)
+			}
+			spec += ":" + strings.Join(parts, ",")
+		}
+		return spec
+	}
+}
+
+// ParseSchedulerSpec parses the canonical text form of a scheduler
+// that can ride in snapshots and job requests:
+//
+//	uniform                              the default (empty canonical form)
+//	ring                                 cycle graph C_n
+//	torus                                2-D torus (n must be composite)
+//	kron:<k>[:<seed>[:<a>,<b>,<c>,<d>]]  stochastic-Kronecker graph
+//
+// It returns a WithScheduler-ready factory (nil for uniform), the
+// canonical form of the spec (defaults dropped: seed 0 and the
+// Graph500 initiator are omitted, "uniform" canonicalizes to ""), and
+// ErrBadScheduler for anything unparseable. Biased and matching
+// schedulers have no text form — their state is not snapshottable, so
+// they never appear where specs travel.
+func ParseSchedulerSpec(spec string) (factory func() Scheduler, canonical string, err error) {
+	switch spec {
+	case "", "uniform":
+		return nil, "", nil
+	case "ring":
+		return GraphRing, "ring", nil
+	case "torus":
+		return GraphTorus, "torus", nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "kron:"); ok {
+		parts := strings.Split(rest, ":")
+		if len(parts) > 3 {
+			return nil, "", fmt.Errorf("%w: kron spec %q has %d colon fields, want at most 3", ErrBadScheduler, spec, len(parts))
+		}
+		k, aerr := strconv.Atoi(parts[0])
+		if aerr != nil || k < 1 || k > 30 {
+			return nil, "", fmt.Errorf("%w: kron depth %q outside [1, 30]", ErrBadScheduler, parts[0])
+		}
+		var seed uint64
+		if len(parts) >= 2 {
+			seed, aerr = strconv.ParseUint(parts[1], 10, 64)
+			if aerr != nil {
+				return nil, "", fmt.Errorf("%w: kron seed %q is not a uint64", ErrBadScheduler, parts[1])
+			}
+		}
+		var init [4]float64
+		if len(parts) == 3 {
+			fields := strings.Split(parts[2], ",")
+			if len(fields) != 4 {
+				return nil, "", fmt.Errorf("%w: kron initiator %q needs 4 comma-separated entries", ErrBadScheduler, parts[2])
+			}
+			for i, f := range fields {
+				init[i], aerr = strconv.ParseFloat(f, 64)
+				if aerr != nil {
+					return nil, "", fmt.Errorf("%w: kron initiator entry %q is not a float", ErrBadScheduler, f)
+				}
+			}
+		}
+		f := func() Scheduler { return GraphKronecker(init, k, seed) }
+		return f, f().(*graphSched).spec(), nil
+	}
+	return nil, "", fmt.Errorf("%w: unknown scheduler spec %q (valid: uniform, ring, torus, kron:<k>[:<seed>[:<a>,<b>,<c>,<d>]])", ErrBadScheduler, spec)
+}
+
 // newSimScheduler builds the engine-side scheduler for one trial. The
 // built-in schedulers map to the engine's native implementations — the
-// uniform one so the batched fast path can devirtualize pair drawing,
-// the others so that one certified implementation defines engine
-// behavior (TestPublicSchedulersMatchEngine pins the public types to
-// them). User-defined schedulers run through a thin adapter.
+// explicitly-uniform factory normalizes to the nil engine default, so
+// it snapshots, resumes and takes the batched devirtualized path
+// identically to an option-free run; the others map to their engine
+// types so that one certified implementation defines engine behavior
+// (TestPublicSchedulersMatchEngine pins the public types to them).
+// User-defined schedulers run through a thin adapter.
 func (s settings) newSimScheduler() sim.Scheduler {
 	if s.mkSched == nil {
 		return nil // engine default: uniform
 	}
 	switch sched := s.mkSched().(type) {
 	case uniformSched:
-		return sim.UniformScheduler{}
+		return nil // semantically the default: normalize to it
 	case biasedSched:
 		return sim.BiasedScheduler{Hot: sched.hot, Bias: sched.bias}
 	case *matchingSched:
 		return sim.NewMatchingScheduler()
+	case *graphSched:
+		// The factory built a fresh public wrapper; hand its engine-side
+		// scheduler over wholesale (per-trial instances mean per-trial
+		// Kronecker graphs unless the graph seed is pinned).
+		return sched.g
 	default:
 		return schedAdapter{sched}
 	}
+}
+
+// schedSpec returns the canonical text form of the registered
+// scheduler for the snapshot envelope, or ErrNotSnapshottable for
+// schedulers that have none (biased, matching, user-defined). The
+// uniform default — explicit or absent — has the empty canonical form.
+func (s settings) schedSpec() (string, error) {
+	if s.mkSched == nil {
+		return "", nil
+	}
+	switch sched := s.mkSched().(type) {
+	case uniformSched:
+		return "", nil
+	case *graphSched:
+		return sched.spec(), nil
+	default:
+		return "", fmt.Errorf("%w: scheduler %T has no serialized form", ErrNotSnapshottable, sched)
+	}
+}
+
+// validateScheduler checks the registered scheduler against the
+// population size — the first point where n is known. It catches a
+// BiasedPairs hot index outside the population and graph parameters
+// the population cannot satisfy, wrapping each in ErrBadScheduler.
+func (s settings) validateScheduler(n int) error {
+	if s.mkSched == nil {
+		return nil
+	}
+	sched := s.newSimScheduler()
+	v, ok := sched.(sim.SchedulerValidator)
+	if !ok {
+		return nil
+	}
+	if err := v.Validate(n); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadScheduler, err)
+	}
+	return nil
 }
 
 // schedAdapter lifts a public Scheduler into the engine's interface; the

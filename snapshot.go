@@ -12,11 +12,17 @@ package popcount
 // exact trajectory of the snapshotted one.
 //
 // Functional options that affect dynamics (seed, interaction budgets,
-// clock sizes, fault injection) are taken from the header, not from
-// the opts argument: a snapshot pins the dynamics of the run it came
-// from. A WithScheduler option, whose closure cannot be serialized,
-// makes the simulation non-snapshottable in the first place (the
-// engine layer rejects it), so restore never needs to reproduce one.
+// clock sizes, fault injection, the scheduler) are taken from the
+// header, not from the opts argument: a snapshot pins the dynamics of
+// the run it came from. Schedulers travel as their canonical text
+// form (ParseSchedulerSpec grammar): the uniform default — explicit
+// or absent — is the empty spec, and the graph schedulers (ring,
+// torus, Kronecker) serialize their parameters plus any drawn graph
+// seed, so graph-restricted runs checkpoint and resume bit-for-bit.
+// Schedulers with no text form (BiasedPairs, RandomMatching,
+// user-defined closures) make the simulation non-snapshottable in
+// the first place (the engine layer rejects them), so restore never
+// needs to reproduce one.
 
 import (
 	"encoding/binary"
@@ -28,10 +34,12 @@ import (
 
 const (
 	rootSnapMagic = 0x50435353 // "PCSS"
-	// rootSnapVersion 3 appended the intra-run shard count to the
-	// header; version-2 blobs (no sharding) still restore.
-	rootSnapVersion     = 3
-	rootSnapVersionPrev = 2
+	// rootSnapVersion 4 appended the scheduler spec to the header;
+	// version 3 appended the intra-run shard count. Version-2 (no
+	// sharding, no scheduler) and version-3 blobs still restore.
+	rootSnapVersion   = 4
+	rootSnapVersionV3 = 3
+	rootSnapVersionV2 = 2
 )
 
 // Snapshot serializes the simulation's full dynamic state — engine
@@ -42,7 +50,10 @@ const (
 //
 // It fails with ErrNotSnapshottable for simulations whose state has
 // no serialized form: TokenBag (per-agent token multisets with no
-// canonical codec) and any simulation running under WithScheduler.
+// canonical codec) and any WithScheduler simulation other than the
+// explicit uniform default and the graph schedulers (GraphRing,
+// GraphTorus, GraphKronecker), whose state is a spec string plus a
+// drawn graph seed.
 func (s *Simulation) Snapshot() ([]byte, error) {
 	var blob []byte
 	var err error
@@ -59,13 +70,21 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	}
 
 	set := &s.set
+	// The scheduler travels as its canonical text form
+	// (ParseSchedulerSpec grammar; empty for the uniform default). The
+	// engine snapshot above already rejected schedulers with no
+	// serialized form, so this cannot fail after it succeeded.
+	schedSpec, err := set.schedSpec()
+	if err != nil {
+		return nil, err
+	}
 	// The fault plan travels as its canonical text form (ParseFaultPlan
 	// grammar), with the CorruptSearch knob carried by the header flag
 	// byte it has occupied since v1.
 	dyn := set.faults
 	dyn.CorruptSearch = false
 	faultSpec := dyn.String()
-	buf := make([]byte, 0, rootSnapHeaderLen+len(faultSpec)+len(blob))
+	buf := make([]byte, 0, rootSnapHeaderLen+len(schedSpec)+len(faultSpec)+len(blob))
 	buf = binary.LittleEndian.AppendUint32(buf, rootSnapMagic)
 	buf = binary.LittleEndian.AppendUint16(buf, rootSnapVersion)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(s.alg))
@@ -85,19 +104,23 @@ func (s *Simulation) Snapshot() ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.shift))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.batchRounds))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(set.shards))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(schedSpec)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(faultSpec)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = append(buf, schedSpec...)
 	buf = append(buf, faultSpec...)
 	buf = append(buf, blob...)
 	return buf, nil
 }
 
-// rootSnapHeaderLen is the fixed byte length of the version-3 envelope
+// rootSnapHeaderLen is the fixed byte length of the version-4 envelope
 // header, up to and including the engine-blob length field;
-// rootSnapHeaderLenPrev is the version-2 length (no shard count).
+// rootSnapHeaderLenV3 drops the scheduler-spec length and
+// rootSnapHeaderLenV2 additionally the shard count.
 const (
-	rootSnapHeaderLen     = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 4
-	rootSnapHeaderLenPrev = rootSnapHeaderLen - 4
+	rootSnapHeaderLen   = 4 + 2 + 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 4 + 4
+	rootSnapHeaderLenV3 = rootSnapHeaderLen - 4
+	rootSnapHeaderLenV2 = rootSnapHeaderLenV3 - 4
 )
 
 // RestoreSimulation rebuilds a Simulation from a Snapshot blob and
@@ -108,19 +131,23 @@ const (
 // ErrBadSnapshot if data is malformed, truncated, of an unknown
 // version, or internally inconsistent.
 func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
-	if len(data) < rootSnapHeaderLenPrev {
-		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), rootSnapHeaderLenPrev)
+	if len(data) < rootSnapHeaderLenV2 {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), rootSnapHeaderLenV2)
 	}
 	if m := binary.LittleEndian.Uint32(data[0:]); m != rootSnapMagic {
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSnapshot, m)
 	}
 	version := binary.LittleEndian.Uint16(data[4:])
-	if version != rootSnapVersion && version != rootSnapVersionPrev {
+	var headerLen int
+	switch version {
+	case rootSnapVersion:
+		headerLen = rootSnapHeaderLen
+	case rootSnapVersionV3:
+		headerLen = rootSnapHeaderLenV3
+	case rootSnapVersionV2:
+		headerLen = rootSnapHeaderLenV2
+	default:
 		return nil, fmt.Errorf("%w: unknown version %d", ErrBadSnapshot, version)
-	}
-	headerLen := rootSnapHeaderLen
-	if version == rootSnapVersionPrev {
-		headerLen = rootSnapHeaderLenPrev
 	}
 	if len(data) < headerLen {
 		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSnapshot, len(data), headerLen)
@@ -159,13 +186,27 @@ func RestoreSimulation(data []byte, opts ...Option) (*Simulation, error) {
 	set.engine = kind
 
 	off := 66
+	if version >= rootSnapVersionV3 {
+		set.shards = int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	schedLen := 0
 	if version >= rootSnapVersion {
-		set.shards = int(binary.LittleEndian.Uint32(data[66:]))
-		off = 70
+		schedLen = int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
 	}
 	faultLen := int(binary.LittleEndian.Uint32(data[off:]))
 	blobLen := int(binary.LittleEndian.Uint32(data[off+4:]))
 	rest := data[headerLen:]
+	if schedLen < 0 || schedLen > len(rest) {
+		return nil, fmt.Errorf("%w: scheduler spec is %d bytes, header says %d", ErrBadSnapshot, len(rest), schedLen)
+	}
+	mkSched, _, err := ParseSchedulerSpec(string(rest[:schedLen]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	set.mkSched = mkSched
+	rest = rest[schedLen:]
 	if faultLen < 0 || faultLen > len(rest) {
 		return nil, fmt.Errorf("%w: fault plan is %d bytes, header says %d", ErrBadSnapshot, len(rest), faultLen)
 	}
